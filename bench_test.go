@@ -1,0 +1,225 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (plus the ablations from DESIGN.md). Each benchmark measures
+// regenerating its artifact from the shared characterized fleet and logs
+// the headline numbers next to the paper's values.
+//
+// The fleet scale defaults to "small"; set DISKSIG_BENCH_SCALE=medium to
+// run the paper-shaped population (433 failed drives, 59.6/7.6/32.8 %
+// groups) — that is the configuration EXPERIMENTS.md records.
+package disksig_test
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"disksig/internal/core"
+	"disksig/internal/experiments"
+	"disksig/internal/synth"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+	benchErr  error
+)
+
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		scale := synth.ScaleSmall
+		if s := os.Getenv("DISKSIG_BENCH_SCALE"); s != "" {
+			var err error
+			if scale, err = synth.ParseScale(s); err != nil {
+				benchErr = err
+				return
+			}
+		}
+		benchCtx, benchErr = experiments.NewContext(scale, 1)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCtx
+}
+
+// logMetrics reports every experiment metric through the benchmark so the
+// regenerated numbers appear in the bench output.
+func logMetrics(b *testing.B, r *experiments.Result, paper string) {
+	b.Helper()
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	line := r.Header()
+	for _, k := range keys {
+		line += fmt.Sprintf(" %s=%.4g", k, r.Metrics[k])
+	}
+	if paper != "" {
+		line += "  [paper: " + paper + "]"
+	}
+	b.Log(line)
+}
+
+func runExperiment(b *testing.B, run func() (*experiments.Result, error), paper string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	logMetrics(b, last, paper)
+}
+
+// BenchmarkPipelineCharacterize measures the full pipeline (generation
+// excluded) on a fresh small fleet — the end-to-end cost a deployment
+// would pay per analysis run.
+func BenchmarkPipelineCharacterize(b *testing.B) {
+	ds, err := synth.Generate(synth.DefaultConfig(synth.ScaleSmall))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Characterize(ds, core.Config{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetGeneration measures synthetic fleet generation.
+func BenchmarkFleetGeneration(b *testing.B) {
+	cfg := synth.DefaultConfig(synth.ScaleSmall)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1AttributeRegistry(b *testing.B) {
+	runExperiment(b, func() (*experiments.Result, error) { return experiments.Table1AttributeRegistry(), nil },
+		"12 selected attributes")
+}
+
+func BenchmarkFig01ProfileDurations(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig01ProfileDurations, "51.3% full 20-day, 78.5% >10-day")
+}
+
+func BenchmarkFig02AttributeSpread(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig02AttributeSpread, "RRER/TC/SUT/POH/RSC/R-RSC wide; CPSC/RUE/SER/HFW/HER narrow")
+}
+
+func BenchmarkFig03ClusterElbow(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig03ClusterElbow, "three groups produce the best clustering")
+}
+
+func BenchmarkFig04PCAGroups(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig04PCAGroups, "258 / 33 / 142 drives")
+}
+
+func BenchmarkFig05CentroidRecords(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig05CentroidRecords, "G2 lowest RUE, G3 highest R-RSC, G1 near-good")
+}
+
+func BenchmarkFig06DecileComparison(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig06DecileComparison, "G2 RUE < -0.46 (90%), G3 R-RSC > 0.94")
+}
+
+func BenchmarkTable2FailureCategories(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Table2FailureCategories, "59.6% logical, 7.6% bad sector, 32.8% head")
+}
+
+func BenchmarkFig07DistanceCurves(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig07DistanceCurves, "G1/G3 fluctuate then drop; G2 monotone decline")
+}
+
+func BenchmarkFig08SignatureFits(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig08SignatureFits, "orders 2/1/3; centroid windows 3/377/12")
+}
+
+func BenchmarkFig09AttrCorrelation(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig09AttrCorrelation, "RRER dominates G1/G3; RUE & R-RSC dominate G2")
+}
+
+func BenchmarkFig10EnvCorrelation(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig10EnvCorrelation, "POH strong in-window only; TC weak everywhere")
+}
+
+func BenchmarkFig11TCZScores(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig11TCZScores, "G1 most negative (hottest)")
+}
+
+func BenchmarkFig12POHZScores(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig12POHZScores, "G3 most negative (oldest)")
+}
+
+func BenchmarkFig13RegressionTree(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Fig13RegressionTree, "POH/TC/RUE critical for G1")
+}
+
+func BenchmarkTable3PredictionError(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.Table3PredictionError, "RMSE 0.216/0.114/0.129; error 10.8%/5.7%/6.4%")
+}
+
+func BenchmarkAblationDistanceMetric(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.AblationDistanceMetric, "Euclidean resolves near-failure distances better")
+}
+
+func BenchmarkAblationClusteringMethod(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.AblationClusteringMethod, "K-means and SVC generate the same results")
+}
+
+func BenchmarkAblationSignatureForms(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.AblationSignatureForms, "revised forms: G1 0.24/0.14/0.06, G3 0.45/0.35/0.22/0.16")
+}
+
+func BenchmarkAblationBaselineDetectors(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.AblationBaselineDetectors, "threshold 3-10% FDR @ 0.1% FAR; rank-sum 60% @ 0.5%")
+}
+
+func BenchmarkAblationPredictionMethods(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.AblationPredictionMethods, "extension: Table III used only the regression tree")
+}
+
+func BenchmarkAblationBackupWorkload(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.AblationBackupWorkload, "backup systems dominated by bad-sector failures")
+}
+
+func BenchmarkAblationProactiveRAID(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.AblationProactiveRAID, "Sec. V implication: proactive handling of predicted failures")
+}
+
+func BenchmarkAblationRescueTime(b *testing.B) {
+	ctx := benchContext(b)
+	runExperiment(b, ctx.AblationRescueTime, "estimate the available time for data rescue")
+}

@@ -1,0 +1,103 @@
+// Command diskchar runs the full disk-failure characterization pipeline
+// and prints every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	diskchar -scale small                 # generate a fleet and analyze it
+//	diskchar -in fleet.gob                # analyze a dataset from diskgen
+//	diskchar -scale medium -only "Fig. 8" # a single artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"disksig/internal/dataset"
+	"disksig/internal/experiments"
+	"disksig/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diskchar: ")
+
+	var (
+		scaleFlag = flag.String("scale", "small", "fleet scale preset when generating: small, medium or paper")
+		seed      = flag.Int64("seed", 1, "generation and analysis seed")
+		in        = flag.String("in", "", "analyze an existing dataset file (.csv or .gob) instead of generating")
+		only      = flag.String("only", "", "print only artifacts whose ID contains this string (e.g. \"Fig. 8\")")
+		quiet     = flag.Bool("quiet", false, "print only artifact headers and metrics")
+		metrics   = flag.String("metrics", "", "also write all headline metrics as CSV to this file")
+	)
+	flag.Parse()
+
+	scale, err := synth.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := synth.DefaultConfig(scale)
+	cfg.Seed = *seed
+
+	var ds *dataset.Dataset
+	start := time.Now()
+	if *in != "" {
+		ds, err = dataset.LoadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s in %v\n", *in, time.Since(start).Round(time.Millisecond))
+	} else {
+		ds, err = synth.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %s fleet (seed %d) in %v\n", scale, *seed, time.Since(start).Round(time.Millisecond))
+	}
+	c := ds.Counts()
+	fmt.Printf("fleet: %d failed / %d good drives, %d / %d records, failure rate %.2f%%\n\n",
+		c.FailedDrives, c.GoodDrives, c.FailedRecords, c.GoodRecords, 100*ds.FailureRate())
+
+	start = time.Now()
+	ctx, err := experiments.NewContextFromDataset(ds, *seed, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("characterization pipeline completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	results, err := ctx.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.WriteMetricsCSV(f, results); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics CSV to %s\n\n", *metrics)
+	}
+
+	for _, r := range results {
+		if *only != "" && !strings.Contains(r.ID, *only) {
+			continue
+		}
+		fmt.Println(r.Header())
+		if !*quiet {
+			fmt.Println(r.Text)
+		} else {
+			for k, v := range r.Metrics {
+				fmt.Printf("  %s = %.4g\n", k, v)
+			}
+		}
+		fmt.Println()
+	}
+}

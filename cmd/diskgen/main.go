@@ -1,0 +1,70 @@
+// Command diskgen generates a synthetic disk-fleet SMART dataset and
+// writes it to a CSV, Backblaze-style CSV, or gob file.
+//
+// Usage:
+//
+//	diskgen -scale medium -seed 1 -out fleet.gob
+//	diskgen -good 5000 -failed 200 -out fleet.csv
+//	diskgen -scale small -out fleet.bbcsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"disksig/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diskgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool; separated from main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("diskgen", flag.ContinueOnError)
+	var (
+		scaleFlag  = fs.String("scale", "medium", "fleet scale preset: small, medium or paper")
+		seed       = fs.Int64("seed", 1, "generation seed")
+		out        = fs.String("out", "fleet.gob", "output file (.csv, .bbcsv or .gob)")
+		goodFlag   = fs.Int("good", 0, "override the number of good drives")
+		failedFlag = fs.Int("failed", 0, "override the number of failed drives")
+		workers    = fs.Int("workers", 0, "generation parallelism (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale, err := synth.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	cfg := synth.DefaultConfig(scale)
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	if *goodFlag > 0 {
+		cfg.GoodDrives = *goodFlag
+	}
+	if *failedFlag > 0 {
+		cfg.FailedDrives = *failedFlag
+	}
+
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := ds.SaveFile(*out); err != nil {
+		return err
+	}
+	c := ds.Counts()
+	fmt.Fprintf(stdout,
+		"wrote %s: %d failed drives (%d records), %d good drives (%d records), failure rate %.2f%%\n",
+		*out, c.FailedDrives, c.FailedRecords, c.GoodDrives, c.GoodRecords, 100*ds.FailureRate())
+	return nil
+}

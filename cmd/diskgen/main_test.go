@@ -1,0 +1,56 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"disksig/internal/dataset"
+)
+
+func TestRunGeneratesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.gob")
+	var buf strings.Builder
+	err := run([]string{"-scale", "small", "-good", "12", "-failed", "6", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "6 failed drives") {
+		t.Errorf("output: %q", buf.String())
+	}
+	ds, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Failed) != 6 || len(ds.Good) != 12 {
+		t.Errorf("population = %d/%d", len(ds.Failed), len(ds.Good))
+	}
+}
+
+func TestRunBackblazeFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.bbcsv")
+	var buf strings.Builder
+	if err := run([]string{"-scale", "small", "-good", "4", "-failed", "3", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Failed) != 3 {
+		t.Errorf("failed = %d", len(ds.Failed))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-scale", "enormous"}, &buf); err == nil {
+		t.Error("expected error for unknown scale")
+	}
+	if err := run([]string{"-nosuchflag"}, &buf); err == nil {
+		t.Error("expected flag parse error")
+	}
+	if err := run([]string{"-scale", "small", "-good", "2", "-failed", "1", "-out", "/nonexistent-dir/x.gob"}, &buf); err == nil {
+		t.Error("expected write error")
+	}
+}

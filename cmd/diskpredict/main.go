@@ -1,0 +1,84 @@
+// Command diskpredict trains and evaluates the degradation predictors
+// (Table III) and the baseline failure detectors on a disk fleet.
+//
+// Usage:
+//
+//	diskpredict -scale small
+//	diskpredict -in fleet.gob -group 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"disksig/internal/dataset"
+	"disksig/internal/experiments"
+	"disksig/internal/predict"
+	"disksig/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diskpredict: ")
+
+	var (
+		scaleFlag = flag.String("scale", "small", "fleet scale preset: small, medium or paper")
+		seed      = flag.Int64("seed", 1, "generation and analysis seed")
+		in        = flag.String("in", "", "analyze an existing dataset file (.csv or .gob)")
+		group     = flag.Int("group", 0, "print the regression tree of this group (0 = none)")
+		baseline  = flag.Bool("baselines", true, "also evaluate the baseline detectors")
+	)
+	flag.Parse()
+
+	scale, err := synth.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := synth.DefaultConfig(scale)
+	cfg.Seed = *seed
+
+	var ds *dataset.Dataset
+	if *in != "" {
+		if ds, err = dataset.LoadFile(*in); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if ds, err = synth.Generate(cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	ctx, err := experiments.NewContextFromDataset(ds, *seed, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	table3, err := ctx.Table3PredictionError()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table3.Header())
+	fmt.Println(table3.Text)
+
+	if *group > 0 {
+		gr := ctx.Char.GroupByNumber(*group)
+		if gr == nil || gr.Prediction == nil {
+			log.Fatalf("no prediction model for group %d", *group)
+		}
+		fmt.Printf("regression tree for group %d (%s failures):\n%s\n",
+			*group, gr.Group.Type, gr.Prediction.Tree.Render(predict.AttrNames()))
+	}
+
+	if *baseline {
+		ab, err := ctx.AblationBaselineDetectors()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ab.Header())
+		fmt.Println(ab.Text)
+	}
+}

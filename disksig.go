@@ -1,0 +1,123 @@
+// Package disksig characterizes disk failures with quantified disk
+// degradation signatures, reproducing Huang, Fu, Zhang & Shi (IISWC 2015).
+//
+// The library takes a fleet of SMART health profiles (failed and good
+// drives), discovers the categories of disk failures from the failure
+// records' manifestations, derives a polynomial degradation signature for
+// each category, quantifies which attributes drive the degradation, and
+// trains regression trees that predict a drive's degradation stage.
+//
+// A typical session:
+//
+//	fleet, _ := disksig.GenerateFleet(disksig.FleetConfig(synth.ScaleMedium, 1))
+//	ch, _ := disksig.Characterize(fleet, disksig.Config{Seed: 1})
+//	for _, gr := range ch.Results {
+//	    fmt.Printf("group %d (%s): s(t) = %s\n",
+//	        gr.Group.Number, gr.Group.Type, gr.Summary.MajorityForm)
+//	}
+//
+// The synthetic fleet generator substitutes for the paper's proprietary
+// production trace; see DESIGN.md for the substitution argument. Datasets
+// can also be loaded from CSV/gob files produced by cmd/diskgen or by
+// adapting real SMART dumps to the dataset package's CSV schema.
+package disksig
+
+import (
+	"disksig/internal/core"
+	"disksig/internal/dataset"
+	"disksig/internal/experiments"
+	"disksig/internal/signature"
+	"disksig/internal/smart"
+	"disksig/internal/synth"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Dataset is a fleet of labeled drive health profiles.
+	Dataset = dataset.Dataset
+	// Config parameterizes the characterization pipeline.
+	Config = core.Config
+	// Characterization is the full pipeline output.
+	Characterization = core.Characterization
+	// GroupResult bundles one failure group's category, signatures,
+	// attribute influence and prediction model.
+	GroupResult = core.GroupResult
+	// Group is one discovered failure category.
+	Group = core.Group
+	// FailureType is the semantic failure category (logical, bad sector,
+	// read/write head).
+	FailureType = core.FailureType
+	// Signature is a single drive's derived degradation signature.
+	Signature = signature.Signature
+	// SignatureOptions configures window extraction and model fitting.
+	SignatureOptions = signature.Options
+	// Profile is one drive's health history.
+	Profile = smart.Profile
+	// Attr identifies one of the 12 selected SMART attributes.
+	Attr = smart.Attr
+	// Scale selects a synthetic fleet size preset.
+	Scale = synth.Scale
+	// Experiment is a regenerated paper table or figure.
+	Experiment = experiments.Result
+)
+
+// Failure categories (Table II).
+const (
+	Logical       = core.Logical
+	BadSector     = core.BadSector
+	ReadWriteHead = core.ReadWriteHead
+)
+
+// Fleet scale presets.
+const (
+	ScaleSmall  = synth.ScaleSmall
+	ScaleMedium = synth.ScaleMedium
+	ScalePaper  = synth.ScalePaper
+)
+
+// FleetConfig returns the synthetic-fleet configuration for a scale
+// preset and seed.
+func FleetConfig(scale Scale, seed int64) synth.Config {
+	cfg := synth.DefaultConfig(scale)
+	cfg.Seed = seed
+	return cfg
+}
+
+// GenerateFleet produces a synthetic disk fleet dataset.
+func GenerateFleet(cfg synth.Config) (*Dataset, error) {
+	return synth.Generate(cfg)
+}
+
+// Characterize runs the complete pipeline of the paper: categorize
+// failures, derive degradation signatures, quantify attribute influence,
+// compute environmental z-scores, and train degradation predictors.
+func Characterize(ds *Dataset, cfg Config) (*Characterization, error) {
+	return core.Characterize(ds, cfg)
+}
+
+// DeriveSignature runs the automated signature tool on a single failed
+// drive's normalized profile.
+func DeriveSignature(p *Profile, opts SignatureOptions) (*Signature, error) {
+	return signature.Derive(p, opts)
+}
+
+// LoadDataset reads a dataset from a .csv or .gob file.
+func LoadDataset(path string) (*Dataset, error) {
+	return dataset.LoadFile(path)
+}
+
+// SaveDataset writes a dataset to a .csv or .gob file.
+func SaveDataset(ds *Dataset, path string) error {
+	return ds.SaveFile(path)
+}
+
+// RunExperiments regenerates every table and figure of the paper's
+// evaluation on the dataset and returns them in paper order.
+func RunExperiments(ds *Dataset, seed int64, fleetCfg synth.Config) ([]*Experiment, error) {
+	ctx, err := experiments.NewContextFromDataset(ds, seed, fleetCfg)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.All()
+}

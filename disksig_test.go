@@ -1,0 +1,79 @@
+package disksig
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := FleetConfig(ScaleSmall, 1)
+	fleet, err := GenerateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Counts().FailedDrives != cfg.FailedDrives {
+		t.Fatalf("failed drives = %d", fleet.Counts().FailedDrives)
+	}
+
+	ch, err := Characterize(fleet, Config{Seed: 1, SkipPrediction: true, GoodSample: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Results) != 3 {
+		t.Fatalf("groups = %d, want 3", len(ch.Results))
+	}
+	types := map[FailureType]bool{}
+	for _, gr := range ch.Results {
+		types[gr.Group.Type] = true
+	}
+	if !types[Logical] || !types[BadSector] || !types[ReadWriteHead] {
+		t.Errorf("types = %v", types)
+	}
+
+	// Derive a single-drive signature through the facade.
+	sig, err := DeriveSignature(fleet.NormalizedFailed()[0], SignatureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Window.D < 1 {
+		t.Errorf("window D = %d", sig.Window.D)
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	cfg := FleetConfig(ScaleSmall, 2)
+	cfg.GoodDrives, cfg.FailedDrives = 10, 5
+	fleet, err := GenerateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.gob")
+	if err := SaveDataset(fleet, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counts() != fleet.Counts() {
+		t.Errorf("round trip counts: %+v vs %+v", back.Counts(), fleet.Counts())
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	cfg := FleetConfig(ScaleSmall, 1)
+	fleet, err := GenerateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunExperiments(fleet, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 24 {
+		t.Errorf("experiments = %d, want 24", len(results))
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: generate a small synthetic disk fleet, run the full
+// characterization pipeline, and print the discovered failure categories
+// with their degradation signatures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disksig"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small fleet: 72 failed and 240 good drives with hourly SMART
+	// samples. Seed 1 makes the run reproducible.
+	fleet, err := disksig.GenerateFleet(disksig.FleetConfig(disksig.ScaleSmall, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := fleet.Counts()
+	fmt.Printf("fleet: %d failed drives, %d good drives (%.1f%% failure rate)\n\n",
+		c.FailedDrives, c.GoodDrives, 100*fleet.FailureRate())
+
+	// The pipeline: categorize failures, derive degradation signatures,
+	// quantify attribute influence, train degradation predictors.
+	ch, err := disksig.Characterize(fleet, disksig.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("the elbow criterion selected k = %d failure categories:\n\n", ch.Categorization.K)
+	for _, gr := range ch.Results {
+		g := gr.Group
+		fmt.Printf("Group %d — %s failures\n", g.Number, g.Type)
+		fmt.Printf("  population:            %.1f%% of failed drives\n", 100*g.Population(c.FailedDrives))
+		fmt.Printf("  degradation signature: s(t) = %s\n", gr.Summary.MajorityForm)
+		fmt.Printf("  degradation windows:   %d..%d hours (median %d)\n",
+			gr.Summary.MinD, gr.Summary.MaxD, gr.Summary.MedianD)
+		if gr.Prediction != nil {
+			fmt.Printf("  prediction error rate: %.1f%% (RMSE %.3f)\n",
+				100*gr.Prediction.ErrorRate, gr.Prediction.RMSE)
+		}
+		fmt.Println()
+	}
+
+	// A single drive's signature, derived directly.
+	drive := fleet.NormalizedFailed()[0]
+	sig, err := disksig.DeriveSignature(drive, disksig.SignatureOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drive #%d: window d = %d hours, signature s(t) = %s (RMSE %.3f)\n",
+		drive.DriveID, sig.Window.D, sig.Best, sig.BestRMSE)
+}

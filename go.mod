@@ -1,0 +1,3 @@
+module disksig
+
+go 1.22

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// threeBlobs generates three well-separated Gaussian blobs.
+func threeBlobs(rng *rand.Rand, per int) (points [][]float64, labels []int) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for c, center := range centers {
+		for i := 0; i < per; i++ {
+			points = append(points, []float64{
+				center[0] + rng.NormFloat64()*0.5,
+				center[1] + rng.NormFloat64()*0.5,
+			})
+			labels = append(labels, c)
+		}
+	}
+	return points, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, truth := threeBlobs(rng, 40)
+	res, err := KMeans(points, KMeansConfig{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Fatalf("K = %d", res.K)
+	}
+	if got := Agreement(res.Assign, truth); got < 0.99 {
+		t.Errorf("agreement with ground truth = %v, want ~1", got)
+	}
+	sizes := res.Sizes()
+	for c, s := range sizes {
+		if s != 40 {
+			t.Errorf("cluster %d size = %d, want 40", c, s)
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, KMeansConfig{K: 0}); err == nil {
+		t.Error("expected error for K=0")
+	}
+	if _, err := KMeans(pts, KMeansConfig{K: 3}); err == nil {
+		t.Error("expected error for K > n")
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, KMeansConfig{K: 1}); err == nil {
+		t.Error("expected error for ragged points")
+	}
+}
+
+func TestKMeansK1Centroid(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 2}, {4, 4}}
+	res, err := KMeans(pts, KMeansConfig{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Centroids[0][0], 2, 1e-9) || !almostEq(res.Centroids[0][1], 2, 1e-9) {
+		t.Errorf("centroid = %v, want [2 2]", res.Centroids[0])
+	}
+	if res.AvgWithinDistance(pts) <= 0 {
+		t.Error("avg within distance should be positive")
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points, _ := threeBlobs(rng, 20)
+	a, _ := KMeans(points, KMeansConfig{K: 3, Seed: 7})
+	b, _ := KMeans(points, KMeansConfig{K: 3, Seed: 7})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestCentroidPoint(t *testing.T) {
+	pts := [][]float64{{0}, {0.1}, {5}, {5.2}}
+	res, err := KMeans(pts, KMeansConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		idx := res.CentroidPoint(pts, c)
+		if idx < 0 || res.Assign[idx] != c {
+			t.Errorf("CentroidPoint(%d) = %d", c, idx)
+		}
+	}
+}
+
+func TestMembers(t *testing.T) {
+	res := &Result{K: 2, Assign: []int{0, 1, 0, 1, 0}}
+	m := res.Members(0)
+	if len(m) != 3 || m[0] != 0 || m[2] != 4 {
+		t.Errorf("Members = %v", m)
+	}
+}
+
+// Property: every point is assigned to its nearest centroid at
+// convergence.
+func TestKMeansNearestCentroidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		k := 2 + rng.Intn(3)
+		res, err := KMeans(pts, KMeansConfig{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			own := sqEuclid(p, res.Centroids[res.Assign[i]])
+			for c := 0; c < k; c++ {
+				if sqEuclid(p, res.Centroids[c]) < own-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElbowCurveDecreasesAndPicks3(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points, _ := threeBlobs(rng, 40)
+	curve, err := Elbow(points, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 8 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].AvgWithinDistance > curve[i-1].AvgWithinDistance+1e-9 {
+			t.Errorf("elbow curve increased at k=%d", curve[i].K)
+		}
+	}
+	if got := PickElbow(curve); got != 3 {
+		t.Errorf("PickElbow = %d, want 3", got)
+	}
+}
+
+func TestElbowErrors(t *testing.T) {
+	if _, err := Elbow([][]float64{{1}}, 0, 1); err == nil {
+		t.Error("expected error for maxK=0")
+	}
+	// maxK clipped to n.
+	curve, err := Elbow([][]float64{{1}, {2}}, 10, 1)
+	if err != nil || len(curve) != 2 {
+		t.Errorf("clipped curve = %v, %v", curve, err)
+	}
+}
+
+func TestPickElbowDegenerate(t *testing.T) {
+	if PickElbow(nil) != 1 {
+		t.Error("empty curve should pick 1")
+	}
+	if PickElbow([]ElbowPoint{{K: 1, AvgWithinDistance: 5}}) != 1 {
+		t.Error("single point should pick its k")
+	}
+	flat := []ElbowPoint{{1, 2}, {2, 2}, {3, 2}}
+	if got := PickElbow(flat); got < 1 || got > 3 {
+		t.Errorf("flat curve pick = %d", got)
+	}
+}
+
+func TestSilhouetteSeparatedVsMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	points, truth := threeBlobs(rng, 25)
+	good := &Result{K: 3, Assign: truth}
+	mixed := &Result{K: 3, Assign: make([]int, len(points))}
+	for i := range points {
+		mixed.Assign[i] = i % 3
+	}
+	sGood := Silhouette(points, good)
+	sMixed := Silhouette(points, mixed)
+	if !(sGood > 0.8) {
+		t.Errorf("silhouette of true clustering = %v, want > 0.8", sGood)
+	}
+	if !(sMixed < sGood) {
+		t.Errorf("mixed silhouette %v should be below true %v", sMixed, sGood)
+	}
+	if !math.IsNaN(Silhouette(points, &Result{K: 1, Assign: make([]int, len(points))})) {
+		t.Error("silhouette of single cluster should be NaN")
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	if got := Agreement(a, a); got != 1 {
+		t.Errorf("self agreement = %v", got)
+	}
+	relabeled := []int{1, 1, 0, 0}
+	if got := Agreement(a, relabeled); got != 1 {
+		t.Errorf("relabeled agreement = %v, want 1", got)
+	}
+	opposite := []int{0, 1, 0, 1}
+	if got := Agreement(a, opposite); got >= 1 {
+		t.Errorf("opposite agreement = %v, want < 1", got)
+	}
+	if got := Agreement([]int{0}, []int{5}); got != 1 {
+		t.Errorf("single point agreement = %v", got)
+	}
+}
+
+func TestAgreementMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Agreement([]int{0}, []int{0, 1})
+}
+
+func TestSVCRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	points, truth := threeBlobs(rng, 15)
+	res, err := SVC(points, SVCConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Fatalf("SVC K = %d, want 3", res.K)
+	}
+	if got := Agreement(res.Assign, truth); got < 0.95 {
+		t.Errorf("SVC agreement = %v", got)
+	}
+	// Cluster IDs ordered by size: equal sizes here, all 15.
+	for c, s := range res.Sizes() {
+		if s != 15 {
+			t.Errorf("cluster %d size = %d", c, s)
+		}
+	}
+}
+
+func TestSVCAgreesWithKMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	points, _ := threeBlobs(rng, 15)
+	km, err := KMeans(points, KMeansConfig{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := SVC(points, SVCConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Agreement(km.Assign, svc.Assign); got < 0.95 {
+		t.Errorf("KMeans/SVC agreement = %v, want ~1 (the paper's claim)", got)
+	}
+}
+
+func TestSVCErrors(t *testing.T) {
+	if _, err := SVC(nil, SVCConfig{}); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := SVC([][]float64{{1}, {1, 2}}, SVCConfig{}); err == nil {
+		t.Error("expected error for ragged input")
+	}
+}
+
+func TestSVCSingleCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var points [][]float64
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3})
+	}
+	res, err := SVC(points, SVCConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Errorf("tight blob K = %d, want 1", res.K)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	uf.union(0, 1)
+	uf.union(3, 4)
+	if uf.find(0) != uf.find(1) || uf.find(3) != uf.find(4) {
+		t.Error("union failed")
+	}
+	if uf.find(0) == uf.find(3) {
+		t.Error("separate components merged")
+	}
+	labels, k := uf.labelsBySize()
+	if k != 3 {
+		t.Errorf("components = %d, want 3", k)
+	}
+	if labels[0] != labels[1] || labels[3] != labels[4] {
+		t.Error("labels inconsistent")
+	}
+	// The singleton {2} must have the last (smallest) label.
+	if labels[2] != 2 {
+		t.Errorf("singleton label = %d, want 2", labels[2])
+	}
+}

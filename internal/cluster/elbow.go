@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// ElbowPoint is the Fig. 3 statistic for one candidate cluster count.
+type ElbowPoint struct {
+	K                 int
+	AvgWithinDistance float64
+}
+
+// Elbow runs K-means for every k in [1, maxK] and returns the average
+// within-group distances, the curve the paper plots in Fig. 3 to choose
+// the number of failure categories.
+func Elbow(points [][]float64, maxK int, seed int64) ([]ElbowPoint, error) {
+	if maxK < 1 {
+		return nil, fmt.Errorf("cluster: maxK must be >= 1, got %d", maxK)
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	out := make([]ElbowPoint, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		res, err := KMeans(points, KMeansConfig{K: k, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ElbowPoint{K: k, AvgWithinDistance: res.AvgWithinDistance(points)})
+	}
+	return out, nil
+}
+
+// PickElbow selects the cluster count at the curve's elbow: the k whose
+// point is farthest from the straight line connecting the first and last
+// points of the curve (the "maximum distance to chord" criterion).
+// It returns 1 for degenerate curves.
+func PickElbow(curve []ElbowPoint) int {
+	if len(curve) == 0 {
+		return 1
+	}
+	if len(curve) < 3 {
+		return curve[len(curve)-1].K
+	}
+	x0, y0 := float64(curve[0].K), curve[0].AvgWithinDistance
+	x1, y1 := float64(curve[len(curve)-1].K), curve[len(curve)-1].AvgWithinDistance
+	dx, dy := x1-x0, y1-y0
+	norm := math.Hypot(dx, dy)
+	if norm == 0 {
+		return curve[0].K
+	}
+	bestK, bestDist := curve[0].K, -1.0
+	for _, p := range curve {
+		// Perpendicular distance from (k, d) to the chord.
+		d := math.Abs(dy*float64(p.K)-dx*p.AvgWithinDistance+x1*y0-y1*x0) / norm
+		if d > bestDist {
+			bestK, bestDist = p.K, d
+		}
+	}
+	return bestK
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering: for
+// each point, (b-a)/max(a,b) with a the mean intra-cluster distance and b
+// the smallest mean distance to another cluster. Values near 1 indicate
+// compact, well-separated clusters. Returns NaN for clusterings with a
+// single cluster or singleton-only clusters.
+func Silhouette(points [][]float64, res *Result) float64 {
+	if res.K < 2 {
+		return math.NaN()
+	}
+	sizes := res.Sizes()
+	var total float64
+	var counted int
+	for i, p := range points {
+		own := res.Assign[i]
+		if sizes[own] < 2 {
+			continue
+		}
+		sums := make([]float64, res.K)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			sums[res.Assign[j]] += euclid(p, q)
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < res.K; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		counted++
+	}
+	if counted == 0 {
+		return math.NaN()
+	}
+	return total / float64(counted)
+}
+
+// Agreement measures how consistently two clusterings of the same points
+// group pairs together (the Rand index): the fraction of point pairs on
+// which the clusterings agree (both together or both apart). The paper
+// reports K-means and SVC "generate the same results"; this quantifies it.
+func Agreement(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("cluster: Agreement length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	var agree, pairs int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameA := a[i] == a[j]
+			sameB := b[i] == b[j]
+			if sameA == sameB {
+				agree++
+			}
+			pairs++
+		}
+	}
+	return float64(agree) / float64(pairs)
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linkage selects how agglomerative clustering measures the distance
+// between two clusters.
+type Linkage int
+
+const (
+	// AverageLinkage uses the mean pairwise distance (UPGMA).
+	AverageLinkage Linkage = iota
+	// SingleLinkage uses the minimum pairwise distance.
+	SingleLinkage
+	// CompleteLinkage uses the maximum pairwise distance.
+	CompleteLinkage
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case AverageLinkage:
+		return "average"
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Hierarchical performs agglomerative clustering of points and cuts the
+// dendrogram at k clusters. It is the third cross-check method (beyond
+// K-means and SVC) for the failure categorization; a Lance–Williams
+// update keeps the merge loop O(n²) per merge.
+//
+// Cluster IDs are ordered by decreasing cluster size. Centroids are the
+// member means.
+func Hierarchical(points [][]float64, k int, linkage Linkage) (*Result, error) {
+	n := len(points)
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("cluster: %d points cannot form %d clusters", n, k)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+
+	// Pairwise distance matrix between active clusters.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = euclid(points[i], points[j])
+			}
+		}
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	uf := newUnionFind(n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+	}
+
+	for clusters := n; clusters > k; clusters-- {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		// Merge bj into bi; update distances by Lance–Williams.
+		ni, nj := float64(size[bi]), float64(size[bj])
+		for t := 0; t < n; t++ {
+			if !active[t] || t == bi || t == bj {
+				continue
+			}
+			var d float64
+			switch linkage {
+			case SingleLinkage:
+				d = math.Min(dist[bi][t], dist[bj][t])
+			case CompleteLinkage:
+				d = math.Max(dist[bi][t], dist[bj][t])
+			default: // average
+				d = (ni*dist[bi][t] + nj*dist[bj][t]) / (ni + nj)
+			}
+			dist[bi][t] = d
+			dist[t][bi] = d
+		}
+		size[bi] += size[bj]
+		active[bj] = false
+		uf.union(bi, bj)
+	}
+
+	assign, gotK := uf.labelsBySize()
+	res := &Result{K: gotK, Assign: assign}
+	res.Centroids = make([][]float64, gotK)
+	counts := make([]int, gotK)
+	for i, p := range points {
+		c := assign[i]
+		if res.Centroids[c] == nil {
+			res.Centroids[c] = make([]float64, dim)
+		}
+		for d, v := range p {
+			res.Centroids[c][d] += v
+		}
+		counts[c]++
+	}
+	for c := range res.Centroids {
+		for d := range res.Centroids[c] {
+			res.Centroids[c][d] /= float64(counts[c])
+		}
+	}
+	return res, nil
+}

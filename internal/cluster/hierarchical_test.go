@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHierarchicalRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, truth := threeBlobs(rng, 30)
+	for _, linkage := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+		res, err := Hierarchical(points, 3, linkage)
+		if err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+		if res.K != 3 {
+			t.Fatalf("%v: K = %d", linkage, res.K)
+		}
+		if got := Agreement(res.Assign, truth); got < 0.99 {
+			t.Errorf("%v: agreement = %v", linkage, got)
+		}
+		sizes := res.Sizes()
+		for c, s := range sizes {
+			if s != 30 {
+				t.Errorf("%v: cluster %d size = %d", linkage, c, s)
+			}
+		}
+	}
+}
+
+func TestHierarchicalAgreesWithKMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points, _ := threeBlobs(rng, 25)
+	km, err := KMeans(points, KMeansConfig{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := Hierarchical(points, 3, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Agreement(km.Assign, hc.Assign); got < 0.99 {
+		t.Errorf("agreement = %v", got)
+	}
+}
+
+func TestHierarchicalErrors(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	if _, err := Hierarchical(pts, 0, AverageLinkage); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := Hierarchical(pts, 3, AverageLinkage); err == nil {
+		t.Error("expected error for k > n")
+	}
+	if _, err := Hierarchical([][]float64{{1}, {1, 2}}, 1, AverageLinkage); err == nil {
+		t.Error("expected error for ragged points")
+	}
+}
+
+func TestHierarchicalK1AndKn(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}}
+	one, err := Hierarchical(pts, 1, AverageLinkage)
+	if err != nil || one.K != 1 {
+		t.Fatalf("k=1: %v %v", one, err)
+	}
+	if one.Centroids[0][0] != (0.0+1+10)/3 {
+		t.Errorf("k=1 centroid = %v", one.Centroids[0])
+	}
+	all, err := Hierarchical(pts, 3, AverageLinkage)
+	if err != nil || all.K != 3 {
+		t.Fatalf("k=n: %v %v", all, err)
+	}
+}
+
+func TestHierarchicalMergesNearestFirst(t *testing.T) {
+	// Points at 0, 1, 10: cutting at 2 clusters must group {0,1}.
+	pts := [][]float64{{0}, {1}, {10}}
+	res, err := Hierarchical(pts, 2, CompleteLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] != res.Assign[1] || res.Assign[0] == res.Assign[2] {
+		t.Errorf("assign = %v", res.Assign)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	for _, l := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+		if l.String() == "" {
+			t.Error("empty linkage name")
+		}
+	}
+	if Linkage(9).String() == "" {
+		t.Error("unknown linkage should render")
+	}
+}

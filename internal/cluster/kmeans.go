@@ -1,0 +1,243 @@
+// Package cluster implements the clustering methods the paper uses to
+// discover disk failure categories (Sec. IV-B): K-means with k-means++
+// seeding, the average within-group distance statistic behind the Fig. 3
+// elbow choice, Gaussian-kernel Support Vector Clustering as the
+// cross-check method, and silhouette scores.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result is a flat clustering of n points into k groups.
+type Result struct {
+	// K is the number of clusters.
+	K int
+	// Assign maps each point index to its cluster in [0, K).
+	Assign []int
+	// Centroids are the cluster mean vectors.
+	Centroids [][]float64
+	// Iterations is how many Lloyd iterations ran before convergence.
+	Iterations int
+}
+
+// Sizes returns the number of points in each cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, r.K)
+	for _, c := range r.Assign {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// Members returns the indices of the points in cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AvgWithinDistance is the paper's Fig. 3 statistic: the mean Euclidean
+// distance from each point to its cluster centroid.
+func (r *Result) AvgWithinDistance(points [][]float64) float64 {
+	if len(points) == 0 {
+		return math.NaN()
+	}
+	var total float64
+	for i, p := range points {
+		total += euclid(p, r.Centroids[r.Assign[i]])
+	}
+	return total / float64(len(points))
+}
+
+// CentroidPoint returns, for cluster c, the index of the member point
+// closest to the centroid (the paper's "centroid failure" drive).
+func (r *Result) CentroidPoint(points [][]float64, c int) int {
+	best, bestDist := -1, math.Inf(1)
+	for i, a := range r.Assign {
+		if a != c {
+			continue
+		}
+		if d := euclid(points[i], r.Centroids[c]); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func sqEuclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeansConfig parameterizes KMeans.
+type KMeansConfig struct {
+	// K is the number of clusters (required, >= 1).
+	K int
+	// MaxIterations bounds Lloyd's iterations; 0 means 100.
+	MaxIterations int
+	// Restarts runs the whole algorithm multiple times with different
+	// seedings and keeps the lowest-inertia result; 0 means 8.
+	Restarts int
+	// Seed drives the k-means++ seeding.
+	Seed int64
+}
+
+// KMeans clusters points with Lloyd's algorithm and k-means++ seeding.
+// All points must have the same dimension.
+func KMeans(points [][]float64, cfg KMeansConfig) (*Result, error) {
+	n := len(points)
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("cluster: K must be >= 1, got %d", cfg.K)
+	}
+	if n < cfg.K {
+		return nil, fmt.Errorf("cluster: %d points cannot form %d clusters", n, cfg.K)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var best *Result
+	bestInertia := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		res, inertia := kmeansOnce(points, cfg.K, maxIter, rng)
+		if inertia < bestInertia {
+			best, bestInertia = res, inertia
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(points [][]float64, k, maxIter int, rng *rand.Rand) (*Result, float64) {
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestDist := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqEuclid(p, cent); d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		recomputeCentroids(points, assign, centroids, rng)
+	}
+	var inertia float64
+	for i, p := range points {
+		inertia += sqEuclid(p, centroids[assign[i]])
+	}
+	return &Result{K: k, Assign: assign, Centroids: centroids, Iterations: iter}, inertia
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, cloneVec(first))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqEuclid(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, cloneVec(points[rng.Intn(len(points))]))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for ; idx < len(points)-1; idx++ {
+			target -= d2[idx]
+			if target <= 0 {
+				break
+			}
+		}
+		centroids = append(centroids, cloneVec(points[idx]))
+	}
+	return centroids
+}
+
+func recomputeCentroids(points [][]float64, assign []int, centroids [][]float64, rng *rand.Rand) {
+	dim := len(points[0])
+	counts := make([]int, len(centroids))
+	for c := range centroids {
+		for j := 0; j < dim; j++ {
+			centroids[c][j] = 0
+		}
+	}
+	for i, p := range points {
+		c := assign[i]
+		counts[c]++
+		for j, v := range p {
+			centroids[c][j] += v
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			// Re-seed an emptied cluster at a random point.
+			copy(centroids[c], points[rng.Intn(len(points))])
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		for j := range centroids[c] {
+			centroids[c][j] *= inv
+		}
+	}
+}
+
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

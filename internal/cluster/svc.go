@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SVCConfig parameterizes Support Vector Clustering (Ben-Hur, Horn,
+// Siegelmann & Vapnik), the method the paper cross-checks K-means against.
+type SVCConfig struct {
+	// Q is the Gaussian kernel width, K(a,b) = exp(-Q*||a-b||^2). If 0, a
+	// data-driven default 1/median(||a-b||^2) is used.
+	Q float64
+	// C is the box constraint of the SVDD dual (soft-margin outlier
+	// budget). If 0, 1.0 is used (no bounded support vectors).
+	C float64
+	// MaxPasses bounds the SMO-style optimization passes; 0 means 200.
+	MaxPasses int
+	// SegmentSamples is the number of points tested on each segment in
+	// the cluster-labeling step; 0 means 12.
+	SegmentSamples int
+	// Seed drives pair selection in the optimizer.
+	Seed int64
+}
+
+// SVC clusters points by support vector domain description: it finds the
+// minimal enclosing sphere of the data in Gaussian-kernel feature space
+// and labels two points as connected when the whole segment between them
+// stays inside the sphere's pre-image contours. Connected components form
+// the clusters. Cluster IDs are ordered by decreasing cluster size.
+func SVC(points [][]float64, cfg SVCConfig) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: SVC requires at least one point")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	q := cfg.Q
+	if q <= 0 {
+		q = defaultQ(points)
+	}
+	c := cfg.C
+	if c <= 0 {
+		c = 1
+	}
+	maxPasses := cfg.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 200
+	}
+	segs := cfg.SegmentSamples
+	if segs <= 0 {
+		segs = 12
+	}
+
+	// Kernel matrix. n is the number of failure records (hundreds), so a
+	// dense matrix is fine.
+	kern := make([][]float64, n)
+	for i := range kern {
+		kern[i] = make([]float64, n)
+		for j := range kern[i] {
+			kern[i][j] = math.Exp(-q * sqEuclid(points[i], points[j]))
+		}
+	}
+
+	alpha := solveSVDD(kern, c, maxPasses, rand.New(rand.NewSource(cfg.Seed)))
+
+	model := &svdd{points: points, alpha: alpha, q: q}
+	model.finish(kern, c)
+
+	// Label connected components: points i and j share a cluster when the
+	// sampled segment between them stays inside the sphere.
+	uf := newUnionFind(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if uf.find(i) == uf.find(j) {
+				continue
+			}
+			if model.connected(points[i], points[j], segs) {
+				uf.union(i, j)
+			}
+		}
+	}
+	assign, k := uf.labelsBySize()
+	res := &Result{K: k, Assign: assign}
+	res.Centroids = make([][]float64, k)
+	counts := make([]int, k)
+	for i, p := range points {
+		cid := assign[i]
+		if res.Centroids[cid] == nil {
+			res.Centroids[cid] = make([]float64, dim)
+		}
+		for d, v := range p {
+			res.Centroids[cid][d] += v
+		}
+		counts[cid]++
+	}
+	for cid := range res.Centroids {
+		for d := range res.Centroids[cid] {
+			res.Centroids[cid][d] /= float64(counts[cid])
+		}
+	}
+	return res, nil
+}
+
+// defaultQ chooses the kernel width from the local data scale: the mean
+// squared distance to the k-th nearest neighbor (k = 5). A local scale —
+// rather than the median pairwise distance, which inter-cluster pairs
+// dominate — keeps each cluster internally connected while separating
+// clusters whose gap exceeds the local point spacing.
+func defaultQ(points [][]float64) float64 {
+	n := len(points)
+	if n < 2 {
+		return 1
+	}
+	k := 5
+	if k > n-1 {
+		k = n - 1
+	}
+	var total float64
+	var counted int
+	// Subsample reference points for large n; neighbors are always
+	// searched over the full set.
+	step := 1
+	if n > 400 {
+		step = n / 400
+	}
+	knn := make([]float64, 0, k)
+	for i := 0; i < n; i += step {
+		knn = knn[:0]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := sqEuclid(points[i], points[j])
+			// Insert into the running k smallest.
+			if len(knn) < k {
+				knn = append(knn, d)
+				for x := len(knn) - 1; x > 0 && knn[x] < knn[x-1]; x-- {
+					knn[x], knn[x-1] = knn[x-1], knn[x]
+				}
+			} else if d < knn[k-1] {
+				knn[k-1] = d
+				for x := k - 1; x > 0 && knn[x] < knn[x-1]; x-- {
+					knn[x], knn[x-1] = knn[x-1], knn[x]
+				}
+			}
+		}
+		total += knn[len(knn)-1]
+		counted++
+	}
+	scale := total / float64(counted)
+	if scale <= 0 {
+		return 1
+	}
+	return 1 / (2 * scale)
+}
+
+// solveSVDD maximizes the SVDD dual
+//
+//	W(a) = sum_i a_i K_ii - sum_ij a_i a_j K_ij,  0 <= a_i <= C, sum a_i = 1
+//
+// with SMO-style pairwise coordinate ascent (each update moves mass
+// between two coefficients, preserving the simplex constraint).
+func solveSVDD(kern [][]float64, c float64, maxPasses int, rng *rand.Rand) []float64 {
+	n := len(kern)
+	alpha := make([]float64, n)
+	// Feasible start: uniform (respects 0 <= 1/n <= C since C*n >= 1).
+	for i := range alpha {
+		alpha[i] = 1 / float64(n)
+	}
+	// g_i = dW/da_i = K_ii - 2 sum_j a_j K_ij. Gaussian kernel: K_ii = 1.
+	g := make([]float64, n)
+	recompute := func() {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += alpha[j] * kern[i][j]
+			}
+			g[i] = kern[i][i] - 2*s
+		}
+	}
+	recompute()
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for t := 0; t < n; t++ {
+			// Pick the most violating pair: max gradient among a_i < C,
+			// min gradient among a_i > 0.
+			up, down := -1, -1
+			for i := 0; i < n; i++ {
+				if alpha[i] < c-1e-12 && (up == -1 || g[i] > g[up]) {
+					up = i
+				}
+				if alpha[i] > 1e-12 && (down == -1 || g[i] < g[down]) {
+					down = i
+				}
+			}
+			if up == -1 || down == -1 || up == down || g[up]-g[down] < 1e-10 {
+				break
+			}
+			i, j := up, down
+			denom := 2 * (kern[i][i] + kern[j][j] - 2*kern[i][j])
+			var delta float64
+			if denom <= 1e-12 {
+				delta = alpha[j] // move everything
+			} else {
+				delta = (g[i] - g[j]) / denom
+			}
+			// Clip to the box: a_i + delta <= C, a_j - delta >= 0.
+			if delta > c-alpha[i] {
+				delta = c - alpha[i]
+			}
+			if delta > alpha[j] {
+				delta = alpha[j]
+			}
+			if delta <= 1e-15 {
+				break
+			}
+			alpha[i] += delta
+			alpha[j] -= delta
+			for k := 0; k < n; k++ {
+				g[k] += -2 * delta * (kern[k][i] - kern[k][j])
+			}
+			improved = true
+		}
+		if !improved {
+			break
+		}
+		_ = rng // reserved for randomized pair selection strategies
+	}
+	return alpha
+}
+
+// svdd is the trained sphere model used during labeling.
+type svdd struct {
+	points [][]float64
+	alpha  []float64
+	q      float64
+	// aKa is sum_ij a_i a_j K_ij, precomputed.
+	aKa float64
+	// r2 is the squared sphere radius.
+	r2 float64
+}
+
+func (m *svdd) finish(kern [][]float64, c float64) {
+	n := len(m.alpha)
+	for i := 0; i < n; i++ {
+		if m.alpha[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			m.aKa += m.alpha[i] * m.alpha[j] * kern[i][j]
+		}
+	}
+	// Radius: distance of an unbounded support vector (0 < a < C) to the
+	// sphere center. Fall back to the max over all support vectors.
+	var r2 float64
+	found := false
+	for i := 0; i < n; i++ {
+		if m.alpha[i] > 1e-9 && m.alpha[i] < c-1e-9 {
+			r2 = m.dist2(m.points[i])
+			found = true
+			break
+		}
+	}
+	if !found {
+		for i := 0; i < n; i++ {
+			if m.alpha[i] > 1e-9 {
+				if d := m.dist2(m.points[i]); d > r2 {
+					r2 = d
+				}
+			}
+		}
+	}
+	m.r2 = r2
+}
+
+// dist2 returns the squared feature-space distance of x to the sphere
+// center: K(x,x) - 2 sum_j a_j K(x_j, x) + aKa.
+func (m *svdd) dist2(x []float64) float64 {
+	s := 0.0
+	for j, a := range m.alpha {
+		if a == 0 {
+			continue
+		}
+		s += a * math.Exp(-m.q*sqEuclid(m.points[j], x))
+	}
+	return 1 - 2*s + m.aKa
+}
+
+// connected reports whether the straight segment between a and b stays
+// inside the sphere at every sampled interior point.
+func (m *svdd) connected(a, b []float64, samples int) bool {
+	x := make([]float64, len(a))
+	tol := m.r2 * 1.05 // small slack absorbs optimizer error
+	for s := 1; s <= samples; s++ {
+		t := float64(s) / float64(samples+1)
+		for d := range x {
+			x[d] = a[d]*(1-t) + b[d]*t
+		}
+		if m.dist2(x) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// unionFind is a standard disjoint-set forest.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// labelsBySize assigns dense cluster IDs ordered by decreasing component
+// size and returns the labels and the cluster count.
+func (u *unionFind) labelsBySize() ([]int, int) {
+	n := len(u.parent)
+	sizes := map[int]int{}
+	for i := 0; i < n; i++ {
+		sizes[u.find(i)]++
+	}
+	type comp struct{ root, size int }
+	comps := make([]comp, 0, len(sizes))
+	for r, s := range sizes {
+		comps = append(comps, comp{r, s})
+	}
+	// Sort by size descending, root ascending for determinism.
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0; j-- {
+			if comps[j].size > comps[j-1].size ||
+				(comps[j].size == comps[j-1].size && comps[j].root < comps[j-1].root) {
+				comps[j], comps[j-1] = comps[j-1], comps[j]
+			} else {
+				break
+			}
+		}
+	}
+	id := map[int]int{}
+	for i, c := range comps {
+		id[c.root] = i
+	}
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = id[u.find(i)]
+	}
+	return labels, len(comps)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"disksig/internal/cluster"
+	"disksig/internal/dataset"
+	"disksig/internal/smart"
+)
+
+// FailureType is the semantic category derived from a failure group's
+// manifestations (Table II).
+type FailureType int
+
+const (
+	// Logical failures have R/W attributes close to good states; corrupt
+	// files or software damage, not media damage.
+	Logical FailureType = iota
+	// BadSector failures show the highest uncorrectable-error counts and
+	// elevated media errors.
+	BadSector
+	// ReadWriteHead failures show the highest reallocated-sector counts
+	// and elevated high-fly writes.
+	ReadWriteHead
+)
+
+// String names the failure type.
+func (t FailureType) String() string {
+	switch t {
+	case Logical:
+		return "logical"
+	case BadSector:
+		return "bad-sector"
+	case ReadWriteHead:
+		return "read/write-head"
+	default:
+		return fmt.Sprintf("FailureType(%d)", int(t))
+	}
+}
+
+// Group is one discovered failure category.
+type Group struct {
+	// Number is the paper-style group number (1 = logical, 2 = bad
+	// sector, 3 = read/write head).
+	Number int
+	// Type is the semantic category.
+	Type FailureType
+	// Members indexes the group's drives within Dataset.Failed.
+	Members []int
+	// CentroidDrive is the member index (into Dataset.Failed) of the
+	// drive closest to the cluster centroid — the paper's "centroid
+	// failure" used for the per-group deep dives.
+	CentroidDrive int
+}
+
+// Population returns the group's share of all failed drives.
+func (g *Group) Population(totalFailed int) float64 {
+	if totalFailed == 0 {
+		return 0
+	}
+	return float64(len(g.Members)) / float64(totalFailed)
+}
+
+// Categorization is the output of the Sec. IV-B analysis.
+type Categorization struct {
+	// Features is the 30-dimensional feature matrix, one row per failed
+	// drive (Dataset.Failed order).
+	Features [][]float64
+	// Elbow is the Fig. 3 curve.
+	Elbow []cluster.ElbowPoint
+	// K is the selected number of clusters.
+	K int
+	// Clusters is the raw K-means result.
+	Clusters *cluster.Result
+	// Groups are the discovered failure categories keyed by paper group
+	// number minus one; Groups[0] is Group 1 (logical).
+	Groups []*Group
+	// GroupOf maps each failed-drive index to its paper group number.
+	GroupOf []int
+}
+
+// Categorize runs failure categorization: featurize the failure records,
+// choose k by the elbow criterion (or use cfg.K when forced), cluster
+// with K-means, and type each cluster from its manifestations.
+func Categorize(ds *dataset.Dataset, cfg Config) (*Categorization, error) {
+	cfg = cfg.withDefaults()
+	failed := ds.NormalizedFailed()
+	if len(failed) < cfg.MaxClusters {
+		return nil, fmt.Errorf("core: %d failed drives are too few to categorize (need >= %d)", len(failed), cfg.MaxClusters)
+	}
+	features := FeaturizeAll(failed)
+	curve, err := cluster.Elbow(features, cfg.MaxClusters, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: elbow analysis: %w", err)
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = cluster.PickElbow(curve)
+	}
+	res, err := cluster.KMeans(features, cluster.KMeansConfig{K: k, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	cat := &Categorization{
+		Features: features,
+		Elbow:    curve,
+		K:        k,
+		Clusters: res,
+	}
+	cat.Groups = typeGroups(ds, res, features)
+	cat.GroupOf = make([]int, len(failed))
+	for _, g := range cat.Groups {
+		for _, m := range g.Members {
+			cat.GroupOf[m] = g.Number
+		}
+	}
+	return cat, nil
+}
+
+// typeGroups assigns paper group numbers and failure types to clusters by
+// their centroid manifestations: the cluster with the lowest mean RUE
+// health is the bad-sector group, the cluster with the highest mean raw
+// reallocated count is the read/write-head group, and remaining clusters
+// (nearest to good states) are logical failures. With k != 3 the
+// extremes are still typed and every other cluster is labeled logical.
+func typeGroups(ds *dataset.Dataset, res *cluster.Result, features [][]float64) []*Group {
+	records := ds.NormalizedFailureRecords()
+	k := res.K
+	meanRUE := make([]float64, k)
+	meanRawRSC := make([]float64, k)
+	counts := make([]int, k)
+	for i, rec := range records {
+		c := res.Assign[i]
+		meanRUE[c] += rec[smart.RUE]
+		meanRawRSC[c] += rec[smart.RawRSC]
+		counts[c]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			meanRUE[c] /= float64(counts[c])
+			meanRawRSC[c] /= float64(counts[c])
+		}
+	}
+	badSector, head := 0, 0
+	for c := 1; c < k; c++ {
+		if meanRUE[c] < meanRUE[badSector] {
+			badSector = c
+		}
+		if meanRawRSC[c] > meanRawRSC[head] {
+			head = c
+		}
+	}
+	types := make([]FailureType, k)
+	for c := range types {
+		types[c] = Logical
+	}
+	if k >= 2 {
+		types[badSector] = BadSector
+	}
+	if k >= 3 && head != badSector {
+		types[head] = ReadWriteHead
+	}
+
+	groups := make([]*Group, 0, k)
+	// Paper numbering: logical groups first (largest first), then bad
+	// sector, then head, then any extra clusters in cluster order.
+	appendGroup := func(c int, t FailureType) {
+		groups = append(groups, &Group{
+			Number:        len(groups) + 1,
+			Type:          t,
+			Members:       res.Members(c),
+			CentroidDrive: res.CentroidPoint(features, c),
+		})
+	}
+	// Logical clusters sorted by descending size.
+	logicals := make([]int, 0, k)
+	for c := 0; c < k; c++ {
+		if types[c] == Logical {
+			logicals = append(logicals, c)
+		}
+	}
+	for i := 1; i < len(logicals); i++ {
+		for j := i; j > 0 && counts[logicals[j]] > counts[logicals[j-1]]; j-- {
+			logicals[j], logicals[j-1] = logicals[j-1], logicals[j]
+		}
+	}
+	for _, c := range logicals {
+		appendGroup(c, Logical)
+	}
+	if k >= 2 {
+		appendGroup(badSector, BadSector)
+	}
+	if k >= 3 && head != badSector {
+		appendGroup(head, ReadWriteHead)
+	}
+	return groups
+}
+
+// GroupProfiles returns the normalized profiles of a group's members.
+func GroupProfiles(ds *dataset.Dataset, g *Group) []*smart.Profile {
+	failed := ds.NormalizedFailed()
+	out := make([]*smart.Profile, len(g.Members))
+	for i, m := range g.Members {
+		out[i] = failed[m]
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"disksig/internal/dataset"
+	"disksig/internal/regression"
+	"disksig/internal/smart"
+	"disksig/internal/synth"
+)
+
+// smallFleet is shared across the package's integration tests.
+var smallFleet *dataset.Dataset
+
+func fleet(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	if smallFleet == nil {
+		ds, err := synth.Generate(synth.DefaultConfig(synth.ScaleSmall))
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallFleet = ds
+	}
+	return smallFleet
+}
+
+func TestFeaturize(t *testing.T) {
+	ds := fleet(t)
+	p := ds.NormalizedFailed()[0]
+	f := Featurize(p)
+	if len(f) != 30 {
+		t.Fatalf("features = %d, want 30", len(f))
+	}
+	names := FeatureNames()
+	if len(names) != 30 {
+		t.Fatalf("names = %d", len(names))
+	}
+	if names[0] != "RRER" || names[10] != "RRER(sd24h)" || names[20] != "RRER(rate)" {
+		t.Errorf("names = %v", names[:21])
+	}
+	// Failure-record features match the profile's last record.
+	fr := p.FailureRecord().Values
+	for i, a := range smart.ReadWriteAttrs() {
+		if f[i] != fr[a] {
+			t.Errorf("feature %d = %v, want failure value %v", i, f[i], fr[a])
+		}
+	}
+}
+
+func TestCategorizeRecoversThreeGroups(t *testing.T) {
+	ds := fleet(t)
+	cat, err := Categorize(ds, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.K != 3 {
+		t.Fatalf("elbow picked K = %d, want 3 (curve %v)", cat.K, cat.Elbow)
+	}
+	if len(cat.Groups) != 3 {
+		t.Fatalf("groups = %d", len(cat.Groups))
+	}
+	// Group numbers must be 1..3 with the right types.
+	for i, g := range cat.Groups {
+		if g.Number != i+1 {
+			t.Errorf("group %d numbered %d", i, g.Number)
+		}
+	}
+	if cat.Groups[0].Type != Logical || cat.Groups[1].Type != BadSector || cat.Groups[2].Type != ReadWriteHead {
+		t.Errorf("types = %v %v %v", cat.Groups[0].Type, cat.Groups[1].Type, cat.Groups[2].Type)
+	}
+	// Populations follow the paper's proportions (59.6/7.6/32.8).
+	total := len(ds.Failed)
+	if p := cat.Groups[0].Population(total); math.Abs(p-0.596) > 0.08 {
+		t.Errorf("logical population = %v", p)
+	}
+	if p := cat.Groups[1].Population(total); math.Abs(p-0.076) > 0.05 {
+		t.Errorf("bad-sector population = %v", p)
+	}
+	if p := cat.Groups[2].Population(total); math.Abs(p-0.328) > 0.08 {
+		t.Errorf("head population = %v", p)
+	}
+	// The clustering must recover the generative labels.
+	agreement := 0
+	for i, p := range ds.Failed {
+		if cat.GroupOf[i] == p.TrueGroup {
+			agreement++
+		}
+	}
+	if frac := float64(agreement) / float64(total); frac < 0.95 {
+		t.Errorf("cluster/generative agreement = %v, want >= 0.95", frac)
+	}
+}
+
+func TestCategorizeForcedK(t *testing.T) {
+	ds := fleet(t)
+	cat, err := Categorize(ds, Config{Seed: 1, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.K != 2 || len(cat.Groups) != 2 {
+		t.Errorf("K = %d groups = %d", cat.K, len(cat.Groups))
+	}
+}
+
+func TestCategorizeTooFewDrives(t *testing.T) {
+	tiny := dataset.New(fleet(t).Failed[:3], fleet(t).Good[:3])
+	if _, err := Categorize(tiny, Config{}); err == nil {
+		t.Error("expected error for tiny dataset")
+	}
+}
+
+func TestCharacterizeFullPipeline(t *testing.T) {
+	ds := fleet(t)
+	ch, err := Characterize(ds, Config{Seed: 1, GoodSample: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Results) != 3 {
+		t.Fatalf("results = %d", len(ch.Results))
+	}
+
+	// Signature forms per group (Eqs. 3, 4, 6).
+	wantForms := []regression.SignatureForm{
+		regression.FormQuadratic, regression.FormLinear, regression.FormCubic,
+	}
+	for i, gr := range ch.Results {
+		if gr.Summary.MajorityForm != wantForms[i] {
+			t.Errorf("group %d majority form = %v, want %v (votes %v)",
+				gr.Group.Number, gr.Summary.MajorityForm, wantForms[i], gr.Summary.FormVotes)
+		}
+	}
+
+	// Window sizes: group 1 small (<= ~14), group 2 long (>= 250), group
+	// 3 in between (~10-26).
+	g1, g2, g3 := ch.Results[0], ch.Results[1], ch.Results[2]
+	if g1.Summary.MedianD > 14 {
+		t.Errorf("group 1 median window = %d, want <= 14", g1.Summary.MedianD)
+	}
+	// Censored profiles clip some group-2 windows, but the median must
+	// still dwarf the short windows of groups 1 and 3.
+	if g2.Summary.MedianD < 8*g1.Summary.MedianD || g2.Summary.MedianD < 100 {
+		t.Errorf("group 2 median window = %d, want long (g1 median %d)", g2.Summary.MedianD, g1.Summary.MedianD)
+	}
+	if g3.Summary.MedianD < 9 || g3.Summary.MedianD > 27 {
+		t.Errorf("group 3 median window = %d, want ~10-24", g3.Summary.MedianD)
+	}
+
+	// Fig. 11: group 1 has the most negative TC z-scores (hottest).
+	tcMeans := map[int]float64{}
+	for _, s := range ch.TCZScores {
+		tcMeans[s.GroupNumber] = s.MeanZ()
+	}
+	if !(tcMeans[1] < tcMeans[2] && tcMeans[1] < tcMeans[3]) {
+		t.Errorf("TC mean z-scores = %v, want group 1 most negative", tcMeans)
+	}
+	for g, z := range tcMeans {
+		if z >= 0 {
+			t.Errorf("group %d TC z = %v, want negative (failed drives hotter)", g, z)
+		}
+	}
+
+	// Fig. 12: group 3 has the most negative POH z-scores (oldest).
+	pohMeans := map[int]float64{}
+	for _, s := range ch.POHZScores {
+		pohMeans[s.GroupNumber] = s.MeanZ()
+	}
+	if !(pohMeans[3] < pohMeans[1] && pohMeans[3] < pohMeans[2]) {
+		t.Errorf("POH mean z-scores = %v, want group 3 most negative", pohMeans)
+	}
+
+	// Table III: prediction error rates are small; group 1 (short window,
+	// near-good attributes) is the hardest.
+	for _, gr := range ch.Results {
+		if gr.Prediction == nil {
+			t.Fatalf("group %d missing prediction", gr.Group.Number)
+		}
+		if gr.Prediction.ErrorRate > 0.2 {
+			t.Errorf("group %d error rate = %v, want <= 0.2", gr.Group.Number, gr.Prediction.ErrorRate)
+		}
+	}
+	if !(g1.Prediction.ErrorRate > g2.Prediction.ErrorRate) {
+		t.Errorf("group 1 error %v should exceed group 2 error %v (paper: 10.8%% vs 5.7%%)",
+			g1.Prediction.ErrorRate, g2.Prediction.ErrorRate)
+	}
+
+	// Fig. 9: RRER strongly correlates with degradation for groups 1 and
+	// 3; RUE and R-RSC are top-two for group 2.
+	rrerAbs := func(inf *Influence) float64 {
+		for _, c := range inf.ReadWrite {
+			if c.Attr == smart.RRER {
+				return math.Abs(c.R)
+			}
+		}
+		return 0
+	}
+	if rrerAbs(g1.Influence) < 0.7 {
+		t.Errorf("group 1 |corr(RRER)| = %v, want strong", rrerAbs(g1.Influence))
+	}
+	top2 := map[smart.Attr]bool{}
+	for _, a := range g2.Influence.TopAttrs {
+		top2[a] = true
+	}
+	if !top2[smart.RUE] && !top2[smart.RawRSC] && !top2[smart.CPSC] {
+		t.Errorf("group 2 top attrs = %v, want sector-error attributes", g2.Influence.TopAttrs)
+	}
+
+	if ch.GroupByNumber(2) != g2 || ch.GroupByNumber(99) != nil {
+		t.Error("GroupByNumber lookup")
+	}
+}
+
+func TestCharacterizeSkipPrediction(t *testing.T) {
+	ds := fleet(t)
+	ch, err := Characterize(ds, Config{Seed: 1, SkipPrediction: true, GoodSample: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gr := range ch.Results {
+		if gr.Prediction != nil {
+			t.Error("prediction should be skipped")
+		}
+	}
+}
+
+func TestTemporalZScoresErrors(t *testing.T) {
+	ds := fleet(t)
+	cat, err := Categorize(ds, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TemporalZScores(ds, cat.Groups, smart.TC, 0, 8); err == nil {
+		t.Error("expected error for maxHours=0")
+	}
+	empty := dataset.New(ds.Failed, nil)
+	if _, err := TemporalZScores(empty, cat.Groups, smart.TC, 100, 8); err == nil {
+		t.Error("expected error with no good records")
+	}
+}
+
+func TestFailureTypeString(t *testing.T) {
+	if Logical.String() != "logical" || BadSector.String() != "bad-sector" || ReadWriteHead.String() != "read/write-head" {
+		t.Error("type names")
+	}
+	if FailureType(9).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+func TestHorizonString(t *testing.T) {
+	for _, h := range []Horizon{HorizonWindow, Horizon24h, HorizonFull} {
+		if h.String() == "" {
+			t.Error("empty horizon name")
+		}
+	}
+	if Horizon(9).String() == "" {
+		t.Error("unknown horizon should render")
+	}
+}
+
+func TestCharacterizeDeterministic(t *testing.T) {
+	ds := fleet(t)
+	a, err := Characterize(ds, Config{Seed: 1, SkipPrediction: true, GoodSample: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh dataset (same generation) and the same seed must reproduce
+	// the categorization exactly.
+	ds2, err := synth.Generate(synth.DefaultConfig(synth.ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Characterize(ds2, Config{Seed: 1, SkipPrediction: true, GoodSample: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Categorization.GroupOf {
+		if a.Categorization.GroupOf[i] != b.Categorization.GroupOf[i] {
+			t.Fatalf("group assignment differs at drive %d", i)
+		}
+	}
+	for g := 1; g <= 3; g++ {
+		ga, gb := a.GroupByNumber(g), b.GroupByNumber(g)
+		if ga.Summary.MajorityForm != gb.Summary.MajorityForm || ga.Summary.MedianD != gb.Summary.MedianD {
+			t.Errorf("group %d signature differs between runs", g)
+		}
+	}
+}
+
+func TestCharacterizeForcedK2HasTypedExtremes(t *testing.T) {
+	ds := fleet(t)
+	cat, err := Categorize(ds, Config{Seed: 1, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[FailureType]bool{}
+	for _, g := range cat.Groups {
+		types[g.Type] = true
+	}
+	// With two clusters, the bad-sector extreme is still identified.
+	if !types[BadSector] {
+		t.Errorf("k=2 types = %v, want a bad-sector group", types)
+	}
+}
+
+func TestAnalyzeInfluenceBadCentroid(t *testing.T) {
+	ds := fleet(t)
+	cat, err := Categorize(ds, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Group{Number: 1, CentroidDrive: -1}
+	if _, err := AnalyzeInfluence(ds, g, nil, 2); err == nil {
+		t.Error("expected error for invalid centroid index")
+	}
+	_ = cat
+}
+
+func TestGroupPopulationEmpty(t *testing.T) {
+	g := &Group{}
+	if g.Population(0) != 0 {
+		t.Error("empty population should be 0")
+	}
+}

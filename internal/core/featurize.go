@@ -1,0 +1,71 @@
+// Package core is the paper's primary contribution assembled as a
+// library: failure categorization (Sec. IV-B), degradation-signature
+// derivation (Sec. IV-C), attribute-influence quantification (Sec. IV-D),
+// temporal z-score analysis (Sec. V-A) and degradation prediction
+// (Sec. V-B), all driven from a dataset.Dataset.
+package core
+
+import (
+	"disksig/internal/smart"
+	"disksig/internal/stats"
+)
+
+// featureWindowHours is the trailing window over which the per-attribute
+// standard deviation feature is computed ("the last 24 hours", Sec. IV-B).
+const featureWindowHours = 24
+
+// FeatureNames returns the 30 feature labels of the failure-record
+// feature vector: for each of the ten R/W attributes its failure-record
+// value, its 24-hour standard deviation, and its change rate.
+func FeatureNames() []string {
+	var names []string
+	for _, a := range smart.ReadWriteAttrs() {
+		names = append(names, a.String())
+	}
+	for _, a := range smart.ReadWriteAttrs() {
+		names = append(names, a.String()+"(sd24h)")
+	}
+	for _, a := range smart.ReadWriteAttrs() {
+		names = append(names, a.String()+"(rate)")
+	}
+	return names
+}
+
+// Featurize builds the paper's 30-dimensional clustering feature vector
+// for one normalized failed profile: the failure record's ten R/W
+// attribute values, each attribute's standard deviation over the last 24
+// hours, and each attribute's change rate.
+func Featurize(p *smart.Profile) []float64 {
+	rw := smart.ReadWriteAttrs()
+	features := make([]float64, 0, 3*len(rw))
+	failure := p.FailureRecord().Values
+	for _, a := range rw {
+		features = append(features, failure[a])
+	}
+	tail := p.Tail(featureWindowHours)
+	for _, a := range rw {
+		series := make([]float64, len(tail))
+		for i, r := range tail {
+			series[i] = r.Values[a]
+		}
+		features = append(features, stats.StdDev(series))
+	}
+	for _, a := range rw {
+		series := make([]float64, len(tail))
+		for i, r := range tail {
+			series[i] = r.Values[a]
+		}
+		features = append(features, stats.ChangeRate(series))
+	}
+	return features
+}
+
+// FeaturizeAll builds the feature matrix for a set of normalized failed
+// profiles.
+func FeaturizeAll(profiles []*smart.Profile) [][]float64 {
+	out := make([][]float64, len(profiles))
+	for i, p := range profiles {
+		out[i] = Featurize(p)
+	}
+	return out
+}

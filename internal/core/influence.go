@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"disksig/internal/dataset"
+	"disksig/internal/signature"
+	"disksig/internal/smart"
+	"disksig/internal/stats"
+)
+
+// AttrCorrelation is one attribute's correlation with a drive's failure
+// degradation (Fig. 9).
+type AttrCorrelation struct {
+	Attr smart.Attr
+	R    float64
+}
+
+// Influence quantifies which attributes drive a group's degradation
+// (Sec. IV-D), computed on the group's centroid drive as in the paper.
+type Influence struct {
+	// GroupNumber is the paper group number.
+	GroupNumber int
+	// DriveID is the centroid drive the analysis ran on.
+	DriveID int
+	// ReadWrite holds the correlation of each R/W attribute's in-window
+	// series with the degradation values (Fig. 9), Table I order.
+	ReadWrite []AttrCorrelation
+	// TopAttrs are the R/W attributes most correlated with degradation
+	// (by |r|), used as the reference series for the environmental table.
+	TopAttrs []smart.Attr
+	// Env holds, for each environmental attribute and each horizon, its
+	// correlation with each top attribute (Fig. 10).
+	Env []EnvCorrelation
+}
+
+// Horizon identifies the analysis window of an environmental correlation.
+type Horizon int
+
+const (
+	// HorizonWindow restricts the correlation to the degradation window.
+	HorizonWindow Horizon = iota
+	// Horizon24h uses the last 24 hours of the profile.
+	Horizon24h
+	// HorizonFull uses the whole recorded profile (up to 20 days).
+	HorizonFull
+)
+
+// String names the horizon.
+func (h Horizon) String() string {
+	switch h {
+	case HorizonWindow:
+		return "degradation-window"
+	case Horizon24h:
+		return "24-hour"
+	case HorizonFull:
+		return "full-profile"
+	default:
+		return fmt.Sprintf("Horizon(%d)", int(h))
+	}
+}
+
+// EnvCorrelation is one cell block of Fig. 10: the correlation of an
+// environmental attribute with a degradation-correlated R/W attribute over
+// one horizon.
+type EnvCorrelation struct {
+	Env     smart.Attr
+	Target  smart.Attr
+	Horizon Horizon
+	R       float64
+}
+
+// AnalyzeInfluence computes the Fig. 9 / Fig. 10 attribute-influence
+// analysis for one group using its centroid drive's derived signature.
+func AnalyzeInfluence(ds *dataset.Dataset, g *Group, sig *signature.Signature, topN int) (*Influence, error) {
+	if topN <= 0 {
+		topN = 2
+	}
+	failed := ds.NormalizedFailed()
+	if g.CentroidDrive < 0 || g.CentroidDrive >= len(failed) {
+		return nil, fmt.Errorf("core: group %d has no centroid drive", g.Number)
+	}
+	p := failed[g.CentroidDrive]
+	inf := &Influence{GroupNumber: g.Number, DriveID: p.DriveID}
+
+	// Fig. 9: correlation of R/W attribute series with the degradation
+	// values inside the window.
+	w := sig.Window
+	for _, a := range smart.ReadWriteAttrs() {
+		series := windowSeries(p, a, w.Start)
+		r := stats.Pearson(series, sig.Degradation)
+		inf.ReadWrite = append(inf.ReadWrite, AttrCorrelation{Attr: a, R: r})
+	}
+
+	// Rank attributes by |r| to pick the degradation-correlated targets.
+	// RSC is excluded as a linear transformation of R-RSC (the paper drops
+	// it from per-attribute comparisons for the same reason).
+	ranked := make([]AttrCorrelation, 0, len(inf.ReadWrite))
+	for _, c := range inf.ReadWrite {
+		if c.Attr != smart.RSC {
+			ranked = append(ranked, c)
+		}
+	}
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0 && math.Abs(ranked[j].R) > math.Abs(ranked[j-1].R); j-- {
+			ranked[j], ranked[j-1] = ranked[j-1], ranked[j]
+		}
+	}
+	for i := 0; i < topN && i < len(ranked); i++ {
+		inf.TopAttrs = append(inf.TopAttrs, ranked[i].Attr)
+	}
+
+	// Fig. 10: environmental attributes against the top attributes over
+	// three horizons.
+	for _, env := range smart.EnvironmentalAttrs() {
+		for _, target := range inf.TopAttrs {
+			for _, h := range []Horizon{HorizonWindow, Horizon24h, HorizonFull} {
+				start := 0
+				switch h {
+				case HorizonWindow:
+					start = w.Start
+				case Horizon24h:
+					start = p.Len() - 24
+					if start < 0 {
+						start = 0
+					}
+				}
+				envSeries := windowSeries(p, env, start)
+				targetSeries := windowSeries(p, target, start)
+				inf.Env = append(inf.Env, EnvCorrelation{
+					Env:     env,
+					Target:  target,
+					Horizon: h,
+					R:       stats.Pearson(envSeries, targetSeries),
+				})
+			}
+		}
+	}
+	return inf, nil
+}
+
+// windowSeries returns attribute a's values from record index start to the
+// end of the profile.
+func windowSeries(p *smart.Profile, a smart.Attr, start int) []float64 {
+	out := make([]float64, 0, p.Len()-start)
+	for i := start; i < p.Len(); i++ {
+		out = append(out, p.Records[i].Values[a])
+	}
+	return out
+}

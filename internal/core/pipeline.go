@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"disksig/internal/dataset"
+	"disksig/internal/predict"
+	"disksig/internal/signature"
+	"disksig/internal/smart"
+)
+
+// Config parameterizes the characterization pipeline. The zero value
+// selects the paper's defaults.
+type Config struct {
+	// Seed drives all randomized steps (clustering restarts, prediction
+	// splits, sampling). Defaults to 1.
+	Seed int64
+	// MaxClusters is the largest k tried in the elbow analysis (paper:
+	// 10). <= 0 means 10.
+	MaxClusters int
+	// K forces the number of clusters; <= 0 selects it by the elbow
+	// criterion.
+	K int
+	// Signature configures window extraction and model fitting.
+	Signature signature.Options
+	// GoodSample is the size of the normalized good-record sample used by
+	// prediction and decile comparisons; <= 0 means 100_000.
+	GoodSample int
+	// SkipPrediction disables the Sec. V-B prediction stage (it is the
+	// most expensive stage; Figs. 1-12 don't need it).
+	SkipPrediction bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxClusters <= 0 {
+		c.MaxClusters = 10
+	}
+	if c.GoodSample <= 0 {
+		c.GoodSample = 100_000
+	}
+	return c
+}
+
+// GroupResult bundles everything the pipeline derives for one failure
+// group.
+type GroupResult struct {
+	Group *Group
+	// Signature is the centroid drive's derived signature (the Fig. 7/8
+	// subject).
+	Signature *signature.Signature
+	// Summary aggregates the signatures of every drive in the group.
+	Summary *signature.GroupSummary
+	// Influence is the Sec. IV-D attribute-influence analysis.
+	Influence *Influence
+	// Prediction is the Table III row (nil when SkipPrediction).
+	Prediction *predict.DegradationResult
+}
+
+// Characterization is the full output of the pipeline.
+type Characterization struct {
+	Dataset        *dataset.Dataset
+	Config         Config
+	Categorization *Categorization
+	// Results holds one entry per discovered group, ordered by group
+	// number.
+	Results []*GroupResult
+	// TCZScores and POHZScores are the Figs. 11/12 series.
+	TCZScores  []*ZScoreSeries
+	POHZScores []*ZScoreSeries
+	// GoodSample is the normalized good-record sample shared by the
+	// prediction stage and decile reports.
+	GoodSample []smart.Values
+}
+
+// Characterize runs the complete pipeline of the paper on a dataset:
+// categorize failures, derive degradation signatures, quantify attribute
+// influence, compute environmental z-scores, and train degradation
+// predictors.
+func Characterize(ds *dataset.Dataset, cfg Config) (*Characterization, error) {
+	cfg = cfg.withDefaults()
+	cat, err := Categorize(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Characterization{
+		Dataset:        ds,
+		Config:         cfg,
+		Categorization: cat,
+		GoodSample:     ds.NormalizedGoodSample(cfg.GoodSample, cfg.Seed),
+	}
+	failed := ds.NormalizedFailed()
+	for _, g := range cat.Groups {
+		gr := &GroupResult{Group: g}
+
+		centroid := failed[g.CentroidDrive]
+		sig, err := signature.Derive(centroid, cfg.Signature)
+		if err != nil {
+			return nil, fmt.Errorf("core: deriving centroid signature of group %d: %w", g.Number, err)
+		}
+		gr.Signature = sig
+
+		summary, err := signature.DeriveGroup(GroupProfiles(ds, g), cfg.Signature)
+		if err != nil {
+			return nil, fmt.Errorf("core: deriving group %d signatures: %w", g.Number, err)
+		}
+		gr.Summary = summary
+
+		inf, err := AnalyzeInfluence(ds, g, sig, 2)
+		if err != nil {
+			return nil, fmt.Errorf("core: influence analysis of group %d: %w", g.Number, err)
+		}
+		gr.Influence = inf
+
+		if !cfg.SkipPrediction {
+			pred, err := predict.TrainDegradation(GroupProfiles(ds, g), ch.GoodSample, predict.DegradationConfig{
+				Form:    summary.MajorityForm,
+				WindowD: float64(summary.MedianD),
+				Seed:    cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: training group %d predictor: %w", g.Number, err)
+			}
+			gr.Prediction = pred
+		}
+		ch.Results = append(ch.Results, gr)
+	}
+
+	maxHours := 0
+	for _, p := range ds.Failed {
+		if p.Len() > maxHours {
+			maxHours = p.Len()
+		}
+	}
+	if ch.TCZScores, err = TemporalZScores(ds, cat.Groups, smart.TC, maxHours-1, 8); err != nil {
+		return nil, err
+	}
+	if ch.POHZScores, err = TemporalZScores(ds, cat.Groups, smart.POH, maxHours-1, 8); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// GroupByNumber returns the result for a paper group number, or nil.
+func (c *Characterization) GroupByNumber(n int) *GroupResult {
+	for _, r := range c.Results {
+		if r.Group.Number == n {
+			return r
+		}
+	}
+	return nil
+}

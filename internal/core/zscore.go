@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"disksig/internal/dataset"
+	"disksig/internal/smart"
+	"disksig/internal/stats"
+)
+
+// ZScoreSeries is the temporal z-score analysis of one attribute for one
+// failure group (Figs. 11 and 12): at each number of hours before failure,
+// Eq. (7) compares the group's samples at that time point against all
+// good-drive records.
+type ZScoreSeries struct {
+	GroupNumber int
+	Attr        smart.Attr
+	// HoursBefore[i] is the time point (hours before failure) of Z[i].
+	HoursBefore []int
+	// Z holds the Eq. (7) z-scores; NaN where the group has no samples.
+	Z []float64
+}
+
+// TemporalZScores computes the z-score series of attribute a for each
+// group, sampling every step hours up to maxHours before failure. Good
+// statistics are aggregated once, streaming, over all good records.
+func TemporalZScores(ds *dataset.Dataset, groups []*Group, a smart.Attr, maxHours, step int) ([]*ZScoreSeries, error) {
+	if step <= 0 || maxHours <= 0 {
+		return nil, fmt.Errorf("core: invalid z-score sampling maxHours=%d step=%d", maxHours, step)
+	}
+	good := ds.GoodAttrStats(a)
+	if good.N() == 0 {
+		return nil, fmt.Errorf("core: no good records to compare against")
+	}
+	failed := ds.NormalizedFailed()
+	var out []*ZScoreSeries
+	for _, g := range groups {
+		s := &ZScoreSeries{GroupNumber: g.Number, Attr: a}
+		for h := 0; h <= maxHours; h += step {
+			var sample stats.Running
+			for _, m := range g.Members {
+				p := failed[m]
+				idx := p.Len() - 1 - h
+				if idx < 0 {
+					continue // censored profile shorter than h hours
+				}
+				sample.Add(p.Records[idx].Values[a])
+			}
+			s.HoursBefore = append(s.HoursBefore, h)
+			s.Z = append(s.Z, stats.ZScore(
+				sample.Mean(), sample.Variance(), sample.N(),
+				good.Mean(), good.Variance(), good.N(),
+			))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// MeanZ returns the mean of the series' finite z-scores, a scalar summary
+// used to order groups ("Group 1 is hottest").
+func (s *ZScoreSeries) MeanZ() float64 {
+	var r stats.Running
+	for _, z := range s.Z {
+		if z == z { // skip NaN
+			r.Add(z)
+		}
+	}
+	return r.Mean()
+}

@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"disksig/internal/smart"
+)
+
+// backblazeColumns maps Backblaze smart_<id> columns to Table I
+// attributes; used by both the reader and the writer.
+var backblazeColumns = []struct {
+	column string
+	attr   smart.Attr
+}{
+	{"smart_1_normalized", smart.RRER},
+	{"smart_3_normalized", smart.SUT},
+	{"smart_5_normalized", smart.RSC},
+	{"smart_5_raw", smart.RawRSC},
+	{"smart_7_normalized", smart.SER},
+	{"smart_9_normalized", smart.POH},
+	{"smart_187_normalized", smart.RUE},
+	{"smart_189_normalized", smart.HFW},
+	{"smart_194_normalized", smart.TC},
+	{"smart_195_normalized", smart.HER},
+	{"smart_197_normalized", smart.CPSC},
+	{"smart_197_raw", smart.RawCPSC},
+}
+
+// Backblaze-style daily SMART dumps are the most common public disk
+// telemetry format (date, serial_number, model, capacity_bytes, failure,
+// then smart_<id>_normalized / smart_<id>_raw columns). ReadBackblazeCSV
+// adapts such a dump into a Dataset so the pipeline can run on real data:
+// each drive's rows become one profile (one record per day, Hour counted
+// in days since the drive's first row), and a drive whose final row has
+// failure=1 is labeled failed.
+//
+// The SMART attribute IDs mapped to Table I are:
+//
+//	1 -> RRER, 3 -> SUT, 5 -> RSC (+raw -> R-RSC), 7 -> SER, 9 -> POH,
+//	187 -> RUE, 189 -> HFW, 194 -> TC, 195 -> HER,
+//	197 -> CPSC (+raw -> R-CPSC)
+//
+// Rows missing a mapped column inherit the drive's previous value (or the
+// healthy default 100 / raw 0 for the first row).
+func ReadBackblazeCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading Backblaze header: %w", err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, required := range []string{"date", "serial_number", "failure"} {
+		if _, ok := col[required]; !ok {
+			return nil, fmt.Errorf("dataset: Backblaze CSV missing column %q", required)
+		}
+	}
+
+	mappings := backblazeColumns
+
+	type driveAcc struct {
+		firstSeen int
+		rows      []smart.Record
+		failed    bool
+		last      smart.Values
+		hasLast   bool
+	}
+	drives := map[string]*driveAcc{}
+	var serials []string
+
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading Backblaze CSV: %w", err)
+		}
+		line++
+		serial := row[col["serial_number"]]
+		acc, ok := drives[serial]
+		if !ok {
+			acc = &driveAcc{}
+			drives[serial] = acc
+			serials = append(serials, serial)
+		}
+		var vals smart.Values
+		if acc.hasLast {
+			vals = acc.last
+		} else {
+			// Healthy defaults: full health values, zero raw counters.
+			for a := 0; a < int(smart.NumAttrs); a++ {
+				if smart.InfoOf(smart.Attr(a)).ValueKind == smart.HealthValue {
+					vals[a] = 100
+				}
+			}
+		}
+		for _, m := range mappings {
+			idx, ok := col[m.column]
+			if !ok || idx >= len(row) || row[idx] == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad value %q in %s", line, row[idx], m.column)
+			}
+			vals[m.attr] = v
+		}
+		acc.last = vals
+		acc.hasLast = true
+		acc.rows = append(acc.rows, smart.Record{Hour: len(acc.rows), Values: vals})
+		if f := row[col["failure"]]; f == "1" {
+			acc.failed = true
+		}
+	}
+	if len(drives) == 0 {
+		return nil, fmt.Errorf("dataset: Backblaze CSV contains no drive rows")
+	}
+
+	// Deterministic drive IDs: failed drives first, then good, both in
+	// serial order.
+	sort.Strings(serials)
+	var failed, good []*smart.Profile
+	id := 0
+	for _, pass := range []bool{true, false} {
+		for _, serial := range serials {
+			acc := drives[serial]
+			if acc.failed != pass {
+				continue
+			}
+			p := &smart.Profile{DriveID: id, Failed: acc.failed, Records: acc.rows}
+			id++
+			if acc.failed {
+				failed = append(failed, p)
+			} else {
+				good = append(good, p)
+			}
+		}
+	}
+	return New(failed, good), nil
+}
+
+// WriteBackblazeCSV exports the dataset in the Backblaze daily-dump
+// schema (one row per record; Hour becomes a synthetic date offset from
+// 2026-01-01 and the drive's serial number is derived from its ID). The
+// export is lossy only in metadata: ReadBackblazeCSV(WriteBackblazeCSV(d))
+// reproduces every attribute value and label.
+func (d *Dataset) WriteBackblazeCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"date", "serial_number", "model", "capacity_bytes", "failure"}
+	for _, m := range backblazeColumns {
+		header = append(header, m.column)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing Backblaze header: %w", err)
+	}
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	row := make([]string, len(header))
+	emit := func(p *smart.Profile) error {
+		serial := fmt.Sprintf("SN%08d", p.DriveID)
+		for i, r := range p.Records {
+			row[0] = epoch.AddDate(0, 0, r.Hour).Format("2006-01-02")
+			row[1] = serial
+			row[2] = "DSIG-SYNTH"
+			row[3] = "4000000000000"
+			row[4] = "0"
+			if p.Failed && i == p.Len()-1 {
+				row[4] = "1"
+			}
+			for j, m := range backblazeColumns {
+				row[5+j] = strconv.FormatFloat(r.Values[m.attr], 'g', -1, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, p := range d.Failed {
+		if err := emit(p); err != nil {
+			return fmt.Errorf("dataset: exporting failed drive %d: %w", p.DriveID, err)
+		}
+	}
+	for _, p := range d.Good {
+		if err := emit(p); err != nil {
+			return fmt.Errorf("dataset: exporting good drive %d: %w", p.DriveID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"disksig/internal/smart"
+)
+
+// backblazeFixture builds a miniature Backblaze-style daily dump with two
+// drives: SN-BAD degrades and fails on its last day; SN-OK stays healthy.
+func backblazeFixture() string {
+	var b strings.Builder
+	b.WriteString("date,serial_number,model,capacity_bytes,failure," +
+		"smart_1_normalized,smart_3_normalized,smart_5_normalized,smart_5_raw," +
+		"smart_7_normalized,smart_9_normalized,smart_187_normalized," +
+		"smart_189_normalized,smart_194_normalized,smart_195_normalized," +
+		"smart_197_normalized,smart_197_raw\n")
+	for day := 0; day < 5; day++ {
+		fail := 0
+		if day == 4 {
+			fail = 1
+		}
+		health := 100 - day*15
+		raw := day * 100
+		fmt.Fprintf(&b, "2026-07-%02d,SN-BAD,ModelX,4000000000000,%d,%d,100,%d,%d,100,95,%d,100,60,100,%d,%d\n",
+			day+1, fail, health, health, raw, health, health, day*2)
+		fmt.Fprintf(&b, "2026-07-%02d,SN-OK,ModelX,4000000000000,0,100,100,100,0,100,97,100,100,65,100,100,0\n",
+			day+1)
+	}
+	return b.String()
+}
+
+func TestReadBackblazeCSV(t *testing.T) {
+	ds, err := ReadBackblazeCSV(strings.NewReader(backblazeFixture()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Failed) != 1 || len(ds.Good) != 1 {
+		t.Fatalf("population = %d/%d", len(ds.Failed), len(ds.Good))
+	}
+	bad := ds.Failed[0]
+	if bad.Len() != 5 {
+		t.Fatalf("failed drive has %d records", bad.Len())
+	}
+	fr := bad.FailureRecord()
+	if fr.Values[smart.RRER] != 40 {
+		t.Errorf("failure RRER = %v, want 40", fr.Values[smart.RRER])
+	}
+	if fr.Values[smart.RawRSC] != 400 {
+		t.Errorf("failure R-RSC = %v, want 400", fr.Values[smart.RawRSC])
+	}
+	if fr.Values[smart.RawCPSC] != 8 {
+		t.Errorf("failure R-CPSC = %v, want 8", fr.Values[smart.RawCPSC])
+	}
+	// Hours count days since the drive appeared.
+	if bad.Records[0].Hour != 0 || bad.Records[4].Hour != 4 {
+		t.Errorf("hours = %d..%d", bad.Records[0].Hour, bad.Records[4].Hour)
+	}
+	// The good drive stays at full health.
+	good := ds.Good[0]
+	for _, r := range good.Records {
+		if r.Values[smart.RRER] != 100 {
+			t.Errorf("good drive RRER = %v", r.Values[smart.RRER])
+		}
+	}
+	// Normalizer fitted across both drives.
+	if !ds.Norm.Fitted() {
+		t.Error("normalizer not fitted")
+	}
+}
+
+func TestReadBackblazeMissingValuesInherit(t *testing.T) {
+	csv := "date,serial_number,failure,smart_1_normalized\n" +
+		"2026-07-01,SN-A,0,80\n" +
+		"2026-07-02,SN-A,0,\n" + // missing: inherit 80
+		"2026-07-03,SN-A,0,60\n"
+	ds, err := ReadBackblazeCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ds.Good[0]
+	if p.Records[1].Values[smart.RRER] != 80 {
+		t.Errorf("inherited value = %v, want 80", p.Records[1].Values[smart.RRER])
+	}
+	// Unmapped attributes default to healthy values on the first row.
+	if p.Records[0].Values[smart.RUE] != 100 {
+		t.Errorf("default RUE = %v, want 100", p.Records[0].Values[smart.RUE])
+	}
+	if p.Records[0].Values[smart.RawRSC] != 0 {
+		t.Errorf("default raw = %v, want 0", p.Records[0].Values[smart.RawRSC])
+	}
+}
+
+func TestReadBackblazeErrors(t *testing.T) {
+	cases := []string{
+		"",                             // no header
+		"date,serial_number\nx,y\n",    // missing failure column
+		"date,serial_number,failure\n", // no rows
+		"date,serial_number,failure,smart_1_normalized\n2026-07-01,SN,0,notanumber\n", // bad value
+	}
+	for i, c := range cases {
+		if _, err := ReadBackblazeCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadBackblazeDeterministicIDs(t *testing.T) {
+	a, err := ReadBackblazeCSV(strings.NewReader(backblazeFixture()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBackblazeCSV(strings.NewReader(backblazeFixture()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Failed[0].DriveID != b.Failed[0].DriveID || a.Good[0].DriveID != b.Good[0].DriveID {
+		t.Error("drive IDs not deterministic")
+	}
+	// Failed drives get the lowest IDs.
+	if a.Failed[0].DriveID != 0 || a.Good[0].DriveID != 1 {
+		t.Errorf("IDs = %d/%d", a.Failed[0].DriveID, a.Good[0].DriveID)
+	}
+}
+
+func TestBackblazeRoundTrip(t *testing.T) {
+	d := testDataset()
+	var buf strings.Builder
+	if err := d.WriteBackblazeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBackblazeCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Failed) != len(d.Failed) || len(back.Good) != len(d.Good) {
+		t.Fatalf("population = %d/%d, want %d/%d",
+			len(back.Failed), len(back.Good), len(d.Failed), len(d.Good))
+	}
+	// Every attribute value survives the round trip (drive order within
+	// each population is by serial, which preserves ID order here).
+	for i, p := range d.Failed {
+		q := back.Failed[i]
+		if q.Len() != p.Len() {
+			t.Fatalf("failed[%d] length %d != %d", i, q.Len(), p.Len())
+		}
+		for j := range p.Records {
+			if p.Records[j].Values != q.Records[j].Values {
+				t.Fatalf("failed[%d] record %d values differ", i, j)
+			}
+		}
+	}
+}
+
+func TestBackblazeSaveLoadFile(t *testing.T) {
+	d := testDataset()
+	path := filepath.Join(t.TempDir(), "fleet.bbcsv")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Failed) != len(d.Failed) || len(back.Good) != len(d.Good) {
+		t.Errorf("population = %d/%d", len(back.Failed), len(back.Good))
+	}
+}

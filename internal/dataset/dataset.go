@@ -1,0 +1,169 @@
+// Package dataset holds a disk-fleet SMART dataset — the health profiles
+// of failed and good drives — together with the fleet-wide Eq. (1)
+// normalizer, and provides CSV and gob persistence.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"disksig/internal/smart"
+	"disksig/internal/stats"
+)
+
+// Dataset is a labeled fleet of drive health profiles.
+//
+// Profiles are stored in vendor health-value / raw-counter space (as
+// produced by smart.MapToRecord); Norm is fitted over every record so the
+// analysis pipeline can work in Eq. (1)-normalized space.
+type Dataset struct {
+	// Failed holds one profile per replaced drive; the last record of
+	// each is its failure record.
+	Failed []*smart.Profile
+	// Good holds the profiles of drives that experienced no failure.
+	Good []*smart.Profile
+	// Norm is the fleet-wide min-max normalizer (Eq. 1).
+	Norm *smart.Normalizer
+
+	normFailedOnce sync.Once
+	normFailed     []*smart.Profile
+}
+
+// New builds a dataset from failed and good profiles and fits the
+// normalizer over every record of both populations.
+func New(failed, good []*smart.Profile) *Dataset {
+	d := &Dataset{Failed: failed, Good: good, Norm: smart.NewNormalizer()}
+	for _, p := range failed {
+		d.Norm.ObserveProfile(p)
+	}
+	for _, p := range good {
+		d.Norm.ObserveProfile(p)
+	}
+	return d
+}
+
+// Counts summarizes the dataset populations.
+type Counts struct {
+	FailedDrives  int
+	GoodDrives    int
+	FailedRecords int
+	GoodRecords   int
+}
+
+// Counts returns record and drive counts.
+func (d *Dataset) Counts() Counts {
+	var c Counts
+	c.FailedDrives = len(d.Failed)
+	c.GoodDrives = len(d.Good)
+	for _, p := range d.Failed {
+		c.FailedRecords += p.Len()
+	}
+	for _, p := range d.Good {
+		c.GoodRecords += p.Len()
+	}
+	return c
+}
+
+// FailureRate returns the fraction of drives that failed.
+func (d *Dataset) FailureRate() float64 {
+	total := len(d.Failed) + len(d.Good)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(d.Failed)) / float64(total)
+}
+
+// NormalizedFailed returns the failed profiles normalized per Eq. (1).
+// The result is computed once and cached; callers must not mutate it.
+func (d *Dataset) NormalizedFailed() []*smart.Profile {
+	d.normFailedOnce.Do(func() {
+		d.normFailed = make([]*smart.Profile, len(d.Failed))
+		for i, p := range d.Failed {
+			d.normFailed[i] = d.Norm.NormalizeProfile(p)
+		}
+	})
+	return d.normFailed
+}
+
+// NormalizedFailureRecords returns the Eq. (1)-normalized failure record
+// (last health state) of every failed drive, in Failed order.
+func (d *Dataset) NormalizedFailureRecords() []smart.Values {
+	out := make([]smart.Values, len(d.Failed))
+	for i, p := range d.Failed {
+		out[i] = d.Norm.Normalize(p.FailureRecord().Values)
+	}
+	return out
+}
+
+// GoodAttrValues returns the normalized values of attribute a across every
+// good-drive record. At paper scale this is a few million float64s; use
+// GoodAttrStats when only moments are needed.
+func (d *Dataset) GoodAttrValues(a smart.Attr) []float64 {
+	var out []float64
+	for _, p := range d.Good {
+		for _, r := range p.Records {
+			out = append(out, d.Norm.NormalizeValue(a, r.Values[a]))
+		}
+	}
+	return out
+}
+
+// GoodAttrStats streams the normalized values of attribute a across all
+// good records into a running mean/variance accumulator.
+func (d *Dataset) GoodAttrStats(a smart.Attr) stats.Running {
+	var r stats.Running
+	for _, p := range d.Good {
+		for _, rec := range p.Records {
+			r.Add(d.Norm.NormalizeValue(a, rec.Values[a]))
+		}
+	}
+	return r
+}
+
+// NormalizedGoodSample reservoir-samples up to n good-drive records and
+// returns them Eq. (1)-normalized. The sample is deterministic in seed and
+// streams over the good population, so it stays cheap at paper scale.
+func (d *Dataset) NormalizedGoodSample(n int, seed int64) []smart.Values {
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reservoir := make([]smart.Values, 0, n)
+	seen := 0
+	for _, p := range d.Good {
+		for _, r := range p.Records {
+			seen++
+			if len(reservoir) < n {
+				reservoir = append(reservoir, r.Values)
+			} else if j := rng.Intn(seen); j < n {
+				reservoir[j] = r.Values
+			}
+		}
+	}
+	for i := range reservoir {
+		reservoir[i] = d.Norm.Normalize(reservoir[i])
+	}
+	return reservoir
+}
+
+// FailedProfileHours returns the profile length in hours of every failed
+// drive (the quantity histogrammed in Fig. 1).
+func (d *Dataset) FailedProfileHours() []float64 {
+	out := make([]float64, len(d.Failed))
+	for i, p := range d.Failed {
+		out[i] = float64(p.Len())
+	}
+	return out
+}
+
+// FailedByID returns the failed profile with the given drive ID, or an
+// error if absent.
+func (d *Dataset) FailedByID(id int) (*smart.Profile, error) {
+	for _, p := range d.Failed {
+		if p.DriveID == id {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("dataset: no failed drive with ID %d", id)
+}

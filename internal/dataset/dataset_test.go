@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"disksig/internal/smart"
+)
+
+// makeProfile builds a simple profile whose RRER ramps linearly.
+func makeProfile(id int, failed bool, group, n int, base float64) *smart.Profile {
+	p := &smart.Profile{DriveID: id, Failed: failed, TrueGroup: group}
+	for h := 0; h < n; h++ {
+		var v smart.Values
+		for a := range v {
+			v[a] = base + float64(h)
+		}
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: v})
+	}
+	return p
+}
+
+func testDataset() *Dataset {
+	failed := []*smart.Profile{
+		makeProfile(0, true, 1, 5, 0),
+		makeProfile(1, true, 2, 3, 10),
+	}
+	good := []*smart.Profile{
+		makeProfile(2, false, 0, 4, 5),
+		makeProfile(3, false, 0, 4, 6),
+	}
+	return New(failed, good)
+}
+
+func TestCounts(t *testing.T) {
+	d := testDataset()
+	c := d.Counts()
+	if c.FailedDrives != 2 || c.GoodDrives != 2 {
+		t.Errorf("drives = %+v", c)
+	}
+	if c.FailedRecords != 8 || c.GoodRecords != 8 {
+		t.Errorf("records = %+v", c)
+	}
+	if got := d.FailureRate(); got != 0.5 {
+		t.Errorf("FailureRate = %v", got)
+	}
+	if (&Dataset{}).FailureRate() != 0 {
+		t.Error("empty dataset failure rate should be 0")
+	}
+}
+
+func TestNormalizerFitsWholeFleet(t *testing.T) {
+	d := testDataset()
+	// Values span [0, 12] for every attribute (failed 0..12, good 5..9).
+	if d.Norm.Min[smart.RRER] != 0 || d.Norm.Max[smart.RRER] != 12 {
+		t.Errorf("norm range = [%v, %v], want [0, 12]", d.Norm.Min[smart.RRER], d.Norm.Max[smart.RRER])
+	}
+}
+
+func TestNormalizedFailedCached(t *testing.T) {
+	d := testDataset()
+	a := d.NormalizedFailed()
+	b := d.NormalizedFailed()
+	if &a[0] != &b[0] {
+		t.Error("NormalizedFailed should cache")
+	}
+	// First record of drive 0 has raw value 0 => normalized -1.
+	if got := a[0].Records[0].Values[smart.RRER]; got != -1 {
+		t.Errorf("normalized = %v, want -1", got)
+	}
+	// Raw profiles untouched.
+	if d.Failed[0].Records[0].Values[smart.RRER] != 0 {
+		t.Error("normalization mutated raw profiles")
+	}
+}
+
+func TestNormalizedFailureRecords(t *testing.T) {
+	d := testDataset()
+	frs := d.NormalizedFailureRecords()
+	if len(frs) != 2 {
+		t.Fatalf("len = %d", len(frs))
+	}
+	// Drive 1's failure record value is 12 => normalized 1.
+	if frs[1][smart.RRER] != 1 {
+		t.Errorf("failure record = %v, want 1", frs[1][smart.RRER])
+	}
+}
+
+func TestGoodAttrValuesAndStats(t *testing.T) {
+	d := testDataset()
+	vals := d.GoodAttrValues(smart.TC)
+	if len(vals) != 8 {
+		t.Fatalf("len = %d, want 8", len(vals))
+	}
+	st := d.GoodAttrStats(smart.TC)
+	if st.N() != 8 {
+		t.Errorf("stats N = %d", st.N())
+	}
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if math.Abs(st.Mean()-mean) > 1e-12 {
+		t.Errorf("stats mean %v != batch mean %v", st.Mean(), mean)
+	}
+}
+
+func TestFailedProfileHours(t *testing.T) {
+	d := testDataset()
+	hrs := d.FailedProfileHours()
+	if hrs[0] != 5 || hrs[1] != 3 {
+		t.Errorf("hours = %v", hrs)
+	}
+}
+
+func TestFailedByID(t *testing.T) {
+	d := testDataset()
+	p, err := d.FailedByID(1)
+	if err != nil || p.DriveID != 1 {
+		t.Errorf("FailedByID(1) = %v, %v", p, err)
+	}
+	if _, err := d.FailedByID(99); err == nil {
+		t.Error("expected error for missing drive")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := testDataset()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, back)
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	d := testDataset()
+	var buf bytes.Buffer
+	if err := d.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, back)
+}
+
+func assertEqualDatasets(t *testing.T, a, b *Dataset) {
+	t.Helper()
+	if len(a.Failed) != len(b.Failed) || len(a.Good) != len(b.Good) {
+		t.Fatalf("population mismatch: %d/%d vs %d/%d", len(a.Failed), len(a.Good), len(b.Failed), len(b.Good))
+	}
+	for i := range a.Failed {
+		pa, pb := a.Failed[i], b.Failed[i]
+		if pa.DriveID != pb.DriveID || pa.Failed != pb.Failed || pa.TrueGroup != pb.TrueGroup || pa.Len() != pb.Len() {
+			t.Fatalf("failed[%d] metadata mismatch", i)
+		}
+		for j := range pa.Records {
+			if pa.Records[j] != pb.Records[j] {
+				t.Fatalf("failed[%d] record %d mismatch", i, j)
+			}
+		}
+	}
+	for i := range a.Good {
+		if a.Good[i].DriveID != b.Good[i].DriveID || a.Good[i].Len() != b.Good[i].Len() {
+			t.Fatalf("good[%d] mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",                    // no header
+		"not,a,real,header\n", // wrong header
+		validHeader() + "x,true,1,0" + strings.Repeat(",1", 12) + "\n",   // bad id
+		validHeader() + "1,maybe,1,0" + strings.Repeat(",1", 12) + "\n",  // bad failed flag
+		validHeader() + "1,true,x,0" + strings.Repeat(",1", 12) + "\n",   // bad group
+		validHeader() + "1,true,1,x" + strings.Repeat(",1", 12) + "\n",   // bad hour
+		validHeader() + "1,true,1,0" + strings.Repeat(",zzz", 12) + "\n", // bad value
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func validHeader() string {
+	h := "drive_id,failed,true_group,hour"
+	for _, a := range smart.All() {
+		h += "," + a.String()
+	}
+	return h + "\n"
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d := testDataset()
+	for _, name := range []string{"ds.csv", "ds.gob"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := d.SaveFile(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertEqualDatasets(t, d, back)
+	}
+	if err := d.SaveFile(filepath.Join(t.TempDir(), "ds.txt")); err == nil {
+		t.Error("expected error for unknown extension")
+	}
+	if _, err := LoadFile("/nonexistent/ds.gob"); err == nil {
+		t.Error("expected error for missing file")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "ds.txt")); err == nil {
+		t.Error("expected error for unknown load extension")
+	}
+}

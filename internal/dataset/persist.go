@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"disksig/internal/smart"
+)
+
+// csvHeader is the column layout of the CSV persistence format: one row
+// per health record, identified by drive and hour, with the 12 attribute
+// values in Table I order.
+func csvHeader() []string {
+	h := []string{"drive_id", "failed", "true_group", "hour"}
+	for _, a := range smart.All() {
+		h = append(h, a.String())
+	}
+	return h
+}
+
+// WriteCSV streams the dataset to w as CSV (one row per record, failed
+// drives first).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader()); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	row := make([]string, 4+int(smart.NumAttrs))
+	emit := func(p *smart.Profile) error {
+		row[0] = strconv.Itoa(p.DriveID)
+		row[1] = strconv.FormatBool(p.Failed)
+		row[2] = strconv.Itoa(p.TrueGroup)
+		for _, r := range p.Records {
+			row[3] = strconv.Itoa(r.Hour)
+			for a := 0; a < int(smart.NumAttrs); a++ {
+				row[4+a] = strconv.FormatFloat(r.Values[a], 'g', -1, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, p := range d.Failed {
+		if err := emit(p); err != nil {
+			return fmt.Errorf("dataset: writing failed drive %d: %w", p.DriveID, err)
+		}
+	}
+	for _, p := range d.Good {
+		if err := emit(p); err != nil {
+			return fmt.Errorf("dataset: writing good drive %d: %w", p.DriveID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV. Records of the
+// same drive must be contiguous and in chronological order (WriteCSV
+// guarantees this).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	want := csvHeader()
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, want %d", len(header), len(want))
+	}
+	for i, h := range header {
+		if h != want[i] {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, want %q", i, h, want[i])
+		}
+	}
+
+	var failed, good []*smart.Profile
+	var cur *smart.Profile
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		if cur.Failed {
+			failed = append(failed, cur)
+		} else {
+			good = append(good, cur)
+		}
+		cur = nil
+	}
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		line++
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad drive_id %q", line, row[0])
+		}
+		isFailed, err := strconv.ParseBool(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad failed flag %q", line, row[1])
+		}
+		group, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad true_group %q", line, row[2])
+		}
+		hour, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad hour %q", line, row[3])
+		}
+		var vals smart.Values
+		for a := 0; a < int(smart.NumAttrs); a++ {
+			v, err := strconv.ParseFloat(row[4+a], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad value %q for %s", line, row[4+a], smart.Attr(a))
+			}
+			vals[a] = v
+		}
+		if cur == nil || cur.DriveID != id {
+			flush()
+			cur = &smart.Profile{DriveID: id, Failed: isFailed, TrueGroup: group}
+		}
+		cur.Records = append(cur.Records, smart.Record{Hour: hour, Values: vals})
+	}
+	flush()
+	return New(failed, good), nil
+}
+
+// gobDataset is the gob wire form of a Dataset (profiles only; the
+// normalizer is refitted on load).
+type gobDataset struct {
+	Failed []*smart.Profile
+	Good   []*smart.Profile
+}
+
+// WriteGob streams the dataset to w in gob encoding (compact and fast;
+// preferred for large fleets).
+func (d *Dataset) WriteGob(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(gobDataset{Failed: d.Failed, Good: d.Good}); err != nil {
+		return fmt.Errorf("dataset: encoding gob: %w", err)
+	}
+	return nil
+}
+
+// ReadGob parses a dataset previously written by WriteGob.
+func ReadGob(r io.Reader) (*Dataset, error) {
+	var g gobDataset
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("dataset: decoding gob: %w", err)
+	}
+	return New(g.Failed, g.Good), nil
+}
+
+// SaveFile writes the dataset to path, choosing the format by extension:
+// ".csv" (native schema), ".bbcsv" (Backblaze daily-dump schema) or
+// ".gob".
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := d.writeAuto(bw, path); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func (d *Dataset) writeAuto(w io.Writer, path string) error {
+	switch ext(path) {
+	case ".bbcsv":
+		return d.WriteBackblazeCSV(w)
+	case ".csv":
+		return d.WriteCSV(w)
+	case ".gob":
+		return d.WriteGob(w)
+	}
+	return fmt.Errorf("dataset: unknown extension in %q (want .csv, .bbcsv or .gob)", path)
+}
+
+// LoadFile reads a dataset from path, choosing the format by extension.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	switch ext(path) {
+	case ".bbcsv":
+		return ReadBackblazeCSV(br)
+	case ".csv":
+		return ReadCSV(br)
+	case ".gob":
+		return ReadGob(br)
+	}
+	return nil, fmt.Errorf("dataset: unknown extension in %q (want .csv, .bbcsv or .gob)", path)
+}
+
+func ext(path string) string {
+	for i := len(path) - 1; i >= 0 && path[i] != '/'; i-- {
+		if path[i] == '.' {
+			return path[i:]
+		}
+	}
+	return ""
+}

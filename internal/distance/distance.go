@@ -1,0 +1,135 @@
+// Package distance implements the similarity measures of Sec. IV-C: the
+// Euclidean and Mahalanobis distances between health records, the
+// distance-to-failure curve of a failed drive (Fig. 7), and the [-1, 0]
+// degradation normalization behind Fig. 8.
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"disksig/internal/linalg"
+	"disksig/internal/smart"
+	"disksig/internal/stats"
+)
+
+// Metric measures dissimilarity between two attribute vectors.
+type Metric interface {
+	// Distance returns the dissimilarity of a and b; zero means identical.
+	Distance(a, b []float64) float64
+	// Name identifies the metric in reports.
+	Name() string
+}
+
+// Euclidean is the plain L2 metric. The paper selects it over Mahalanobis
+// because it better resolves the small distances near the failure event.
+type Euclidean struct{}
+
+// Distance implements Metric.
+func (Euclidean) Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("distance: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Mahalanobis measures distance in the metric of an inverse covariance
+// matrix, de-correlating and re-scaling the attribute space.
+type Mahalanobis struct {
+	inv *linalg.Matrix
+}
+
+// NewMahalanobis fits a Mahalanobis metric to reference observations
+// (rows). Covariance matrices of SMART data are often near-singular
+// (constant attributes), so the inverse is ridge-regularized.
+func NewMahalanobis(reference [][]float64) (*Mahalanobis, error) {
+	if len(reference) == 0 {
+		return nil, fmt.Errorf("distance: Mahalanobis requires reference observations")
+	}
+	cov := stats.CovarianceMatrix(linalg.FromRows(reference))
+	// Ridge scaled to the covariance magnitude keeps the metric stable.
+	ridge := 1e-6 * (1 + cov.MaxAbs())
+	inv, err := linalg.RegularizedInverse(cov, ridge)
+	if err != nil {
+		return nil, fmt.Errorf("distance: inverting covariance: %w", err)
+	}
+	return &Mahalanobis{inv: inv}, nil
+}
+
+// Distance implements Metric.
+func (m *Mahalanobis) Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("distance: length mismatch %d vs %d", len(a), len(b)))
+	}
+	d := linalg.SubVec(a, b)
+	q := linalg.Dot(d, m.inv.MulVec(d))
+	if q < 0 {
+		q = 0
+	}
+	return math.Sqrt(q)
+}
+
+// Name implements Metric.
+func (m *Mahalanobis) Name() string { return "mahalanobis" }
+
+// ToFailureCurve computes, for a failed drive's (normalized) profile, the
+// dissimilarity of every health record to the failure record — the Fig. 7
+// curve. The final element is always zero (the failure record itself).
+func ToFailureCurve(p *smart.Profile, metric Metric) []float64 {
+	fr := p.FailureRecord().Values.Slice()
+	out := make([]float64, p.Len())
+	for i, r := range p.Records {
+		out[i] = metric.Distance(r.Values.Slice(), fr)
+	}
+	return out
+}
+
+// ToFailureCurveAttrs is ToFailureCurve restricted to a subset of
+// attributes.
+func ToFailureCurveAttrs(p *smart.Profile, metric Metric, attrs []smart.Attr) []float64 {
+	fr := p.FailureRecord().Values.Select(attrs)
+	out := make([]float64, p.Len())
+	for i, r := range p.Records {
+		out[i] = metric.Distance(r.Values.Select(attrs), fr)
+	}
+	return out
+}
+
+// NormalizeDegradation rescales a distance-to-failure window to the
+// paper's degradation range [-1, 0]: the failure event (distance zero)
+// maps to -1 and the window's largest distance maps to 0,
+//
+//	s_i = dist_i / max(dist) - 1.
+//
+// It returns nil for an empty window and all -1 when the window is
+// entirely zero.
+func NormalizeDegradation(window []float64) []float64 {
+	if len(window) == 0 {
+		return nil
+	}
+	var max float64
+	for _, d := range window {
+		if d > max {
+			max = d
+		}
+	}
+	out := make([]float64, len(window))
+	if max == 0 {
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	for i, d := range window {
+		out[i] = d/max - 1
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"disksig/internal/smart"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEuclideanKnown(t *testing.T) {
+	var e Euclidean
+	if got := e.Distance([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Errorf("distance = %v, want 5", got)
+	}
+	if got := e.Distance([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	if e.Name() != "euclidean" {
+		t.Error("name")
+	}
+}
+
+func TestEuclideanMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Euclidean{}.Distance([]float64{1}, []float64{1, 2})
+}
+
+// Property: Euclidean satisfies the metric axioms on random triples.
+func TestEuclideanMetricAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(6)
+		vec := func() []float64 {
+			v := make([]float64, d)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			return v
+		}
+		a, b, c := vec(), vec(), vec()
+		var e Euclidean
+		ab, ba := e.Distance(a, b), e.Distance(b, a)
+		return almostEq(ab, ba, 1e-12) &&
+			ab >= 0 &&
+			e.Distance(a, c) <= e.Distance(a, b)+e.Distance(b, c)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMahalanobisWhitens(t *testing.T) {
+	// Reference data stretched 10x along x: Mahalanobis must discount x
+	// displacements relative to y displacements.
+	rng := rand.New(rand.NewSource(2))
+	var ref [][]float64
+	for i := 0; i < 500; i++ {
+		ref = append(ref, []float64{rng.NormFloat64() * 10, rng.NormFloat64()})
+	}
+	m, err := NewMahalanobis(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx := m.Distance([]float64{0, 0}, []float64{10, 0})
+	dy := m.Distance([]float64{0, 0}, []float64{0, 10})
+	if !(dy > 5*dx) {
+		t.Errorf("dx=%v dy=%v: y displacement should be much larger", dx, dy)
+	}
+	if m.Name() != "mahalanobis" {
+		t.Error("name")
+	}
+}
+
+func TestMahalanobisSingularCovariance(t *testing.T) {
+	// A constant column makes the covariance singular; the regularized
+	// inverse must still produce a usable metric.
+	ref := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	m, err := NewMahalanobis(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Distance([]float64{1, 5}, []float64{2, 5}); d <= 0 || math.IsNaN(d) {
+		t.Errorf("distance = %v", d)
+	}
+}
+
+func TestMahalanobisEmptyReference(t *testing.T) {
+	if _, err := NewMahalanobis(nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// failingProfile builds a normalized profile whose values approach the
+// failure record linearly.
+func failingProfile(n int) *smart.Profile {
+	p := &smart.Profile{DriveID: 1, Failed: true}
+	for h := 0; h < n; h++ {
+		var v smart.Values
+		frac := float64(h) / float64(n-1)
+		for a := range v {
+			v[a] = frac // all attrs ramp from 0 to 1
+		}
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: v})
+	}
+	return p
+}
+
+func TestToFailureCurve(t *testing.T) {
+	p := failingProfile(10)
+	curve := ToFailureCurve(p, Euclidean{})
+	if len(curve) != 10 {
+		t.Fatalf("len = %d", len(curve))
+	}
+	if curve[len(curve)-1] != 0 {
+		t.Errorf("final distance = %v, want 0", curve[len(curve)-1])
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Errorf("linear profile should yield decreasing curve at %d", i)
+		}
+	}
+	// Restricting to one attribute scales the distance by 1/sqrt(12).
+	sub := ToFailureCurveAttrs(p, Euclidean{}, []smart.Attr{smart.RRER})
+	if !almostEq(sub[0]*math.Sqrt(float64(smart.NumAttrs)), curve[0], 1e-9) {
+		t.Errorf("attr-restricted curve = %v vs %v", sub[0], curve[0])
+	}
+}
+
+func TestNormalizeDegradation(t *testing.T) {
+	got := NormalizeDegradation([]float64{4, 2, 0})
+	want := []float64{0, -0.5, -1}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Errorf("normalized = %v, want %v", got, want)
+			break
+		}
+	}
+	if NormalizeDegradation(nil) != nil {
+		t.Error("empty window should be nil")
+	}
+	zeros := NormalizeDegradation([]float64{0, 0})
+	for _, v := range zeros {
+		if v != -1 {
+			t.Errorf("all-zero window = %v", zeros)
+		}
+	}
+}
+
+// Property: normalized degradation is within [-1, 0], ends at -1 when the
+// window ends at zero distance, and preserves ordering.
+func TestNormalizeDegradationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() * 10
+		}
+		w[n-1] = 0
+		s := NormalizeDegradation(w)
+		for i, v := range s {
+			if v < -1-1e-12 || v > 1e-12 {
+				return false
+			}
+			for j := i + 1; j < n; j++ {
+				if (w[i] < w[j]) != (s[i] < s[j]) && w[i] != w[j] {
+					return false
+				}
+			}
+		}
+		return s[n-1] == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"disksig/internal/cluster"
+	"disksig/internal/core"
+	"disksig/internal/distance"
+	"disksig/internal/predict"
+	"disksig/internal/regression"
+	"disksig/internal/report"
+	"disksig/internal/smart"
+	"disksig/internal/stats"
+	"disksig/internal/synth"
+)
+
+// AblationDistanceMetric compares Euclidean and Mahalanobis distance for
+// the degradation curves (the Sec. IV-C design choice: Euclidean resolves
+// the small distances near failure better).
+func (ctx *Context) AblationDistanceMetric() (*Result, error) {
+	// Fit the Mahalanobis metric on a good-record sample.
+	ref := make([][]float64, 0, 2000)
+	for i, v := range ctx.Char.GoodSample {
+		if i >= 2000 {
+			break
+		}
+		ref = append(ref, v.Slice())
+	}
+	maha, err := distance.NewMahalanobis(ref)
+	if err != nil {
+		return nil, err
+	}
+	metricsList := []distance.Metric{distance.Euclidean{}, maha}
+
+	tb := report.NewTable("Near-failure resolution by distance metric (higher = better resolved)",
+		"Group", "Metric", "Distinct last-12h levels", "Rel. spread last 12h")
+	metrics := map[string]float64{}
+	failed := ctx.Dataset.NormalizedFailed()
+	for _, gr := range ctx.Char.Results {
+		p := failed[gr.Group.CentroidDrive]
+		for _, m := range metricsList {
+			curve := distance.ToFailureCurve(p, m)
+			tail := curve[len(curve)-12:]
+			var curveMax float64
+			for _, v := range curve {
+				if v > curveMax {
+					curveMax = v
+				}
+			}
+			distinct := countDistinct(tail, 1e-3*curveMax)
+			spread := 0.0
+			if curveMax > 0 {
+				min, max := stats.MinMax(tail)
+				spread = (max - min) / curveMax
+			}
+			tb.AddRowf(fmt.Sprintf("Group %d", gr.Group.Number), m.Name(), float64(distinct), spread)
+			metrics[fmt.Sprintf("g%d_%s_distinct", gr.Group.Number, m.Name())] = float64(distinct)
+		}
+	}
+	text := tb.String() + "\npaper: Euclidean better characterizes the changes of lower distances\n"
+	return &Result{ID: "Ablation A", Name: "distance metric choice", Text: text, Metrics: metrics}, nil
+}
+
+func countDistinct(xs []float64, tol float64) int {
+	var levels []float64
+	for _, x := range xs {
+		found := false
+		for _, l := range levels {
+			if x >= l-tol && x <= l+tol {
+				found = true
+				break
+			}
+		}
+		if !found {
+			levels = append(levels, x)
+		}
+	}
+	return len(levels)
+}
+
+// AblationClusteringMethod cross-checks K-means against Support Vector
+// Clustering on the failure-record features (the paper reports both
+// "generate the same results").
+func (ctx *Context) AblationClusteringMethod() (*Result, error) {
+	cat := ctx.Char.Categorization
+	svcRes, err := cluster.SVC(cat.Features, cluster.SVCConfig{Seed: ctx.Seed})
+	if err != nil {
+		return nil, err
+	}
+	hcRes, err := cluster.Hierarchical(cat.Features, cat.K, cluster.AverageLinkage)
+	if err != nil {
+		return nil, err
+	}
+	svcAgreement := cluster.Agreement(cat.Clusters.Assign, svcRes.Assign)
+	hcAgreement := cluster.Agreement(cat.Clusters.Assign, hcRes.Assign)
+	tb := report.NewTable("K-means vs Support Vector Clustering vs hierarchical (UPGMA)",
+		"Method", "Clusters", "Sizes", "Silhouette")
+	tb.AddRowf("K-means", cat.Clusters.K, fmt.Sprintf("%v", cat.Clusters.Sizes()),
+		cluster.Silhouette(cat.Features, cat.Clusters))
+	tb.AddRowf("SVC", svcRes.K, fmt.Sprintf("%v", svcRes.Sizes()),
+		cluster.Silhouette(cat.Features, svcRes))
+	tb.AddRowf("hierarchical", hcRes.K, fmt.Sprintf("%v", hcRes.Sizes()),
+		cluster.Silhouette(cat.Features, hcRes))
+	text := tb.String() + fmt.Sprintf(
+		"\nRand agreement with K-means: SVC %.4f, hierarchical %.4f (paper: K-means and SVC identical)\n",
+		svcAgreement, hcAgreement)
+	return &Result{
+		ID:   "Ablation B",
+		Name: "clustering method cross-check",
+		Text: text,
+		Metrics: map[string]float64{
+			"agreement":    svcAgreement,
+			"hc_agreement": hcAgreement,
+			"svc_k":        float64(svcRes.K),
+			"hc_k":         float64(hcRes.K),
+			"kmeans_k":     float64(cat.Clusters.K),
+		},
+	}, nil
+}
+
+// AblationSignatureForms compares all candidate signature forms (including
+// the unrevised Eq. 2) per group, reproducing the Sec. IV-C RMSE
+// comparisons (0.24/0.14/0.06 for Group 1; 0.45/0.35/0.22/0.16 for
+// Group 3).
+func (ctx *Context) AblationSignatureForms() (*Result, error) {
+	forms := []regression.SignatureForm{
+		regression.FormFullQuadratic,
+		regression.FormLinear,
+		regression.FormQuadratic,
+		regression.FormCubic,
+	}
+	tb := report.NewTable("RMSE of candidate signature forms on centroid degradation windows",
+		"Group", "Form", "RMSE")
+	metrics := map[string]float64{}
+	for _, gr := range ctx.Char.Results {
+		sig := gr.Signature
+		for _, f := range forms {
+			rmse := regression.RMSE(f.EvalSeries(sig.Times, float64(sig.Window.D)), sig.Degradation)
+			tb.AddRowf(fmt.Sprintf("Group %d", gr.Group.Number), f.String(), rmse)
+			metrics[fmt.Sprintf("g%d_order%d_rmse", gr.Group.Number, f.Order())] = rmse
+		}
+	}
+	text := tb.String() + "\npaper: revised forms beat the unrevised Eq. 2 / Eq. 5 on every group\n"
+	return &Result{ID: "Ablation C", Name: "signature form selection", Text: text, Metrics: metrics}, nil
+}
+
+// AblationBaselineDetectors evaluates the Sec. II-C baseline failure
+// detectors (vendor threshold, rank-sum, Mahalanobis) by FDR and FAR on
+// the fleet.
+func (ctx *Context) AblationBaselineDetectors() (*Result, error) {
+	failed := ctx.Dataset.NormalizedFailed()
+	// Normalize a bounded subset of good profiles (normalizing tens of
+	// thousands of good drives would dwarf the experiment itself).
+	maxGood := 600
+	if len(ctx.Dataset.Good) < maxGood {
+		maxGood = len(ctx.Dataset.Good)
+	}
+	normedGood := make([]*smart.Profile, 0, maxGood)
+	for _, p := range ctx.Dataset.Good[:maxGood] {
+		normedGood = append(normedGood, ctx.Dataset.Norm.NormalizeProfile(p))
+	}
+
+	detectors := []predict.Detector{
+		&predict.ThresholdDetector{Threshold: -0.55},
+	}
+	if rs, err := predict.NewRankSumDetector(normedGood, 2000, ctx.Seed); err == nil {
+		detectors = append(detectors, rs)
+	}
+	if md, err := predict.NewMahalanobisDetector(normedGood, 0.999, ctx.Seed); err == nil {
+		detectors = append(detectors, md)
+	}
+
+	tb := report.NewTable("Baseline failure detectors", "Detector", "FDR", "FAR")
+	metrics := map[string]float64{}
+	var b strings.Builder
+	for _, det := range detectors {
+		ev := predict.Evaluate(det, failed, normedGood)
+		tb.AddRowf(det.Name(), fmt.Sprintf("%.1f%%", 100*ev.FDR), fmt.Sprintf("%.2f%%", 100*ev.FAR))
+		metrics[det.Name()+"_fdr"] = ev.FDR
+		metrics[det.Name()+"_far"] = ev.FAR
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\npaper context: vendor threshold 3-10% FDR @ 0.1% FAR; rank-sum 60% FDR @ 0.5% FAR\n")
+	return &Result{ID: "Ablation D", Name: "baseline detectors", Text: b.String(), Metrics: metrics}, nil
+}
+
+// AblationPredictionMethods compares the regression tree against a random
+// forest and a ridge linear model on each group's degradation dataset —
+// the paper's future-work item "test more prediction methods and evaluate
+// their performance".
+func (ctx *Context) AblationPredictionMethods() (*Result, error) {
+	tb := report.NewTable("Degradation prediction methods (test RMSE / error rate)",
+		"Group", "Method", "RMSE", "Error rate")
+	metrics := map[string]float64{}
+	// The comparison subsamples large groups so the 3-method x 3-group
+	// sweep stays tractable at paper scale; the cap is reported below.
+	const maxProfiles = 60
+	capped := false
+	for _, gr := range ctx.Char.Results {
+		profiles := core.GroupProfiles(ctx.Dataset, gr.Group)
+		if len(profiles) > maxProfiles {
+			profiles = profiles[:maxProfiles]
+			capped = true
+		}
+		results, err := predict.CompareMethods(profiles, ctx.Char.GoodSample,
+			predict.DegradationConfig{
+				Form:       gr.Summary.MajorityForm,
+				WindowD:    float64(gr.Summary.MedianD),
+				GoodFactor: 5,
+				Seed:       ctx.Seed,
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			tb.AddRowf(fmt.Sprintf("Group %d", gr.Group.Number), r.Method, r.RMSE,
+				fmt.Sprintf("%.1f%%", 100*r.ErrorRate))
+			key := fmt.Sprintf("g%d_%s_rmse", gr.Group.Number, strings.Fields(r.Method)[0])
+			metrics[key] = r.RMSE
+		}
+	}
+	text := tb.String()
+	if capped {
+		text += fmt.Sprintf("\n(groups subsampled to %d drives each, good factor 5, for the 9-model sweep)\n", maxProfiles)
+	}
+	text += "\nextension beyond the paper: Table III evaluated only the regression tree\n"
+	return &Result{ID: "Ablation E", Name: "prediction methods", Text: text, Metrics: metrics}, nil
+}
+
+// AblationBackupWorkload characterizes a backup-dominated fleet (the
+// paper's contrast with EMC RAIDShield systems, where bad-sector failures
+// dominate) and verifies the pipeline recovers the flipped failure mix.
+func (ctx *Context) AblationBackupWorkload() (*Result, error) {
+	cfg := synth.BackupWorkloadConfig(synth.ScaleSmall)
+	cfg.Seed = ctx.Seed
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := core.Categorize(ds, core.Config{Seed: ctx.Seed})
+	if err != nil {
+		return nil, err
+	}
+	tb := report.NewTable("Failure mix on a backup-dominated workload",
+		"Group", "Type", "Population")
+	metrics := map[string]float64{"k": float64(cat.K)}
+	var badSectorPop float64
+	for _, g := range cat.Groups {
+		pop := g.Population(len(ds.Failed))
+		tb.AddRowf(fmt.Sprintf("Group %d", g.Number), g.Type.String(), fmt.Sprintf("%.1f%%", 100*pop))
+		metrics[fmt.Sprintf("group%d_pop", g.Number)] = pop
+		if g.Type == core.BadSector {
+			badSectorPop = pop
+		}
+	}
+	metrics["bad_sector_pop"] = badSectorPop
+	text := tb.String() + "\npaper context: dedicated backup systems are dominated by bad-sector failures [RAIDShield]\n"
+	return &Result{ID: "Ablation F", Name: "backup-workload failure mix", Text: text, Metrics: metrics}, nil
+}

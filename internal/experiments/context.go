@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from a synthetic fleet: each experiment returns a Result with
+// rendered text (the figure/table) and headline metrics, shared by
+// cmd/diskchar and the benchmark harness.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"disksig/internal/core"
+	"disksig/internal/dataset"
+	"disksig/internal/synth"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the paper artifact identifier, e.g. "Fig. 3" or "Table III".
+	ID string
+	// Name summarizes what the artifact shows.
+	Name string
+	// Text is the rendered table/figure.
+	Text string
+	// Metrics holds the headline numbers (for benchmark reporting and
+	// EXPERIMENTS.md).
+	Metrics map[string]float64
+}
+
+// Header renders the result banner.
+func (r *Result) Header() string {
+	return fmt.Sprintf("=== %s — %s ===", r.ID, r.Name)
+}
+
+// Context carries a generated fleet and its characterization through the
+// experiment suite so the expensive steps run once.
+type Context struct {
+	Config  synth.Config
+	Dataset *dataset.Dataset
+	Char    *core.Characterization
+	Seed    int64
+}
+
+// NewContext generates a fleet at the given scale and runs the full
+// characterization pipeline on it.
+func NewContext(scale synth.Scale, seed int64) (*Context, error) {
+	cfg := synth.DefaultConfig(scale)
+	cfg.Seed = seed
+	return NewContextWithConfig(cfg)
+}
+
+// NewContextWithConfig is NewContext with an explicit fleet configuration.
+func NewContextWithConfig(cfg synth.Config) (*Context, error) {
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating fleet: %w", err)
+	}
+	return NewContextFromDataset(ds, cfg.Seed, cfg)
+}
+
+// NewContextFromDataset characterizes an existing dataset (e.g. one loaded
+// from disk by cmd/diskchar).
+func NewContextFromDataset(ds *dataset.Dataset, seed int64, cfg synth.Config) (*Context, error) {
+	ch, err := core.Characterize(ds, core.Config{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: characterizing fleet: %w", err)
+	}
+	return &Context{Config: cfg, Dataset: ds, Char: ch, Seed: seed}, nil
+}
+
+// All runs every experiment in paper order and returns the results.
+func (ctx *Context) All() ([]*Result, error) {
+	runs := []func() (*Result, error){
+		func() (*Result, error) { return Table1AttributeRegistry(), nil },
+		ctx.Fig01ProfileDurations,
+		ctx.Fig02AttributeSpread,
+		ctx.Fig03ClusterElbow,
+		ctx.Fig04PCAGroups,
+		ctx.Fig05CentroidRecords,
+		ctx.Fig06DecileComparison,
+		ctx.Table2FailureCategories,
+		ctx.Fig07DistanceCurves,
+		ctx.Fig08SignatureFits,
+		ctx.Fig09AttrCorrelation,
+		ctx.Fig10EnvCorrelation,
+		ctx.Fig11TCZScores,
+		ctx.Fig12POHZScores,
+		ctx.Fig13RegressionTree,
+		ctx.Table3PredictionError,
+		ctx.AblationDistanceMetric,
+		ctx.AblationClusteringMethod,
+		ctx.AblationSignatureForms,
+		ctx.AblationBaselineDetectors,
+		ctx.AblationPredictionMethods,
+		ctx.AblationBackupWorkload,
+		ctx.AblationProactiveRAID,
+		ctx.AblationRescueTime,
+	}
+	var out []*Result
+	for _, run := range runs {
+		r, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteMetricsCSV exports every result's headline metrics as CSV rows
+// (artifact, metric, value), the machine-readable companion to the
+// rendered figures — e.g. for plotting the reproduction against the
+// paper's values.
+func WriteMetricsCSV(w io.Writer, results []*Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"artifact", "metric", "value"}); err != nil {
+		return fmt.Errorf("experiments: writing metrics header: %w", err)
+	}
+	for _, r := range results {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			row := []string{r.ID, k, strconv.FormatFloat(r.Metrics[k], 'g', -1, 64)}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiments: writing metrics for %s: %w", r.ID, err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

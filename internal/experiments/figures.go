@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"disksig/internal/cluster"
+	"disksig/internal/pca"
+	"disksig/internal/report"
+	"disksig/internal/smart"
+	"disksig/internal/stats"
+)
+
+// Table1AttributeRegistry renders Table I: the selected disk health
+// attributes.
+func Table1AttributeRegistry() *Result {
+	tb := report.NewTable("Disk health attributes selected for failure characterization",
+		"Symbol", "Attribute Name", "Kind", "Value")
+	for _, a := range smart.All() {
+		info := smart.InfoOf(a)
+		kind := "R/W"
+		if info.Kind == smart.Environmental {
+			kind = "Env."
+		}
+		value := "Health value"
+		if info.ValueKind == smart.RawData {
+			value = "Raw data"
+		}
+		tb.AddRow(info.Symbol, info.Name, kind, value)
+	}
+	return &Result{
+		ID:      "Table I",
+		Name:    "selected SMART attributes",
+		Text:    tb.String(),
+		Metrics: map[string]float64{"attributes": float64(smart.NumAttrs)},
+	}
+}
+
+// Fig01ProfileDurations regenerates Fig. 1: the histogram of failed-drive
+// health-profile durations, with the paper's two headline fractions.
+func (ctx *Context) Fig01ProfileDurations() (*Result, error) {
+	hours := ctx.Dataset.FailedProfileHours()
+	full := float64(ctx.Config.FailedProfileHours)
+	hist := stats.NewHistogram(hours, 0, full+1, 10)
+	labels := make([]string, len(hist.Counts))
+	values := make([]float64, len(hist.Counts))
+	edges := hist.BinEdges()
+	for i, c := range hist.Counts {
+		labels[i] = fmt.Sprintf("%3.0f-%3.0fh", edges[i], edges[i+1])
+		values[i] = float64(c)
+	}
+	var fullCount, over10 int
+	for _, h := range hours {
+		if h >= full {
+			fullCount++
+		}
+		if h > full/2 {
+			over10++
+		}
+	}
+	n := float64(len(hours))
+	fullFrac := float64(fullCount) / n
+	over10Frac := float64(over10) / n
+	text := report.BarChart("Histogram of failed-drive profile durations", labels, values, 50)
+	text += fmt.Sprintf("\nfull %d-day profile: %.1f%% (paper: 51.3%%)\n>%d days: %.1f%% (paper: 78.5%%)\n",
+		ctx.Config.FailedProfileHours/24, 100*fullFrac, ctx.Config.FailedProfileHours/48, 100*over10Frac)
+	return &Result{
+		ID:   "Fig. 1",
+		Name: "failed-drive profile durations",
+		Text: text,
+		Metrics: map[string]float64{
+			"full_profile_frac": fullFrac,
+			"over_10day_frac":   over10Frac,
+			"failed_drives":     n,
+		},
+	}, nil
+}
+
+// Fig02AttributeSpread regenerates Fig. 2: the per-attribute distribution
+// of the failure records (box statistics).
+func (ctx *Context) Fig02AttributeSpread() (*Result, error) {
+	records := ctx.Dataset.NormalizedFailureRecords()
+	tb := report.NewTable("Distribution of normalized attributes over failure records",
+		"Attr", "Min", "Q1", "Median", "Q3", "Max", "IQR", "Outliers")
+	metrics := map[string]float64{}
+	for _, a := range smart.All() {
+		vals := make([]float64, len(records))
+		for i, r := range records {
+			vals[i] = r[a]
+		}
+		b := stats.NewBoxPlot(vals)
+		tb.AddRowf(a.String(), b.Min, b.Q1, b.Median, b.Q3, b.Max, b.IQR(), float64(b.Outliers))
+		metrics["iqr_"+a.String()] = b.IQR()
+	}
+	return &Result{
+		ID:      "Fig. 2",
+		Name:    "attribute distributions over the failure records",
+		Text:    tb.String(),
+		Metrics: metrics,
+	}, nil
+}
+
+// Fig03ClusterElbow regenerates Fig. 3: average within-group distance per
+// candidate cluster count and the selected k.
+func (ctx *Context) Fig03ClusterElbow() (*Result, error) {
+	curve := ctx.Char.Categorization.Elbow
+	labels := make([]string, len(curve))
+	values := make([]float64, len(curve))
+	for i, p := range curve {
+		labels[i] = fmt.Sprintf("k=%d", p.K)
+		values[i] = p.AvgWithinDistance
+	}
+	picked := cluster.PickElbow(curve)
+	text := report.BarChart("Average within-group distance vs number of clusters", labels, values, 50)
+	text += fmt.Sprintf("\nelbow selects k = %d (paper: 3)\n", picked)
+	return &Result{
+		ID:   "Fig. 3",
+		Name: "cluster count selection (elbow)",
+		Text: text,
+		Metrics: map[string]float64{
+			"selected_k": float64(picked),
+		},
+	}, nil
+}
+
+// Fig04PCAGroups regenerates Fig. 4: the failure records projected onto
+// the first two principal components, labeled by group.
+func (ctx *Context) Fig04PCAGroups() (*Result, error) {
+	cat := ctx.Char.Categorization
+	proj, model, err := pca.Project(cat.Features, 2)
+	if err != nil {
+		return nil, err
+	}
+	groups := map[string][][2]float64{}
+	for _, g := range cat.Groups {
+		name := fmt.Sprintf("group %d (%d)", g.Number, len(g.Members))
+		for _, m := range g.Members {
+			groups[name] = append(groups[name], [2]float64{proj[m][0], proj[m][1]})
+		}
+	}
+	text := report.ScatterPlot("Failure records on the first two principal components", groups, 72, 20)
+	ratios := model.ExplainedVarianceRatio()
+	text += fmt.Sprintf("explained variance: PC1 %.1f%%, PC2 %.1f%%\n", 100*ratios[0], 100*ratios[1])
+	metrics := map[string]float64{"pc1_var": ratios[0], "pc2_var": ratios[1]}
+	for _, g := range cat.Groups {
+		metrics[fmt.Sprintf("group%d_size", g.Number)] = float64(len(g.Members))
+	}
+	return &Result{ID: "Fig. 4", Name: "failure groups in PCA space", Text: text, Metrics: metrics}, nil
+}
+
+// Fig05CentroidRecords regenerates Fig. 5: the failure-record attribute
+// values of each group's centroid drive.
+func (ctx *Context) Fig05CentroidRecords() (*Result, error) {
+	cat := ctx.Char.Categorization
+	records := ctx.Dataset.NormalizedFailureRecords()
+	headers := []string{"Attr"}
+	for _, g := range cat.Groups {
+		failedProfile := ctx.Dataset.Failed[g.CentroidDrive]
+		headers = append(headers, fmt.Sprintf("G%d drive#%d", g.Number, failedProfile.DriveID))
+	}
+	tb := report.NewTable("Failure records of the group centroid drives (normalized)", headers...)
+	metrics := map[string]float64{}
+	// RSC is a linear transformation of R-RSC; the paper omits it here.
+	for _, a := range smart.All() {
+		if a == smart.RSC {
+			continue
+		}
+		row := []interface{}{a.String()}
+		for _, g := range cat.Groups {
+			v := records[g.CentroidDrive][a]
+			row = append(row, v)
+			metrics[fmt.Sprintf("g%d_%s", g.Number, a)] = v
+		}
+		tb.AddRowf(row...)
+	}
+	return &Result{ID: "Fig. 5", Name: "centroid failure records", Text: tb.String(), Metrics: metrics}, nil
+}
+
+// Fig06DecileComparison regenerates Fig. 6: deciles of the most
+// discriminative attributes for each group versus good drives.
+func (ctx *Context) Fig06DecileComparison() (*Result, error) {
+	cat := ctx.Char.Categorization
+	records := ctx.Dataset.NormalizedFailureRecords()
+	attrs := []smart.Attr{smart.RUE, smart.RawRSC, smart.RRER}
+	var b strings.Builder
+	metrics := map[string]float64{}
+	for _, a := range attrs {
+		headers := []string{"Decile"}
+		series := make([][]float64, 0, len(cat.Groups)+1)
+		for _, g := range cat.Groups {
+			vals := make([]float64, 0, len(g.Members))
+			for _, m := range g.Members {
+				vals = append(vals, records[m][a])
+			}
+			series = append(series, stats.Deciles(vals))
+			headers = append(headers, fmt.Sprintf("group %d", g.Number))
+		}
+		goodVals := make([]float64, len(ctx.Char.GoodSample))
+		for i, v := range ctx.Char.GoodSample {
+			goodVals[i] = v[a]
+		}
+		series = append(series, stats.Deciles(goodVals))
+		headers = append(headers, "good")
+		tb := report.NewTable(fmt.Sprintf("%s deciles", a), headers...)
+		for d := 0; d < 9; d++ {
+			row := []interface{}{fmt.Sprintf("%d0%%", d+1)}
+			for _, s := range series {
+				row = append(row, s[d])
+			}
+			tb.AddRowf(row...)
+		}
+		b.WriteString(tb.String())
+		// Quantify the separation with the two-sample KS statistic.
+		ks := report.NewTable("  KS distance from good drives", "Group", "KS")
+		for _, g := range cat.Groups {
+			vals := make([]float64, 0, len(g.Members))
+			for _, m := range g.Members {
+				vals = append(vals, records[m][a])
+			}
+			d := stats.KolmogorovSmirnov(vals, goodVals)
+			ks.AddRowf(fmt.Sprintf("group %d", g.Number), d)
+			metrics[fmt.Sprintf("g%d_%s_ks", g.Number, a)] = d
+		}
+		b.WriteString(ks.String())
+		b.WriteString("\n")
+		for gi, g := range cat.Groups {
+			metrics[fmt.Sprintf("g%d_%s_median", g.Number, a)] = series[gi][4]
+		}
+		metrics[fmt.Sprintf("good_%s_median", a)] = series[len(series)-1][4]
+	}
+	return &Result{ID: "Fig. 6", Name: "decile comparison vs good drives", Text: b.String(), Metrics: metrics}, nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"disksig/internal/core"
+	"disksig/internal/predict"
+	"disksig/internal/report"
+	"disksig/internal/smart"
+)
+
+// zscoreFigure renders a temporal z-score figure (shared by Figs. 11/12).
+func (ctx *Context) zscoreFigure(id, name string, attr smart.Attr, series []*core.ZScoreSeries, paperNote string) (*Result, error) {
+	lines := map[string][]float64{}
+	var xs []float64
+	metrics := map[string]float64{}
+	for _, s := range series {
+		label := fmt.Sprintf("group %d", s.GroupNumber)
+		lines[label] = s.Z
+		if xs == nil {
+			xs = make([]float64, len(s.HoursBefore))
+			for i, h := range s.HoursBefore {
+				xs[i] = float64(h)
+			}
+		}
+		metrics[fmt.Sprintf("group%d_mean_z", s.GroupNumber)] = s.MeanZ()
+	}
+	title := fmt.Sprintf("Temporal z-scores of %s (x = hours before failure)", attr)
+	text := report.LineChart(title, xs, lines, 72, 16)
+	var summary strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&summary, "group %d mean z = %.1f\n", s.GroupNumber, s.MeanZ())
+	}
+	text += summary.String() + paperNote + "\n"
+	return &Result{ID: id, Name: name, Text: text, Metrics: metrics}, nil
+}
+
+// Fig11TCZScores regenerates Fig. 11: temperature z-scores per group.
+func (ctx *Context) Fig11TCZScores() (*Result, error) {
+	return ctx.zscoreFigure("Fig. 11", "temperature z-scores", smart.TC, ctx.Char.TCZScores,
+		"paper: all groups negative (failed drives run hotter); Group 1 most extreme")
+}
+
+// Fig12POHZScores regenerates Fig. 12: power-on-hours z-scores per group.
+func (ctx *Context) Fig12POHZScores() (*Result, error) {
+	return ctx.zscoreFigure("Fig. 12", "power-on-hours z-scores", smart.POH, ctx.Char.POHZScores,
+		"paper: Group 3 most extreme (oldest drives)")
+}
+
+// Fig13RegressionTree regenerates Fig. 13: the regression tree trained
+// for Group 1 degradation prediction.
+func (ctx *Context) Fig13RegressionTree() (*Result, error) {
+	gr := ctx.Char.GroupByNumber(1)
+	if gr == nil || gr.Prediction == nil {
+		return nil, fmt.Errorf("experiments: no Group 1 prediction available")
+	}
+	tr := gr.Prediction.Tree
+	text := "Regression tree for Group 1 degradation prediction:\n" +
+		tr.Render(predict.AttrNames())
+	tb := report.NewTable("attribute importance (SSE-reduction share)", "Attr", "Importance")
+	metrics := map[string]float64{
+		"depth":  float64(tr.Depth()),
+		"leaves": float64(tr.Leaves()),
+	}
+	for i, a := range smart.All() {
+		imp := gr.Prediction.Importance[i]
+		tb.AddRowf(a.String(), imp)
+		metrics["imp_"+a.String()] = imp
+	}
+	text += "\n" + tb.String() + "\npaper: POH, TC and RUE are the critical attributes for Group 1\n"
+	return &Result{ID: "Fig. 13", Name: "Group 1 degradation regression tree", Text: text, Metrics: metrics}, nil
+}
+
+// Table3PredictionError regenerates Table III: RMSE and error rate of
+// degradation prediction per group.
+func (ctx *Context) Table3PredictionError() (*Result, error) {
+	tb := report.NewTable("Root-mean-square errors of disk degradation prediction",
+		"Group", "Signature", "Window d", "RMSE", "Error rate", "Test samples")
+	metrics := map[string]float64{}
+	for _, gr := range ctx.Char.Results {
+		p := gr.Prediction
+		if p == nil {
+			return nil, fmt.Errorf("experiments: group %d has no prediction", gr.Group.Number)
+		}
+		tb.AddRowf(fmt.Sprintf("Group %d", gr.Group.Number),
+			gr.Summary.MajorityForm.String(),
+			gr.Summary.MedianD,
+			p.RMSE,
+			fmt.Sprintf("%.1f%%", 100*p.ErrorRate),
+			p.TestSamples)
+		metrics[fmt.Sprintf("group%d_rmse", gr.Group.Number)] = p.RMSE
+		metrics[fmt.Sprintf("group%d_error_rate", gr.Group.Number)] = p.ErrorRate
+	}
+	text := tb.String() + "\npaper: RMSE 0.216 / 0.114 / 0.129, error rates 10.8% / 5.7% / 6.4%\n"
+	return &Result{ID: "Table III", Name: "degradation prediction error", Text: text, Metrics: metrics}, nil
+}

@@ -1,0 +1,144 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Eigenvector for lambda=3 is (1,1)/sqrt(2) up to sign.
+	v0 := vecs.Col(0)
+	if !almostEq(math.Abs(v0[0]), 1/math.Sqrt2, 1e-10) || !almostEq(math.Abs(v0[1]), 1/math.Sqrt2, 1e-10) {
+		t.Errorf("first eigenvector = %v", v0)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := Diag([]float64{5, -1, 2})
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 2, -1}
+	for i := range want {
+		if !almostEq(vals[i], want[i], 1e-12) {
+			t.Errorf("vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Fatal("expected error for asymmetric input")
+	}
+}
+
+func TestEigenSymRejectsNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, _, err := EigenSym(a); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+// Property: A*v = lambda*v for every returned eigenpair, eigenvalues are
+// sorted descending, and eigenvectors are orthonormal.
+func TestEigenSymProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		b := randomMatrix(rng, n, n)
+		a := b.Add(b.Transpose()).Scale(0.5) // symmetrize
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(vals))) {
+			return false
+		}
+		tol := 1e-7 * (1 + a.MaxAbs())
+		for k := 0; k < n; k++ {
+			v := vecs.Col(k)
+			av := a.MulVec(v)
+			for i := range v {
+				if !almostEq(av[i], vals[k]*v[i], tol) {
+					return false
+				}
+			}
+		}
+		// Orthonormality: V^T V = I.
+		return matAlmostEq(vecs.Transpose().Mul(vecs), Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trace equals sum of eigenvalues.
+func TestEigenSymTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		vals, _, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		for _, v := range vals {
+			sum += v
+		}
+		return almostEq(trace, sum, 1e-8*(1+math.Abs(trace)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := AddVec(a, b); got[0] != 5 || got[2] != 9 {
+		t.Errorf("AddVec = %v", got)
+	}
+	if got := SubVec(b, a); got[0] != 3 || got[2] != 3 {
+		t.Errorf("SubVec = %v", got)
+	}
+	if got := ScaleVec(a, 2); got[1] != 4 {
+		t.Errorf("ScaleVec = %v", got)
+	}
+	o := Outer(a, b)
+	if o.At(1, 2) != 12 {
+		t.Errorf("Outer(1,2) = %v, want 12", o.At(1, 2))
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,214 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func matAlmostEq(a, b *Matrix, tol float64) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if !almostEq(a.At(i, j), b.At(i, j), tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// randomSPD builds a random symmetric positive-definite matrix A = B^T B + eps*I.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := randomMatrix(rng, n, n)
+	a := b.Transpose().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+0.5)
+	}
+	return a
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromRowsRoundTrip(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	m := FromRows(rows)
+	for i, r := range rows {
+		for j, v := range r {
+			if m.At(i, j) != v {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, m.At(i, j), v)
+			}
+		}
+	}
+	// Mutating the source must not affect the matrix.
+	rows[0][0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("FromRows did not copy the input")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 4, 4)
+	if !matAlmostEq(a.Mul(Identity(4)), a, 1e-12) {
+		t.Error("A*I != A")
+	}
+	if !matAlmostEq(Identity(4).Mul(a), a, 1e-12) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := a.Mul(b); !matAlmostEq(got, want, 1e-12) {
+		t.Errorf("Mul = \n%v want \n%v", got, want)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 5, 3)
+	v := []float64{1.5, -2, 0.25}
+	got := a.MulVec(v)
+	col := NewMatrix(3, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	want := a.Mul(col)
+	for i := range got {
+		if !almostEq(got[i], want.At(i, 0), 1e-12) {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(6), 1+rng.Intn(6))
+		return matAlmostEq(m.Transpose().Transpose(), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeMulProperty(t *testing.T) {
+	// (A*B)^T == B^T * A^T
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, p := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := randomMatrix(rng, n, k)
+		b := randomMatrix(rng, k, p)
+		return matAlmostEq(a.Mul(b).Transpose(), b.Transpose().Mul(a.Transpose()), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if got := a.Add(b); !matAlmostEq(got, FromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(a); got.MaxAbs() != 0 {
+		t.Errorf("A-A nonzero: %v", got)
+	}
+	if got := a.Scale(2); !matAlmostEq(got, FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := a.Row(1)
+	c := a.Col(2)
+	if r[0] != 4 || r[2] != 6 {
+		t.Errorf("Row = %v", r)
+	}
+	if c[0] != 3 || c[1] != 6 {
+		t.Errorf("Col = %v", c)
+	}
+	cl := a.Clone()
+	cl.Set(0, 0, 42)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !FromRows([][]float64{{1, 2}, {2, 1}}).IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	if FromRows([][]float64{{1, 2}, {3, 1}}).IsSymmetric(1e-9) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if FromRows([][]float64{{1, 2, 3}}).IsSymmetric(1e-9) {
+		t.Error("non-square matrix reported symmetric")
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag([]float64{1, 2, 3})
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = float64(i + 1)
+			}
+			if d.At(i, j) != want {
+				t.Errorf("Diag(%d,%d) = %v, want %v", i, j, d.At(i, j), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m x n matrix (m >= n):
+// A = Q*R with Q orthogonal (m x m, stored implicitly as reflectors) and
+// R upper triangular (n x n).
+type QR struct {
+	// qr stores R in its upper triangle and the Householder vectors below
+	// the diagonal.
+	qr    *Matrix
+	rdiag []float64
+}
+
+// NewQR factors a. It requires at least as many rows as columns.
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder reflector annihilating column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -norm
+	}
+	return &QR{qr: qr, rdiag: rdiag}, nil
+}
+
+// FullRank reports whether R has no (numerically) zero diagonal entries.
+func (f *QR) FullRank() bool {
+	scale := 0.0
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a > scale {
+			scale = a
+		}
+	}
+	tol := 1e-12 * (1 + scale)
+	for _, d := range f.rdiag {
+		if math.Abs(d) < tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimizing ||A*x - b||2.
+// Returns ErrSingular when A is rank-deficient.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows(), f.qr.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: QR solve rhs has length %d, want %d", len(b), m)
+	}
+	if !f.FullRank() {
+		return nil, ErrSingular
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Q^T to b.
+	for k := 0; k < n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R*x = (Q^T b)[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A*x - b||2 by Householder QR — numerically
+// preferable to forming the normal equations when A is ill-conditioned
+// (e.g. Vandermonde matrices of polynomial regression).
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

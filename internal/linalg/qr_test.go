@@ -1,0 +1,150 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRRequiresTallMatrix(t *testing.T) {
+	if _, err := NewQR(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for wide matrix")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square full-rank system: least squares equals the exact solution.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := LeastSquares(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-10) || !almostEq(x[1], 3, 1e-10) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x to noiseless overdetermined data with an outlier-free
+	// residual structure: x minimizes ||Ax-b||.
+	a := FromRows([][]float64{{1}, {2}, {3}, {4}})
+	b := []float64{2, 4, 6, 8}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 2, 1e-10) {
+		t.Errorf("slope = %v, want 2", x[0])
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient matrix")
+	}
+}
+
+func TestQRSolveRHSLength(t *testing.T) {
+	f, err := NewQR(FromRows([][]float64{{1}, {2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+}
+
+// Property: QR least squares matches the normal-equations solution on
+// well-conditioned random systems.
+func TestLeastSquaresMatchesNormalEquations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 5 + rng.Intn(15)
+		n := 1 + rng.Intn(4)
+		a := randomMatrix(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		qr, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		at := a.Transpose()
+		ne, err := Solve(at.Mul(a), at.MulVec(b))
+		if err != nil {
+			return false
+		}
+		for i := range qr {
+			if !almostEq(qr[i], ne[i], 1e-6*(1+math.Abs(ne[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the least-squares residual is orthogonal to the column space.
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 4 + rng.Intn(12)
+		n := 1 + rng.Intn(3)
+		a := randomMatrix(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		ax := a.MulVec(x)
+		resid := SubVec(b, ax)
+		// A^T r must be ~0.
+		atr := a.Transpose().MulVec(resid)
+		for _, v := range atr {
+			if math.Abs(v) > 1e-8*(1+Norm(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRIllConditionedVandermonde(t *testing.T) {
+	// A degree-5 Vandermonde on [0, 20]: the normal equations lose ~2x
+	// the digits QR does. QR must still recover exact polynomial data.
+	coeffs := []float64{1, -2, 0.5, 0.01, -0.002, 0.0001}
+	var rows [][]float64
+	var b []float64
+	for x := 0.0; x <= 20; x += 0.5 {
+		row := make([]float64, 6)
+		p := 1.0
+		y := 0.0
+		for e := 0; e < 6; e++ {
+			row[e] = p
+			y += coeffs[e] * p
+			p *= x
+		}
+		rows = append(rows, row)
+		b = append(b, y)
+	}
+	x, err := LeastSquares(FromRows(rows), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range coeffs {
+		if !almostEq(x[i], c, 1e-6*(1+math.Abs(c))) {
+			t.Errorf("coeff %d = %v, want %v", i, x[i], c)
+		}
+	}
+}

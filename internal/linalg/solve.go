@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a matrix is singular (or numerically so)
+// and cannot be solved or inverted.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Solve solves the linear system a*x = b for x using Gaussian elimination
+// with partial pivoting. a must be square and len(b) must equal a.Rows().
+// a and b are not modified.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("linalg: Solve requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: Solve dimension mismatch: %dx%d matrix with rhs of length %d", n, n, len(b))
+	}
+	// Augmented working copy.
+	w := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the row with the largest magnitude in col.
+		pivot := col
+		best := math.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(w, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		pv := w.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := w.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				w.Set(r, c, w.At(r, c)-f*w.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= w.At(i, j) * x[j]
+		}
+		x[i] = s / w.At(i, i)
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Inverse returns the inverse of a square matrix using Gauss-Jordan
+// elimination with partial pivoting. Returns ErrSingular if the matrix is
+// not invertible.
+func Inverse(a *Matrix) (*Matrix, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("linalg: Inverse requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	w := a.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(w, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		pv := w.At(col, col)
+		for c := 0; c < n; c++ {
+			w.Set(col, c, w.At(col, c)/pv)
+			inv.Set(col, c, inv.At(col, c)/pv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := w.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				w.Set(r, c, w.At(r, c)-f*w.At(col, c))
+				inv.Set(r, c, inv.At(r, c)-f*inv.At(col, c))
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Cholesky computes the lower-triangular Cholesky factor L of a symmetric
+// positive-definite matrix a, so that a = L * L^T. Returns ErrSingular if
+// a is not positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// RegularizedInverse inverts a after adding ridge*I to the diagonal. It is
+// used for covariance matrices that may be rank-deficient (e.g. constant
+// SMART attributes make the sample covariance singular).
+func RegularizedInverse(a *Matrix, ridge float64) (*Matrix, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("linalg: RegularizedInverse requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	w := a.Clone()
+	for i := 0; i < n; i++ {
+		w.Set(i, i, w.At(i, i)+ridge)
+	}
+	return Inverse(w)
+}

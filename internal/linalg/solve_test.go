@@ -1,0 +1,165 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-10) || !almostEq(x[1], 3, 1e-10) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient system")
+	}
+}
+
+func TestSolveNonSquare(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}})
+	if _, err := Solve(a, []float64{1}); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	a := Identity(3)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for rhs length mismatch")
+	}
+}
+
+// Property: for random well-conditioned A and x, Solve(A, A*x) recovers x.
+func TestSolveRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n) // SPD => well conditioned enough
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-6*(1+a.MaxAbs())) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := []float64{5, 10}
+	orig := a.Clone()
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !matAlmostEq(a, orig, 0) {
+		t.Error("Solve mutated its matrix argument")
+	}
+	if b[0] != 5 || b[1] != 10 {
+		t.Error("Solve mutated its rhs argument")
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if !matAlmostEq(inv, want, 1e-10) {
+		t.Errorf("Inverse = \n%v want \n%v", inv, want)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	// A * A^-1 == I for random SPD matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return matAlmostEq(a.Mul(inv), Identity(n), 1e-7*(1+a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 5}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matAlmostEq(l.Mul(l.Transpose()), a, 1e-10) {
+		t.Errorf("L*L^T != A; L = \n%v", l)
+	}
+	if l.At(0, 1) != 0 {
+		t.Error("Cholesky factor is not lower triangular")
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected failure for indefinite matrix")
+	}
+}
+
+func TestCholeskyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		return matAlmostEq(l.Mul(l.Transpose()), a, 1e-8*(1+a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegularizedInverseHandlesSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {1, 1}}) // singular
+	inv, err := RegularizedInverse(a, 1e-3)
+	if err != nil {
+		t.Fatalf("regularized inverse failed: %v", err)
+	}
+	if inv.MaxAbs() == 0 {
+		t.Error("regularized inverse is zero")
+	}
+}

@@ -1,0 +1,67 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the dot product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// AddVec returns a + b as a new slice.
+func AddVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: AddVec length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// SubVec returns a - b as a new slice.
+func SubVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: SubVec length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// ScaleVec returns v scaled by s as a new slice.
+func ScaleVec(v []float64, s float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * s
+	}
+	return out
+}
+
+// Outer returns the outer product a * b^T as a len(a) x len(b) matrix.
+func Outer(a, b []float64) *Matrix {
+	m := NewMatrix(len(a), len(b))
+	for i, av := range a {
+		for j, bv := range b {
+			m.Set(i, j, av*bv)
+		}
+	}
+	return m
+}

@@ -1,0 +1,366 @@
+// Package monitor is the online application of the characterization
+// results: a streaming drive-health monitor that scores every incoming
+// SMART record against the per-group degradation predictors, estimates
+// the remaining time to failure by inverting the group's degradation
+// signature, and escalates alerts as a drive deteriorates. It implements
+// the "middleware software that will enhance storage reliability" the
+// paper describes as future work (Sec. VI).
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"disksig/internal/core"
+	"disksig/internal/regression"
+	"disksig/internal/smart"
+)
+
+// Predictor scores a normalized attribute vector with a degradation value
+// in [-1, 1] (1 = healthy, -1 = failure event). *tree.Tree and
+// *tree.Forest satisfy it.
+type Predictor interface {
+	Predict(x []float64) float64
+}
+
+// GroupModel is one failure category's trained scoring model.
+type GroupModel struct {
+	// Group is the paper group number.
+	Group int
+	// Type is the semantic failure category.
+	Type core.FailureType
+	// Form is the group's degradation signature.
+	Form regression.SignatureForm
+	// WindowD is the signature's window size used for time-to-failure
+	// estimates.
+	WindowD float64
+	// Predictor scores normalized records.
+	Predictor Predictor
+}
+
+// Severity grades a monitored drive's state.
+type Severity int
+
+const (
+	// Healthy drives score near 1.
+	Healthy Severity = iota
+	// Watch drives have drifted from the good population.
+	Watch
+	// Warning drives have entered a degradation window.
+	Warning
+	// Critical drives are deep in degradation; data rescue should start.
+	Critical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Watch:
+		return "watch"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Config parameterizes the monitor.
+type Config struct {
+	// WatchBelow, WarnBelow and CriticalBelow are the degradation
+	// thresholds of the escalation ladder. A zero WatchBelow selects 0.5
+	// and a zero CriticalBelow selects -0.5; WarnBelow's useful default
+	// is exactly 0 (the degradation-window edge).
+	WatchBelow    float64
+	WarnBelow     float64
+	CriticalBelow float64
+	// Smoothing is the number of recent predictions median-filtered per
+	// drive to suppress single-sample noise; 0 means 3.
+	Smoothing int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WatchBelow == 0 {
+		c.WatchBelow = 0.5
+	}
+	if c.CriticalBelow == 0 {
+		c.CriticalBelow = -0.5
+	}
+	if c.Smoothing <= 0 {
+		c.Smoothing = 3
+	}
+	return c
+}
+
+// Alert reports an escalation of a monitored drive.
+type Alert struct {
+	DriveID int
+	Hour    int
+	// Severity is the new severity level.
+	Severity Severity
+	// Group and Type identify the most pessimistic failure-mode model.
+	Group int
+	Type  core.FailureType
+	// Degradation is the smoothed degradation score in [-1, 1].
+	Degradation float64
+	// HoursToFailure estimates the remaining time from the group
+	// signature; +Inf when the drive has not entered a degradation
+	// window.
+	HoursToFailure float64
+}
+
+// String renders the alert for logs.
+func (a Alert) String() string {
+	ttf := "not in degradation window"
+	if !math.IsInf(a.HoursToFailure, 1) {
+		ttf = fmt.Sprintf("~%.0fh to failure", a.HoursToFailure)
+	}
+	return fmt.Sprintf("drive %d [hour %d] %s: %s failure signature, degradation %+.2f, %s",
+		a.DriveID, a.Hour, a.Severity, a.Type, a.Degradation, ttf)
+}
+
+// DriveStatus is the monitor's current view of one drive.
+type DriveStatus struct {
+	DriveID        int
+	LastHour       int
+	Severity       Severity
+	Group          int
+	Type           core.FailureType
+	Degradation    float64
+	HoursToFailure float64
+}
+
+type driveState struct {
+	lastHour int
+	severity Severity
+	// recent holds the last Smoothing raw scores per group model.
+	recent [][]float64
+}
+
+// Monitor scores streaming SMART records.
+type Monitor struct {
+	cfg    Config
+	models []GroupModel
+	norm   *smart.Normalizer
+	drives map[int]*driveState
+}
+
+// New builds a monitor from trained group models and the fleet
+// normalizer used during training.
+func New(models []GroupModel, norm *smart.Normalizer, cfg Config) (*Monitor, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("monitor: no group models")
+	}
+	for _, m := range models {
+		if m.Predictor == nil {
+			return nil, fmt.Errorf("monitor: group %d has no predictor", m.Group)
+		}
+		if m.WindowD <= 0 {
+			return nil, fmt.Errorf("monitor: group %d has invalid window %v", m.Group, m.WindowD)
+		}
+	}
+	if norm == nil || !norm.Fitted() {
+		return nil, fmt.Errorf("monitor: normalizer missing or unfitted")
+	}
+	return &Monitor{
+		cfg:    cfg.withDefaults(),
+		models: models,
+		norm:   norm,
+		drives: map[int]*driveState{},
+	}, nil
+}
+
+// FromCharacterization builds a monitor directly from a pipeline run that
+// included the prediction stage.
+func FromCharacterization(ch *core.Characterization, cfg Config) (*Monitor, error) {
+	var models []GroupModel
+	for _, gr := range ch.Results {
+		if gr.Prediction == nil {
+			return nil, fmt.Errorf("monitor: group %d has no trained predictor (pipeline ran with SkipPrediction)", gr.Group.Number)
+		}
+		models = append(models, GroupModel{
+			Group:     gr.Group.Number,
+			Type:      gr.Group.Type,
+			Form:      gr.Summary.MajorityForm,
+			WindowD:   float64(gr.Summary.MedianD),
+			Predictor: gr.Prediction.Tree,
+		})
+	}
+	return New(models, ch.Dataset.Norm, cfg)
+}
+
+// Ingest scores one raw (vendor health-value) record of a drive. It
+// returns a non-nil alert when the drive's severity escalates.
+func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
+	st, ok := m.drives[driveID]
+	if !ok {
+		st = &driveState{recent: make([][]float64, len(m.models))}
+		m.drives[driveID] = st
+	}
+	st.lastHour = rec.Hour
+
+	normalized := m.norm.Normalize(rec.Values).Slice()
+	for gi, gm := range m.models {
+		score := gm.Predictor.Predict(normalized)
+		st.recent[gi] = append(st.recent[gi], score)
+		if len(st.recent[gi]) > m.cfg.Smoothing {
+			st.recent[gi] = st.recent[gi][1:]
+		}
+	}
+
+	group, deg := m.worstGroup(st)
+	severity := m.severityOf(deg)
+	if severity > st.severity {
+		st.severity = severity
+		gm := m.models[group]
+		return &Alert{
+			DriveID:        driveID,
+			Hour:           rec.Hour,
+			Severity:       severity,
+			Group:          gm.Group,
+			Type:           gm.Type,
+			Degradation:    deg,
+			HoursToFailure: hoursToFailure(gm, deg),
+		}
+	}
+	// De-escalate silently: transient dips recover without alert spam.
+	st.severity = severity
+	return nil
+}
+
+// worstGroup returns the model index with the lowest smoothed score and
+// that score.
+func (m *Monitor) worstGroup(st *driveState) (int, float64) {
+	best, bestScore := 0, math.Inf(1)
+	for gi := range m.models {
+		s := smoothedMedian(st.recent[gi])
+		if s < bestScore {
+			best, bestScore = gi, s
+		}
+	}
+	return best, bestScore
+}
+
+func smoothedMedian(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(1)
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}
+
+func (m *Monitor) severityOf(deg float64) Severity {
+	switch {
+	case deg < m.cfg.CriticalBelow:
+		return Critical
+	case deg < m.cfg.WarnBelow:
+		return Warning
+	case deg < m.cfg.WatchBelow:
+		return Watch
+	default:
+		return Healthy
+	}
+}
+
+// hoursToFailure inverts the group signature: s(t) = (t/d)^k - 1 gives
+// t = d * (s+1)^(1/k). Scores at or above the window edge (s >= 0) mean
+// the drive has not entered a degradation window.
+func hoursToFailure(gm GroupModel, deg float64) float64 {
+	if deg >= 0 {
+		return math.Inf(1)
+	}
+	if deg < -1 {
+		deg = -1
+	}
+	k := float64(gm.Form.Order())
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return gm.WindowD * math.Pow(deg+1, 1/k)
+}
+
+// Status returns the monitor's current view of a drive.
+func (m *Monitor) Status(driveID int) (DriveStatus, bool) {
+	st, ok := m.drives[driveID]
+	if !ok {
+		return DriveStatus{}, false
+	}
+	group, deg := m.worstGroup(st)
+	gm := m.models[group]
+	return DriveStatus{
+		DriveID:        driveID,
+		LastHour:       st.lastHour,
+		Severity:       st.severity,
+		Group:          gm.Group,
+		Type:           gm.Type,
+		Degradation:    deg,
+		HoursToFailure: hoursToFailure(gm, deg),
+	}, true
+}
+
+// Tracked returns the number of drives the monitor has seen.
+func (m *Monitor) Tracked() int { return len(m.drives) }
+
+// Snapshot returns the current status of every tracked drive, ordered by
+// ascending degradation (most at-risk first, ties by drive ID). It is the
+// fleet dashboard view of the middleware.
+func (m *Monitor) Snapshot() []DriveStatus {
+	out := make([]DriveStatus, 0, len(m.drives))
+	for id := range m.drives {
+		st, _ := m.Status(id)
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Degradation != out[j].Degradation {
+			return out[i].Degradation < out[j].Degradation
+		}
+		return out[i].DriveID < out[j].DriveID
+	})
+	return out
+}
+
+// WriteSnapshotJSON writes the Snapshot as JSON, the integration format
+// for external dashboards and ticketing systems. Severity and failure
+// types are rendered as strings; +Inf hours-to-failure becomes null.
+func (m *Monitor) WriteSnapshotJSON(w io.Writer) error {
+	type jsonStatus struct {
+		DriveID        int      `json:"drive_id"`
+		LastHour       int      `json:"last_hour"`
+		Severity       string   `json:"severity"`
+		Group          int      `json:"group"`
+		Type           string   `json:"type"`
+		Degradation    float64  `json:"degradation"`
+		HoursToFailure *float64 `json:"hours_to_failure"`
+	}
+	snapshot := m.Snapshot()
+	out := make([]jsonStatus, len(snapshot))
+	for i, st := range snapshot {
+		js := jsonStatus{
+			DriveID:     st.DriveID,
+			LastHour:    st.LastHour,
+			Severity:    st.Severity.String(),
+			Group:       st.Group,
+			Type:        st.Type.String(),
+			Degradation: st.Degradation,
+		}
+		if !math.IsInf(st.HoursToFailure, 1) {
+			ttf := st.HoursToFailure
+			js.HoursToFailure = &ttf
+		}
+		out[i] = js
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("monitor: encoding snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package monitor
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"disksig/internal/core"
+	"disksig/internal/regression"
+	"disksig/internal/smart"
+)
+
+// rampPredictor scores records by their RRER value directly, making test
+// trajectories easy to construct.
+type rampPredictor struct{}
+
+func (rampPredictor) Predict(x []float64) float64 { return x[smart.RRER] }
+
+// testNormalizer returns an identity-ish normalizer over [-1, 1].
+func testNormalizer() *smart.Normalizer {
+	n := smart.NewNormalizer()
+	var lo, hi smart.Values
+	for a := range lo {
+		lo[a] = -1
+		hi[a] = 1
+	}
+	n.Observe(lo)
+	n.Observe(hi)
+	return n
+}
+
+func testModels() []GroupModel {
+	return []GroupModel{{
+		Group:     1,
+		Type:      core.Logical,
+		Form:      regression.FormQuadratic,
+		WindowD:   12,
+		Predictor: rampPredictor{},
+	}}
+}
+
+func record(hour int, score float64) smart.Record {
+	var v smart.Values
+	v[smart.RRER] = score
+	return smart.Record{Hour: hour, Values: v}
+}
+
+func TestNewValidation(t *testing.T) {
+	norm := testNormalizer()
+	if _, err := New(nil, norm, Config{}); err == nil {
+		t.Error("expected error for no models")
+	}
+	if _, err := New([]GroupModel{{Group: 1, WindowD: 12}}, norm, Config{}); err == nil {
+		t.Error("expected error for missing predictor")
+	}
+	if _, err := New([]GroupModel{{Group: 1, Predictor: rampPredictor{}}}, norm, Config{}); err == nil {
+		t.Error("expected error for missing window")
+	}
+	if _, err := New(testModels(), smart.NewNormalizer(), Config{}); err == nil {
+		t.Error("expected error for unfitted normalizer")
+	}
+	if _, err := New(testModels(), nil, Config{}); err == nil {
+		t.Error("expected error for nil normalizer")
+	}
+}
+
+func TestEscalationLadder(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy: no alert.
+	if a := m.Ingest(1, record(0, 0.9)); a != nil {
+		t.Errorf("healthy record alerted: %v", a)
+	}
+	// Watch.
+	a := m.Ingest(1, record(1, 0.3))
+	if a == nil || a.Severity != Watch {
+		t.Fatalf("watch alert = %v", a)
+	}
+	if math.IsInf(a.HoursToFailure, 1) == false {
+		t.Errorf("watch-stage drive should have no failure ETA, got %v", a.HoursToFailure)
+	}
+	// Warning: inside the window.
+	a = m.Ingest(1, record(2, -0.2))
+	if a == nil || a.Severity != Warning {
+		t.Fatalf("warning alert = %v", a)
+	}
+	// ETA from s = -0.2, quadratic d=12: t = 12*sqrt(0.8).
+	want := 12 * math.Sqrt(0.8)
+	if math.Abs(a.HoursToFailure-want) > 1e-9 {
+		t.Errorf("ETA = %v, want %v", a.HoursToFailure, want)
+	}
+	// Critical.
+	a = m.Ingest(1, record(3, -0.8))
+	if a == nil || a.Severity != Critical {
+		t.Fatalf("critical alert = %v", a)
+	}
+	if a.String() == "" || !strings.Contains(a.String(), "critical") {
+		t.Errorf("alert string: %q", a.String())
+	}
+	// Staying critical: no repeated alert.
+	if a := m.Ingest(1, record(4, -0.9)); a != nil {
+		t.Errorf("repeated critical alerted: %v", a)
+	}
+	st, ok := m.Status(1)
+	if !ok || st.Severity != Critical || st.DriveID != 1 || st.LastHour != 4 {
+		t.Errorf("status = %+v", st)
+	}
+	if m.Tracked() != 1 {
+		t.Errorf("tracked = %d", m.Tracked())
+	}
+}
+
+func TestDeescalationSilent(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest(5, record(0, -0.8)) // straight to critical
+	if a := m.Ingest(5, record(1, 0.9)); a != nil {
+		t.Errorf("de-escalation alerted: %v", a)
+	}
+	st, _ := m.Status(5)
+	if st.Severity != Healthy {
+		t.Errorf("severity after recovery = %v", st.Severity)
+	}
+	// Re-escalation alerts again.
+	if a := m.Ingest(5, record(2, -0.8)); a == nil {
+		t.Error("re-escalation should alert")
+	}
+}
+
+func TestSmoothingSuppressesSpikes(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest(9, record(0, 0.9))
+	m.Ingest(9, record(1, 0.9))
+	// A single bad sample: the median of {0.9, 0.9, -0.9} is 0.9.
+	if a := m.Ingest(9, record(2, -0.9)); a != nil {
+		t.Errorf("single spike alerted: %v", a)
+	}
+	// Two consecutive bad samples flip the median.
+	if a := m.Ingest(9, record(3, -0.9)); a == nil {
+		t.Error("sustained degradation should alert")
+	}
+}
+
+func TestStatusUnknownDrive(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Status(42); ok {
+		t.Error("unknown drive should not have status")
+	}
+}
+
+func TestHoursToFailureInversion(t *testing.T) {
+	gm := GroupModel{Form: regression.FormCubic, WindowD: 24}
+	// s = -1 => 0 hours; s = 0 => not in window; s = (t/d)^3 - 1 inverts.
+	if got := hoursToFailure(gm, -1); got != 0 {
+		t.Errorf("t(-1) = %v", got)
+	}
+	if got := hoursToFailure(gm, 0.2); !math.IsInf(got, 1) {
+		t.Errorf("t(0.2) = %v, want +Inf", got)
+	}
+	s := regression.FormCubic.Eval(10, 24)
+	if got := hoursToFailure(gm, s); math.Abs(got-10) > 1e-9 {
+		t.Errorf("inverted t = %v, want 10", got)
+	}
+	// Deep scores clamp to the failure event.
+	if got := hoursToFailure(gm, -1.5); got != 0 {
+		t.Errorf("t(-1.5) = %v", got)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	for _, s := range []Severity{Healthy, Watch, Warning, Critical} {
+		if s.String() == "" {
+			t.Error("empty severity name")
+		}
+	}
+	if Severity(9).String() == "" {
+		t.Error("unknown severity should render")
+	}
+}
+
+func TestFromCharacterizationRejectsSkipPrediction(t *testing.T) {
+	ch := &core.Characterization{
+		Results: []*core.GroupResult{{Group: &core.Group{Number: 1}}},
+	}
+	if _, err := FromCharacterization(ch, Config{}); err == nil {
+		t.Error("expected error for missing prediction")
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest(1, record(0, 0.9))  // healthy
+	m.Ingest(2, record(0, -0.8)) // critical
+	m.Ingest(3, record(0, -0.1)) // warning
+	snap := m.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %d entries", len(snap))
+	}
+	// Most at-risk first.
+	if snap[0].DriveID != 2 || snap[2].DriveID != 1 {
+		t.Errorf("snapshot order = %v %v %v", snap[0].DriveID, snap[1].DriveID, snap[2].DriveID)
+	}
+	var buf strings.Builder
+	if err := m.WriteSnapshotJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]interface{}
+	if err := json.Unmarshal([]byte(buf.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != 3 {
+		t.Fatalf("parsed = %d entries", len(parsed))
+	}
+	if parsed[0]["severity"] != "critical" {
+		t.Errorf("first entry severity = %v", parsed[0]["severity"])
+	}
+	// Healthy drive has null hours_to_failure.
+	if parsed[2]["hours_to_failure"] != nil {
+		t.Errorf("healthy drive ETA = %v, want null", parsed[2]["hours_to_failure"])
+	}
+	// Critical drive has a finite ETA.
+	if parsed[0]["hours_to_failure"] == nil {
+		t.Error("critical drive should have a finite ETA")
+	}
+}

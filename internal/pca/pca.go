@@ -1,0 +1,103 @@
+// Package pca implements principal component analysis over row-observation
+// matrices, used to project the 30-feature failure records onto the two
+// principal components plotted in the paper's Fig. 4.
+package pca
+
+import (
+	"fmt"
+
+	"disksig/internal/linalg"
+	"disksig/internal/stats"
+)
+
+// Model is a fitted PCA basis.
+type Model struct {
+	// Means are the per-feature means subtracted before projection.
+	Means []float64
+	// Components holds the principal axes as columns, ordered by
+	// decreasing explained variance.
+	Components *linalg.Matrix
+	// Variances are the eigenvalues (variance along each component).
+	Variances []float64
+}
+
+// Fit computes a PCA basis from data (rows are observations, columns are
+// features) via eigendecomposition of the covariance matrix.
+func Fit(data [][]float64) (*Model, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("pca: no observations")
+	}
+	m := linalg.FromRows(data)
+	cov := stats.CovarianceMatrix(m)
+	vals, vecs, err := linalg.EigenSym(cov)
+	if err != nil {
+		return nil, fmt.Errorf("pca: eigendecomposition failed: %w", err)
+	}
+	// Numerical noise can make near-zero eigenvalues slightly negative.
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	return &Model{
+		Means:      stats.ColumnMeans(m),
+		Components: vecs,
+		Variances:  vals,
+	}, nil
+}
+
+// Transform projects one observation onto the first k principal
+// components.
+func (m *Model) Transform(x []float64, k int) []float64 {
+	if len(x) != len(m.Means) {
+		panic(fmt.Sprintf("pca: observation has %d features, model has %d", len(x), len(m.Means)))
+	}
+	if k > m.Components.Cols() {
+		k = m.Components.Cols()
+	}
+	out := make([]float64, k)
+	for c := 0; c < k; c++ {
+		var s float64
+		for j := range x {
+			s += (x[j] - m.Means[j]) * m.Components.At(j, c)
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// TransformAll projects every observation onto the first k components.
+func (m *Model) TransformAll(data [][]float64, k int) [][]float64 {
+	out := make([][]float64, len(data))
+	for i, x := range data {
+		out[i] = m.Transform(x, k)
+	}
+	return out
+}
+
+// ExplainedVarianceRatio returns the fraction of total variance captured
+// by each component.
+func (m *Model) ExplainedVarianceRatio() []float64 {
+	var total float64
+	for _, v := range m.Variances {
+		total += v
+	}
+	out := make([]float64, len(m.Variances))
+	if total == 0 {
+		return out
+	}
+	for i, v := range m.Variances {
+		out[i] = v / total
+	}
+	return out
+}
+
+// Project is a convenience that fits a PCA on data and returns the
+// k-dimensional projection of every observation.
+func Project(data [][]float64, k int) ([][]float64, *Model, error) {
+	model, err := Fit(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return model.TransformAll(data, k), model, nil
+}

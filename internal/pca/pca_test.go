@@ -1,0 +1,156 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitKnownDirection(t *testing.T) {
+	// Data spread along the (1,1) diagonal with tiny orthogonal noise: the
+	// first component must align with (1,1)/sqrt(2).
+	rng := rand.New(rand.NewSource(1))
+	var data [][]float64
+	for i := 0; i < 200; i++ {
+		tt := rng.NormFloat64() * 5
+		n := rng.NormFloat64() * 0.01
+		data = append(data, []float64{tt + n, tt - n})
+	}
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := []float64{m.Components.At(0, 0), m.Components.At(1, 0)}
+	if !almostEq(math.Abs(c0[0]), 1/math.Sqrt2, 1e-2) || !almostEq(math.Abs(c0[1]), 1/math.Sqrt2, 1e-2) {
+		t.Errorf("first component = %v, want +-(0.707, 0.707)", c0)
+	}
+	ratios := m.ExplainedVarianceRatio()
+	if ratios[0] < 0.99 {
+		t.Errorf("first component explains %v, want > 0.99", ratios[0])
+	}
+	if s := ratios[0] + ratios[1]; !almostEq(s, 1, 1e-9) {
+		t.Errorf("ratios sum to %v", s)
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+}
+
+func TestTransformCentering(t *testing.T) {
+	data := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projecting the mean point must give the origin.
+	got := m.Transform([]float64{3, 4}, 2)
+	for _, v := range got {
+		if !almostEq(v, 0, 1e-10) {
+			t.Errorf("projection of mean = %v, want origin", got)
+		}
+	}
+	// k larger than dimensionality is clipped.
+	if got := m.Transform([]float64{1, 2}, 10); len(got) != 2 {
+		t.Errorf("clipped projection length = %d", len(got))
+	}
+}
+
+func TestTransformDimensionPanics(t *testing.T) {
+	m, _ := Fit([][]float64{{1, 2}, {3, 4}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Transform([]float64{1}, 1)
+}
+
+// Property: full-rank projection preserves pairwise Euclidean distances
+// (PCA is a rotation plus centering).
+func TestTransformIsometryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 5+rng.Intn(20), 2+rng.Intn(4)
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = make([]float64, d)
+			for j := range data[i] {
+				data[i][j] = rng.NormFloat64()
+			}
+		}
+		proj, _, err := Project(data, d)
+		if err != nil {
+			return false
+		}
+		dist := func(a, b []float64) float64 {
+			var s float64
+			for i := range a {
+				s += (a[i] - b[i]) * (a[i] - b[i])
+			}
+			return math.Sqrt(s)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if !almostEq(dist(data[i], data[j]), dist(proj[i], proj[j]), 1e-6) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance of the first component's scores equals the first
+// eigenvalue.
+func TestComponentVarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 10+rng.Intn(40), 2+rng.Intn(3)
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = make([]float64, d)
+			for j := range data[i] {
+				data[i][j] = rng.NormFloat64() * float64(j+1)
+			}
+		}
+		proj, m, err := Project(data, 1)
+		if err != nil {
+			return false
+		}
+		var mean float64
+		for _, p := range proj {
+			mean += p[0]
+		}
+		mean /= float64(n)
+		var v float64
+		for _, p := range proj {
+			v += (p[0] - mean) * (p[0] - mean)
+		}
+		v /= float64(n)
+		return almostEq(v, m.Variances[0], 1e-6*(1+m.Variances[0]))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExplainedVarianceZeroData(t *testing.T) {
+	m, err := Fit([][]float64{{1, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range m.ExplainedVarianceRatio() {
+		if r != 0 {
+			t.Errorf("constant data ratio = %v", r)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"disksig/internal/regression"
+	"disksig/internal/smart"
+)
+
+func TestTrainLinearExact(t *testing.T) {
+	// y = 2 + 3a - b sampled exactly.
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x = append(x, []float64{a, b})
+		y = append(y, 2+3*a-b)
+	}
+	m, err := TrainLinear(x, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i, w := range want {
+		if math.Abs(m.Coeffs[i]-w) > 1e-4 {
+			t.Errorf("coeff %d = %v, want %v", i, m.Coeffs[i], w)
+		}
+	}
+	pred := m.PredictAll(x)
+	for i := range pred {
+		if math.Abs(pred[i]-y[i]) > 1e-3 {
+			t.Fatalf("prediction %d off: %v vs %v", i, pred[i], y[i])
+		}
+	}
+}
+
+func TestTrainLinearCollinear(t *testing.T) {
+	// Second feature is an exact linear transform of the first (like RSC
+	// vs R-RSC); the ridge must keep the system solvable.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		v := float64(i)
+		x = append(x, []float64{v, 2 * v})
+		y = append(y, v)
+	}
+	m, err := TrainLinear(x, y, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Predict([]float64{10, 20})-10) > 0.5 {
+		t.Errorf("collinear prediction = %v, want ~10", m.Predict([]float64{10, 20}))
+	}
+}
+
+func TestTrainLinearErrors(t *testing.T) {
+	if _, err := TrainLinear(nil, nil, 0); err == nil {
+		t.Error("expected error for empty data")
+	}
+	if _, err := TrainLinear([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("expected error for mismatch")
+	}
+	if _, err := TrainLinear([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Error("expected error for ragged rows")
+	}
+}
+
+func TestLinearPredictPanics(t *testing.T) {
+	m := &LinearModel{Coeffs: []float64{0, 1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict([]float64{1, 2})
+}
+
+func TestCompareMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var failedP []*smart.Profile
+	for i := 0; i < 15; i++ {
+		failedP = append(failedP, degradedProfile(i, 120, 12, rng))
+	}
+	pool := goodValues(4000, rng)
+	results, err := CompareMethods(failedP, pool, DegradationConfig{
+		Form:    regression.FormQuadratic,
+		WindowD: 12,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("methods = %d", len(results))
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Method] = true
+		if r.RMSE <= 0 || r.RMSE > 1 {
+			t.Errorf("%s RMSE = %v", r.Method, r.RMSE)
+		}
+		if math.Abs(r.ErrorRate-r.RMSE/2) > 1e-12 {
+			t.Errorf("%s error rate inconsistent", r.Method)
+		}
+	}
+	if !names["regression tree"] || !names["random forest"] || !names["linear (ridge OLS)"] {
+		t.Errorf("methods = %v", names)
+	}
+	// Tree-based methods should beat the linear floor on this nonlinear
+	// target.
+	var treeR, linR float64
+	for _, r := range results {
+		switch r.Method {
+		case "regression tree":
+			treeR = r.RMSE
+		case "linear (ridge OLS)":
+			linR = r.RMSE
+		}
+	}
+	if !(treeR < linR) {
+		t.Errorf("tree RMSE %v should beat linear %v", treeR, linR)
+	}
+}
+
+func TestCompareMethodsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := goodValues(10, rng)
+	if _, err := CompareMethods(nil, pool, DegradationConfig{Form: regression.FormLinear, WindowD: 10}); err == nil {
+		t.Error("expected error for no profiles")
+	}
+}

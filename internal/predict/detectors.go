@@ -1,0 +1,252 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"disksig/internal/distance"
+	"disksig/internal/smart"
+	"disksig/internal/stats"
+)
+
+// Detector decides, from a drive's normalized health profile, whether the
+// drive is failing. Detectors model the prior-work baselines of Sec. II-C.
+type Detector interface {
+	// Flag reports whether the detector raises an alarm for the profile.
+	Flag(p *smart.Profile) bool
+	// Name identifies the detector in reports.
+	Name() string
+}
+
+// Evaluation is the standard detector scorecard.
+type Evaluation struct {
+	// FDR is the failure detection rate: the fraction of failed drives
+	// flagged.
+	FDR float64
+	// FAR is the false alarm rate: the fraction of good drives flagged.
+	FAR float64
+	// Flagged counts raised alarms over both populations.
+	Flagged int
+}
+
+// Evaluate runs the detector over both populations (normalized profiles).
+func Evaluate(det Detector, failed, good []*smart.Profile) Evaluation {
+	var e Evaluation
+	var hits int
+	for _, p := range failed {
+		if det.Flag(p) {
+			hits++
+			e.Flagged++
+		}
+	}
+	if len(failed) > 0 {
+		e.FDR = float64(hits) / float64(len(failed))
+	}
+	var false_ int
+	for _, p := range good {
+		if det.Flag(p) {
+			false_++
+			e.Flagged++
+		}
+	}
+	if len(good) > 0 {
+		e.FAR = float64(false_) / float64(len(good))
+	}
+	return e
+}
+
+// ThresholdDetector is the vendor-firmware baseline: raise an alarm when
+// any monitored attribute's health value drops below its threshold.
+// Vendors set thresholds very conservatively to keep FAR near zero, which
+// is why the paper cites only 3-10 % FDR for this scheme.
+type ThresholdDetector struct {
+	// Attrs are the monitored attributes; nil means the R/W health values.
+	Attrs []smart.Attr
+	// Threshold is the normalized health value below which an attribute
+	// trips the alarm.
+	Threshold float64
+	// Window is how many of the latest records are inspected; 0 means 24.
+	Window int
+}
+
+// Flag implements Detector.
+func (d *ThresholdDetector) Flag(p *smart.Profile) bool {
+	attrs := d.Attrs
+	if attrs == nil {
+		attrs = thresholdDefaultAttrs()
+	}
+	window := d.Window
+	if window <= 0 {
+		window = 24
+	}
+	for _, r := range p.Tail(window) {
+		for _, a := range attrs {
+			if r.Values[a] < d.Threshold {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// thresholdDefaultAttrs monitors the error-counting health values, as
+// drive firmware does.
+func thresholdDefaultAttrs() []smart.Attr {
+	return []smart.Attr{smart.RRER, smart.RSC, smart.SER, smart.RUE, smart.HFW, smart.CPSC}
+}
+
+// Name implements Detector.
+func (d *ThresholdDetector) Name() string { return "threshold" }
+
+// RankSumDetector is the Hughes et al. baseline: a Wilcoxon rank-sum test
+// of the drive's recent attribute values against a good-drive reference
+// sample, OR-ed over attributes.
+type RankSumDetector struct {
+	// Reference holds per-attribute reference samples from good drives.
+	Reference map[smart.Attr][]float64
+	// Attrs are the tested attributes; nil means the R/W health values.
+	Attrs []smart.Attr
+	// ZCrit is the one-sided critical value: an alarm requires the recent
+	// sample to rank significantly BELOW the reference (health values
+	// fall as drives degrade; the upper tail only reflects benign
+	// baseline spread). 0 selects 97% of the maximum attainable |z| for
+	// the window/reference sizes — near-total rank separation, the
+	// conservative regime that keeps FAR low on heterogeneous fleets.
+	ZCrit float64
+	// Window is how many of the latest records form the test sample; 0
+	// means 24.
+	Window int
+}
+
+// NewRankSumDetector builds the reference samples from good profiles,
+// subsampling refPerAttr values per attribute.
+func NewRankSumDetector(good []*smart.Profile, refPerAttr int, seed int64) (*RankSumDetector, error) {
+	if len(good) == 0 {
+		return nil, fmt.Errorf("predict: rank-sum reference requires good profiles")
+	}
+	if refPerAttr <= 0 {
+		refPerAttr = 2000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &RankSumDetector{Reference: map[smart.Attr][]float64{}}
+	attrs := thresholdDefaultAttrs()
+	for _, a := range attrs {
+		sample := make([]float64, 0, refPerAttr)
+		for i := 0; i < refPerAttr; i++ {
+			p := good[rng.Intn(len(good))]
+			r := p.Records[rng.Intn(p.Len())]
+			sample = append(sample, r.Values[a])
+		}
+		d.Reference[a] = sample
+	}
+	return d, nil
+}
+
+// Flag implements Detector.
+func (d *RankSumDetector) Flag(p *smart.Profile) bool {
+	attrs := d.Attrs
+	if attrs == nil {
+		attrs = thresholdDefaultAttrs()
+	}
+	window := d.Window
+	if window <= 0 {
+		window = 24
+	}
+	tail := p.Tail(window)
+	sample := make([]float64, len(tail))
+	for _, a := range attrs {
+		ref, ok := d.Reference[a]
+		if !ok {
+			continue
+		}
+		zcrit := d.ZCrit
+		if zcrit == 0 {
+			// 97% of the maximum |z| attainable when every sample value
+			// ranks below the whole reference.
+			n1, n2 := float64(len(tail)), float64(len(ref))
+			zcrit = 0.97 * math.Sqrt(3*n1*n2/(n1+n2+1))
+		}
+		for i, r := range tail {
+			sample[i] = r.Values[a]
+		}
+		if z := stats.RankSumZ(sample, ref); z < -zcrit {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements Detector.
+func (d *RankSumDetector) Name() string { return "rank-sum" }
+
+// MahalanobisDetector is the Wang et al. baseline: flag a drive when the
+// Mahalanobis distance of its recent records from the good-drive
+// distribution exceeds a threshold calibrated on good data.
+type MahalanobisDetector struct {
+	metric    *distance.Mahalanobis
+	center    []float64
+	threshold float64
+	window    int
+	attrs     []smart.Attr
+}
+
+// NewMahalanobisDetector fits the metric on good records and calibrates
+// the alarm threshold at the given quantile of good-record distances
+// (e.g. 0.999 targets a 0.1 % per-record false-positive budget).
+func NewMahalanobisDetector(good []*smart.Profile, quantile float64, seed int64) (*MahalanobisDetector, error) {
+	if len(good) == 0 {
+		return nil, fmt.Errorf("predict: Mahalanobis detector requires good profiles")
+	}
+	if quantile <= 0 || quantile >= 1 {
+		return nil, fmt.Errorf("predict: quantile %v outside (0, 1)", quantile)
+	}
+	attrs := thresholdDefaultAttrs()
+	rng := rand.New(rand.NewSource(seed))
+	const refN = 4000
+	ref := make([][]float64, 0, refN)
+	for i := 0; i < refN; i++ {
+		p := good[rng.Intn(len(good))]
+		r := p.Records[rng.Intn(p.Len())]
+		ref = append(ref, r.Values.Select(attrs))
+	}
+	metric, err := distance.NewMahalanobis(ref)
+	if err != nil {
+		return nil, err
+	}
+	center := make([]float64, len(attrs))
+	for _, v := range ref {
+		for i, x := range v {
+			center[i] += x
+		}
+	}
+	for i := range center {
+		center[i] /= float64(len(ref))
+	}
+	dists := make([]float64, len(ref))
+	for i, v := range ref {
+		dists[i] = metric.Distance(v, center)
+	}
+	return &MahalanobisDetector{
+		metric:    metric,
+		center:    center,
+		threshold: stats.Quantile(dists, quantile),
+		window:    24,
+		attrs:     attrs,
+	}, nil
+}
+
+// Flag implements Detector: the alarm fires when the median recent
+// distance exceeds the calibrated threshold (median over the window
+// suppresses single-sample noise).
+func (d *MahalanobisDetector) Flag(p *smart.Profile) bool {
+	tail := p.Tail(d.window)
+	dists := make([]float64, len(tail))
+	for i, r := range tail {
+		dists[i] = d.metric.Distance(r.Values.Select(d.attrs), d.center)
+	}
+	return stats.Median(dists) > d.threshold
+}
+
+// Name implements Detector.
+func (d *MahalanobisDetector) Name() string { return "mahalanobis" }

@@ -1,0 +1,78 @@
+package predict
+
+import (
+	"fmt"
+
+	"disksig/internal/linalg"
+)
+
+// LinearModel is an ordinary-least-squares linear regressor over the 12
+// normalized attributes — the simplest of the extra prediction methods
+// the paper leaves for future work, and a useful floor for the tree and
+// forest models.
+type LinearModel struct {
+	// Coeffs holds the intercept followed by one weight per feature.
+	Coeffs []float64
+}
+
+// TrainLinear fits y ≈ b0 + b·x by OLS with a small ridge term for
+// numerical stability on collinear attributes (RSC is a linear transform
+// of R-RSC, so the plain normal equations are singular).
+func TrainLinear(x [][]float64, y []float64, ridge float64) (*LinearModel, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("predict: no training samples")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("predict: %d observations but %d targets", len(x), len(y))
+	}
+	if ridge <= 0 {
+		ridge = 1e-6
+	}
+	d := len(x[0])
+	k := d + 1
+	xtx := linalg.NewMatrix(k, k)
+	xty := make([]float64, k)
+	row := make([]float64, k)
+	for i, obs := range x {
+		if len(obs) != d {
+			return nil, fmt.Errorf("predict: observation %d has %d features, want %d", i, len(obs), d)
+		}
+		row[0] = 1
+		copy(row[1:], obs)
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				xtx.Set(a, b, xtx.At(a, b)+row[a]*row[b])
+			}
+			xty[a] += row[a] * y[i]
+		}
+	}
+	for a := 1; a < k; a++ { // don't penalize the intercept
+		xtx.Set(a, a, xtx.At(a, a)+ridge*float64(len(x)))
+	}
+	coeffs, err := linalg.Solve(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("predict: solving linear normal equations: %w", err)
+	}
+	return &LinearModel{Coeffs: coeffs}, nil
+}
+
+// Predict returns the linear prediction for one observation.
+func (m *LinearModel) Predict(x []float64) float64 {
+	if len(x) != len(m.Coeffs)-1 {
+		panic(fmt.Sprintf("predict: observation has %d features, model has %d", len(x), len(m.Coeffs)-1))
+	}
+	yhat := m.Coeffs[0]
+	for i, v := range x {
+		yhat += m.Coeffs[i+1] * v
+	}
+	return yhat
+}
+
+// PredictAll predicts every observation.
+func (m *LinearModel) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"disksig/internal/regression"
+	"disksig/internal/smart"
+)
+
+// degradedProfile builds a normalized failed profile whose attributes
+// track the quadratic signature inside a d-hour window; outside the window
+// the values sit at a healthy level distinct from good drives only in TC.
+func degradedProfile(id, total, d int, rng *rand.Rand) *smart.Profile {
+	p := &smart.Profile{DriveID: id, Failed: true, TrueGroup: 1}
+	for h := 0; h < total; h++ {
+		t := total - 1 - h
+		var sev float64
+		if t <= d {
+			x := float64(t) / float64(d)
+			sev = 1 - x*x
+		}
+		var v smart.Values
+		for a := range v {
+			v[a] = 0.8 - sev*1.5 + rng.NormFloat64()*0.01
+		}
+		v[smart.TC] = -0.5 + rng.NormFloat64()*0.05 // persistently hot
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: v})
+	}
+	return p
+}
+
+func goodValues(n int, rng *rand.Rand) []smart.Values {
+	out := make([]smart.Values, n)
+	for i := range out {
+		var v smart.Values
+		for a := range v {
+			v[a] = 0.8 + rng.NormFloat64()*0.02
+		}
+		v[smart.TC] = 0.5 + rng.NormFloat64()*0.05
+		out[i] = v
+	}
+	return out
+}
+
+func TestTrainDegradation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var failed []*smart.Profile
+	for i := 0; i < 20; i++ {
+		failed = append(failed, degradedProfile(i, 120, 12, rng))
+	}
+	pool := goodValues(5000, rng)
+	res, err := TrainDegradation(failed, pool, DegradationConfig{
+		Form:    regression.FormQuadratic,
+		WindowD: 12,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 0.25 {
+		t.Errorf("RMSE = %v, want < 0.25", res.RMSE)
+	}
+	if math.Abs(res.ErrorRate-res.RMSE/2) > 1e-12 {
+		t.Errorf("ErrorRate = %v, want RMSE/2", res.ErrorRate)
+	}
+	total := res.TrainSamples + res.TestSamples
+	// 20 failed drives x 120 records x (1 + 10 good factor).
+	if total != 20*120*11 {
+		t.Errorf("total samples = %d, want %d", total, 20*120*11)
+	}
+	frac := float64(res.TrainSamples) / float64(total)
+	if math.Abs(frac-0.7) > 0.01 {
+		t.Errorf("train fraction = %v", frac)
+	}
+	// TC separates pre-window failed samples (target 0) from good ones
+	// (target 1), so it must carry real importance.
+	if res.Importance[smart.TC] < 0.1 {
+		t.Errorf("TC importance = %v, want substantial", res.Importance[smart.TC])
+	}
+}
+
+func TestTrainDegradationErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pool := goodValues(10, rng)
+	failed := []*smart.Profile{degradedProfile(0, 50, 10, rng)}
+	if _, err := TrainDegradation(nil, pool, DegradationConfig{Form: regression.FormLinear, WindowD: 10}); err == nil {
+		t.Error("expected error for no failed profiles")
+	}
+	if _, err := TrainDegradation(failed, nil, DegradationConfig{Form: regression.FormLinear, WindowD: 10}); err == nil {
+		t.Error("expected error for empty pool")
+	}
+	if _, err := TrainDegradation(failed, pool, DegradationConfig{Form: regression.FormLinear}); err == nil {
+		t.Error("expected error for missing WindowD")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if PaperWindowD(1) != 12 || PaperWindowD(2) != 380 || PaperWindowD(3) != 24 {
+		t.Error("paper window sizes wrong")
+	}
+	if PaperForm(1) != regression.FormQuadratic || PaperForm(2) != regression.FormLinear || PaperForm(3) != regression.FormCubic {
+		t.Error("paper forms wrong")
+	}
+	names := AttrNames()
+	if len(names) != int(smart.NumAttrs) || names[0] != "RRER" {
+		t.Errorf("AttrNames = %v", names)
+	}
+	for _, f := range []func(){func() { PaperWindowD(0) }, func() { PaperForm(4) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid group")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// healthyProfile builds a normalized good profile.
+func healthyProfile(id, n int, rng *rand.Rand) *smart.Profile {
+	p := &smart.Profile{DriveID: id}
+	for h := 0; h < n; h++ {
+		var v smart.Values
+		for a := range v {
+			v[a] = 0.8 + rng.NormFloat64()*0.02
+		}
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: v})
+	}
+	return p
+}
+
+func detectorFixtures(t *testing.T) (failed, good []*smart.Profile) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		failed = append(failed, degradedProfile(i, 120, 24, rng))
+	}
+	for i := 0; i < 100; i++ {
+		good = append(good, healthyProfile(100+i, 120, rng))
+	}
+	return failed, good
+}
+
+func TestThresholdDetector(t *testing.T) {
+	failed, good := detectorFixtures(t)
+	det := &ThresholdDetector{Threshold: -0.4}
+	ev := Evaluate(det, failed, good)
+	if ev.FDR < 0.9 {
+		t.Errorf("FDR = %v, want high (failure records dip below threshold)", ev.FDR)
+	}
+	if ev.FAR > 0.01 {
+		t.Errorf("FAR = %v, want ~0", ev.FAR)
+	}
+	if det.Name() != "threshold" {
+		t.Error("name")
+	}
+	// A very conservative threshold detects nothing.
+	strict := &ThresholdDetector{Threshold: -2}
+	if ev := Evaluate(strict, failed, good); ev.FDR != 0 || ev.Flagged != 0 {
+		t.Errorf("strict detector flagged %d", ev.Flagged)
+	}
+}
+
+func TestRankSumDetector(t *testing.T) {
+	failed, good := detectorFixtures(t)
+	det, err := NewRankSumDetector(good, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(det, failed, good)
+	if ev.FDR < 0.8 {
+		t.Errorf("FDR = %v, want high", ev.FDR)
+	}
+	if ev.FAR > 0.05 {
+		t.Errorf("FAR = %v, want low", ev.FAR)
+	}
+	if det.Name() != "rank-sum" {
+		t.Error("name")
+	}
+	if _, err := NewRankSumDetector(nil, 10, 1); err == nil {
+		t.Error("expected error for empty reference")
+	}
+}
+
+func TestMahalanobisDetector(t *testing.T) {
+	failed, good := detectorFixtures(t)
+	det, err := NewMahalanobisDetector(good, 0.999, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(det, failed, good)
+	if ev.FDR < 0.8 {
+		t.Errorf("FDR = %v, want high", ev.FDR)
+	}
+	if ev.FAR > 0.05 {
+		t.Errorf("FAR = %v, want low", ev.FAR)
+	}
+	if det.Name() != "mahalanobis" {
+		t.Error("name")
+	}
+	if _, err := NewMahalanobisDetector(nil, 0.999, 1); err == nil {
+		t.Error("expected error for no good profiles")
+	}
+	if _, err := NewMahalanobisDetector(good, 1.5, 1); err == nil {
+		t.Error("expected error for bad quantile")
+	}
+}
+
+func TestEvaluateEmptyPopulations(t *testing.T) {
+	det := &ThresholdDetector{Threshold: -0.5}
+	ev := Evaluate(det, nil, nil)
+	if ev.FDR != 0 || ev.FAR != 0 || ev.Flagged != 0 {
+		t.Errorf("empty evaluation = %+v", ev)
+	}
+}

@@ -1,0 +1,129 @@
+package regression
+
+import (
+	"fmt"
+	"math"
+)
+
+// SignatureForm is one of the paper's fixed degradation-signature model
+// forms: a polynomial in t parameterized only by the degradation-window
+// size d (and, for the full second-order Group 1/3 forms, an extra shape
+// term). All forms satisfy s(0) = -1 (the failure event).
+type SignatureForm int
+
+const (
+	// FormLinear is s(t) = t/d - 1 (Eq. 4, Group 2's signature).
+	FormLinear SignatureForm = iota
+	// FormQuadratic is the revised second-order s(t) = (t/d)^2 - 1
+	// (Eq. 3, Group 1's signature).
+	FormQuadratic
+	// FormCubic is the simplified third-order s(t) = (t/d)^3 - 1
+	// (Eq. 6, Group 3's signature).
+	FormCubic
+	// FormFullQuadratic is the unrevised Eq. 2, s(t) = t^2/d^2 - t/(3d) - 1,
+	// kept for the Sec. IV-C model comparison (it fails s(d) = 0).
+	FormFullQuadratic
+
+	numForms
+)
+
+// String names the form.
+func (f SignatureForm) String() string {
+	switch f {
+	case FormLinear:
+		return "t/d - 1"
+	case FormQuadratic:
+		return "(t/d)^2 - 1"
+	case FormCubic:
+		return "(t/d)^3 - 1"
+	case FormFullQuadratic:
+		return "t^2/d^2 - t/(3d) - 1"
+	default:
+		return fmt.Sprintf("SignatureForm(%d)", int(f))
+	}
+}
+
+// Order returns the polynomial order of the form.
+func (f SignatureForm) Order() int {
+	switch f {
+	case FormLinear:
+		return 1
+	case FormQuadratic, FormFullQuadratic:
+		return 2
+	case FormCubic:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// AllForms returns the candidate fixed forms the automatic signature tool
+// compares (Sec. IV-C): linear, revised quadratic and simplified cubic.
+func AllForms() []SignatureForm {
+	return []SignatureForm{FormLinear, FormQuadratic, FormCubic}
+}
+
+// Eval evaluates the form at time-to-failure t with window size d.
+func (f SignatureForm) Eval(t, d float64) float64 {
+	if d <= 0 {
+		return math.NaN()
+	}
+	x := t / d
+	switch f {
+	case FormLinear:
+		return x - 1
+	case FormQuadratic:
+		return x*x - 1
+	case FormCubic:
+		return x*x*x - 1
+	case FormFullQuadratic:
+		return x*x - t/(3*d) - 1
+	default:
+		return math.NaN()
+	}
+}
+
+// EvalSeries evaluates the form at each time-to-failure value.
+func (f SignatureForm) EvalSeries(ts []float64, d float64) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = f.Eval(t, d)
+	}
+	return out
+}
+
+// FormFit is a fixed form evaluated against an observed degradation
+// window.
+type FormFit struct {
+	Form SignatureForm
+	// D is the degradation-window size the form was evaluated with.
+	D    float64
+	RMSE float64
+}
+
+// SelectForm evaluates every candidate fixed form against the observed
+// degradation values (ts = hours before failure, ys = normalized
+// degradation in [-1, 0]) and returns all fits sorted as given by
+// AllForms plus the index of the best (lowest-RMSE) one. This is the
+// model selection the paper's automated signature tool performs.
+func SelectForm(ts, ys []float64, d float64) ([]FormFit, int, error) {
+	if len(ts) != len(ys) {
+		return nil, 0, fmt.Errorf("regression: SelectForm length mismatch %d vs %d", len(ts), len(ys))
+	}
+	if len(ts) == 0 {
+		return nil, 0, fmt.Errorf("regression: SelectForm requires samples")
+	}
+	if d <= 0 {
+		return nil, 0, fmt.Errorf("regression: window size d = %v must be positive", d)
+	}
+	forms := AllForms()
+	fits := make([]FormFit, len(forms))
+	best := 0
+	for i, f := range forms {
+		fits[i] = FormFit{Form: f, D: d, RMSE: RMSE(f.EvalSeries(ts, d), ys)}
+		if fits[i].RMSE < fits[best].RMSE {
+			best = i
+		}
+	}
+	return fits, best, nil
+}

@@ -1,0 +1,168 @@
+// Package regression implements ordinary-least-squares polynomial
+// regression and the paper's degradation-signature model forms: the free
+// polynomial fits of Fig. 8 and the revised fixed-form signatures
+// s(t) = (t/d)^k - 1 compared by RMSE in Sec. IV-C.
+package regression
+
+import (
+	"fmt"
+	"math"
+
+	"disksig/internal/linalg"
+)
+
+// Polynomial is a fitted polynomial y = c0 + c1*x + ... + cn*x^n.
+type Polynomial struct {
+	// Coeffs holds the coefficients in ascending-degree order.
+	Coeffs []float64
+}
+
+// Degree returns the polynomial degree.
+func (p Polynomial) Degree() int { return len(p.Coeffs) - 1 }
+
+// Eval evaluates the polynomial at x via Horner's scheme.
+func (p Polynomial) Eval(x float64) float64 {
+	var y float64
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		y = y*x + p.Coeffs[i]
+	}
+	return y
+}
+
+// String renders the polynomial for reports.
+func (p Polynomial) String() string {
+	s := ""
+	for i, c := range p.Coeffs {
+		if i > 0 {
+			s += " + "
+		}
+		switch i {
+		case 0:
+			s += fmt.Sprintf("%.4g", c)
+		case 1:
+			s += fmt.Sprintf("%.4g*t", c)
+		default:
+			s += fmt.Sprintf("%.4g*t^%d", c, i)
+		}
+	}
+	return s
+}
+
+// PolyFit fits a polynomial of the given degree to the samples (xs, ys)
+// by ordinary least squares on the normal equations. It requires at least
+// degree+1 samples.
+func PolyFit(xs, ys []float64, degree int) (Polynomial, error) {
+	if degree < 0 {
+		return Polynomial{}, fmt.Errorf("regression: negative degree %d", degree)
+	}
+	if len(xs) != len(ys) {
+		return Polynomial{}, fmt.Errorf("regression: sample length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	k := degree + 1
+	if n < k {
+		return Polynomial{}, fmt.Errorf("regression: %d samples cannot determine a degree-%d polynomial", n, degree)
+	}
+	// Least squares on the Vandermonde matrix via Householder QR, which
+	// keeps roughly twice the significant digits of the normal equations
+	// when the design is ill-conditioned (wide x ranges, higher orders).
+	vand := linalg.NewMatrix(n, k)
+	for i := 0; i < n; i++ {
+		p := 1.0
+		for e := 0; e < k; e++ {
+			vand.Set(i, e, p)
+			p *= xs[i]
+		}
+	}
+	coeffs, err := linalg.LeastSquares(vand, ys)
+	if err != nil {
+		return Polynomial{}, fmt.Errorf("regression: least-squares fit: %w", err)
+	}
+	return Polynomial{Coeffs: coeffs}, nil
+}
+
+// Predict evaluates the polynomial at each x.
+func (p Polynomial) Predict(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = p.Eval(x)
+	}
+	return out
+}
+
+// RMSE returns the root-mean-square error of predictions against truth.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("regression: RMSE length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// RSquared returns the coefficient of determination of predictions
+// against truth: 1 - SS_res/SS_tot. Constant truth yields NaN unless the
+// fit is exact (then 1).
+func RSquared(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("regression: RSquared length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	if len(truth) == 0 {
+		return math.NaN()
+	}
+	var mean float64
+	for _, y := range truth {
+		mean += y
+	}
+	mean /= float64(len(truth))
+	var ssRes, ssTot float64
+	for i := range truth {
+		ssRes += (truth[i] - pred[i]) * (truth[i] - pred[i])
+		ssTot += (truth[i] - mean) * (truth[i] - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// FitReport couples a fitted polynomial with its goodness-of-fit on the
+// training samples, as annotated in Fig. 8.
+type FitReport struct {
+	Poly     Polynomial
+	RSquared float64
+	RMSE     float64
+}
+
+// FitOrders fits polynomials of order 1..maxOrder to the samples and
+// reports each fit (the Fig. 8 panel contents).
+func FitOrders(xs, ys []float64, maxOrder int) ([]FitReport, error) {
+	if maxOrder < 1 {
+		return nil, fmt.Errorf("regression: maxOrder must be >= 1, got %d", maxOrder)
+	}
+	var out []FitReport
+	for deg := 1; deg <= maxOrder; deg++ {
+		if len(xs) < deg+1 {
+			break
+		}
+		poly, err := PolyFit(xs, ys, deg)
+		if err != nil {
+			return nil, err
+		}
+		pred := poly.Predict(xs)
+		out = append(out, FitReport{Poly: poly, RSquared: RSquared(pred, ys), RMSE: RMSE(pred, ys)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("regression: %d samples support no fit of order >= 1", len(xs))
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPolyFitExactQuadratic(t *testing.T) {
+	// y = 2 - 3x + 0.5x^2 sampled exactly.
+	truth := Polynomial{Coeffs: []float64{2, -3, 0.5}}
+	var xs, ys []float64
+	for x := -3.0; x <= 3; x += 0.5 {
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x))
+	}
+	got, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range truth.Coeffs {
+		if !almostEq(got.Coeffs[i], c, 1e-9) {
+			t.Errorf("coeff %d = %v, want %v", i, got.Coeffs[i], c)
+		}
+	}
+	if got.Degree() != 2 {
+		t.Errorf("degree = %d", got.Degree())
+	}
+	pred := got.Predict(xs)
+	if RMSE(pred, ys) > 1e-9 {
+		t.Errorf("RMSE = %v", RMSE(pred, ys))
+	}
+	if r2 := RSquared(pred, ys); !almostEq(r2, 1, 1e-12) {
+		t.Errorf("R^2 = %v", r2)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("expected error for negative degree")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Error("expected error for underdetermined fit")
+	}
+	// Duplicate x values make the system singular for high degree.
+	if _, err := PolyFit([]float64{1, 1, 1}, []float64{1, 2, 3}, 2); err == nil {
+		t.Error("expected singular system error")
+	}
+}
+
+func TestPolyFitConstant(t *testing.T) {
+	p, err := PolyFit([]float64{1, 2, 3}, []float64{4, 4, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(p.Coeffs[0], 4, 1e-12) {
+		t.Errorf("constant fit = %v", p.Coeffs)
+	}
+}
+
+// Property: OLS recovers polynomial coefficients from noiseless samples.
+func TestPolyFitRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := 1 + rng.Intn(3)
+		truth := Polynomial{Coeffs: make([]float64, deg+1)}
+		for i := range truth.Coeffs {
+			truth.Coeffs[i] = rng.NormFloat64()
+		}
+		n := deg + 2 + rng.Intn(10)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64() // strictly increasing
+			ys[i] = truth.Eval(xs[i])
+		}
+		got, err := PolyFit(xs, ys, deg)
+		if err != nil {
+			return false
+		}
+		for i := range truth.Coeffs {
+			if !almostEq(got.Coeffs[i], truth.Coeffs[i], 1e-5*(1+math.Abs(truth.Coeffs[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSquaredEdgeCases(t *testing.T) {
+	if !math.IsNaN(RSquared(nil, nil)) {
+		t.Error("empty should be NaN")
+	}
+	if got := RSquared([]float64{1, 1}, []float64{1, 1}); got != 1 {
+		t.Errorf("exact constant fit R^2 = %v", got)
+	}
+	if !math.IsNaN(RSquared([]float64{1, 2}, []float64{3, 3})) {
+		t.Error("inexact constant truth should be NaN")
+	}
+	// A bad fit can have negative R^2.
+	if got := RSquared([]float64{10, -10}, []float64{1, 2}); got >= 0 {
+		t.Errorf("bad fit R^2 = %v, want negative", got)
+	}
+}
+
+func TestRMSEKnown(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 4}); !almostEq(got, math.Sqrt2, 1e-12) {
+		t.Errorf("RMSE = %v", got)
+	}
+	if !math.IsNaN(RMSE(nil, nil)) {
+		t.Error("empty RMSE should be NaN")
+	}
+}
+
+func TestFitOrders(t *testing.T) {
+	// Cubic data: order-3 fit should dominate order-1.
+	var xs, ys []float64
+	for x := 0.0; x <= 10; x++ {
+		xs = append(xs, x)
+		ys = append(ys, x*x*x/1000-1)
+	}
+	reports, err := FitOrders(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if !(reports[2].RSquared > reports[0].RSquared) {
+		t.Errorf("cubic R^2 %v should exceed linear %v", reports[2].RSquared, reports[0].RSquared)
+	}
+	if !almostEq(reports[2].RSquared, 1, 1e-9) {
+		t.Errorf("cubic fit R^2 = %v, want 1", reports[2].RSquared)
+	}
+	if _, err := FitOrders(xs, ys, 0); err == nil {
+		t.Error("expected error for maxOrder 0")
+	}
+	if _, err := FitOrders([]float64{1}, []float64{1}, 2); err == nil {
+		t.Error("expected error for too few samples")
+	}
+}
+
+func TestSignatureFormsBoundary(t *testing.T) {
+	d := 12.0
+	for _, f := range AllForms() {
+		if got := f.Eval(0, d); !almostEq(got, -1, 1e-12) {
+			t.Errorf("%v at t=0: %v, want -1 (failure event)", f, got)
+		}
+		if got := f.Eval(d, d); !almostEq(got, 0, 1e-12) {
+			t.Errorf("%v at t=d: %v, want 0", f, got)
+		}
+	}
+	// The unrevised Eq. 2 fails the boundary condition: s(d) = -1/3.
+	if got := FormFullQuadratic.Eval(d, d); !almostEq(got, -1.0/3, 1e-12) {
+		t.Errorf("full quadratic at t=d: %v, want -1/3", got)
+	}
+}
+
+func TestSignatureFormOrders(t *testing.T) {
+	if FormLinear.Order() != 1 || FormQuadratic.Order() != 2 || FormCubic.Order() != 3 || FormFullQuadratic.Order() != 2 {
+		t.Error("form orders wrong")
+	}
+	for _, f := range []SignatureForm{FormLinear, FormQuadratic, FormCubic, FormFullQuadratic} {
+		if f.String() == "" {
+			t.Error("empty form name")
+		}
+	}
+	if math.IsNaN(FormLinear.Eval(1, 2)) {
+		t.Error("valid eval returned NaN")
+	}
+	if !math.IsNaN(FormLinear.Eval(1, 0)) {
+		t.Error("d=0 should be NaN")
+	}
+}
+
+func TestSelectFormPicksGeneratingForm(t *testing.T) {
+	d := 20.0
+	ts := make([]float64, 21)
+	for i := range ts {
+		ts[i] = float64(i)
+	}
+	for want, f := range AllForms() {
+		ys := f.EvalSeries(ts, d)
+		fits, best, err := SelectForm(ts, ys, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best != want {
+			t.Errorf("generating form %v: selected %v", f, fits[best].Form)
+		}
+		if fits[best].RMSE > 1e-12 {
+			t.Errorf("perfect data RMSE = %v", fits[best].RMSE)
+		}
+	}
+}
+
+func TestSelectFormErrors(t *testing.T) {
+	if _, _, err := SelectForm([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("expected mismatch error")
+	}
+	if _, _, err := SelectForm(nil, nil, 1); err == nil {
+		t.Error("expected empty error")
+	}
+	if _, _, err := SelectForm([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("expected bad-window error")
+	}
+}
+
+func TestPolynomialString(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{-1, 0.5, 2}}
+	if p.String() == "" {
+		t.Error("empty string")
+	}
+}

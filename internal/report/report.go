@@ -1,0 +1,324 @@
+// Package report renders the pipeline's tables and figures as plain text:
+// aligned tables, bar histograms, line charts and scatter plots, all
+// suitable for terminals and experiment logs.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, short
+// rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with
+// %v for strings/ints and %.4g for floats.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = formatFloat(x)
+		case float32:
+			cells[i] = formatFloat(float64(x))
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+func formatFloat(x float64) string {
+	if math.IsNaN(x) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", x)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// BarChart renders labeled horizontal bars scaled to maxWidth characters.
+func BarChart(title string, labels []string, values []float64, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	var maxVal float64
+	for _, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteString("\n")
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(v / maxVal * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", labelW, label, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// LineChart renders one or more equally-sampled series as an ASCII plot
+// of the given height. Series are drawn with distinct glyphs; x runs left
+// to right over the sample index.
+func LineChart(title string, xs []float64, series map[string][]float64, width, height int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		for _, y := range ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	names := sortedKeys(series)
+	for si, name := range names {
+		ys := series[name]
+		g := glyphs[si%len(glyphs)]
+		for i, y := range ys {
+			if math.IsNaN(y) || len(ys) == 0 {
+				continue
+			}
+			col := 0
+			if len(ys) > 1 {
+				col = i * (width - 1) / (len(ys) - 1)
+			}
+			row := int((maxY - y) / (maxY - minY) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", maxY, "")
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", minY, strings.Repeat("-", width))
+	if len(xs) > 0 {
+		fmt.Fprintf(&b, "%10s  x: %.4g .. %.4g\n", "", xs[0], xs[len(xs)-1])
+	}
+	for si, name := range names {
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", glyphs[si%len(glyphs)], name)
+	}
+	return b.String()
+}
+
+// ScatterPlot renders labeled 2-D point groups (e.g. the Fig. 4 PCA
+// clusters).
+func ScatterPlot(title string, groups map[string][][2]float64, width, height int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, pts := range groups {
+		for _, p := range pts {
+			minX = math.Min(minX, p[0])
+			maxX = math.Max(maxX, p[0])
+			minY = math.Min(minY, p[1])
+			maxY = math.Max(maxY, p[1])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := []byte{'o', '^', 'x', '*', '#', '@'}
+	names := sortedScatterKeys(groups)
+	for gi, name := range names {
+		g := glyphs[gi%len(glyphs)]
+		for _, p := range groups[name] {
+			col := int((p[0] - minX) / (maxX - minX) * float64(width-1))
+			row := int((maxY - p[1]) / (maxY - minY) * float64(height-1))
+			grid[row][col] = g
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteString("\n")
+	}
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, " x: %.4g .. %.4g   y: %.4g .. %.4g\n", minX, maxX, minY, maxY)
+	for gi, name := range names {
+		fmt.Fprintf(&b, " %c = %s\n", glyphs[gi%len(glyphs)], name)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortedScatterKeys(m map[string][][2]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Markdown renders the table as GitHub-flavored markdown, the format used
+// by the repository's EXPERIMENTS.md.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("**")
+		b.WriteString(t.Title)
+		b.WriteString("**\n\n")
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRowf("gamma", math.NaN())
+	out := tb.String()
+	if !strings.Contains(out, "Table X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing separator")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + sep + 3 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// NaN renders as "-".
+	if !strings.Contains(lines[5], "-") {
+		t.Errorf("NaN row: %q", lines[5])
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")             // short row padded
+	tb.AddRow("1", "2", "3", "4") // long row truncated
+	if len(tb.Rows[0]) != 3 || len(tb.Rows[1]) != 3 {
+		t.Errorf("row lengths = %d, %d", len(tb.Rows[0]), len(tb.Rows[1]))
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Bars", []string{"x", "longer"}, []float64{1, 2}, 10)
+	if !strings.Contains(out, "Bars") || !strings.Contains(out, "##########") {
+		t.Errorf("bar chart:\n%s", out)
+	}
+	// Zero max doesn't divide by zero.
+	out = BarChart("", []string{"z"}, []float64{0}, 10)
+	if !strings.Contains(out, "z") {
+		t.Errorf("zero chart:\n%s", out)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	series := map[string][]float64{
+		"up":   {0, 1, 2, 3},
+		"down": {3, 2, 1, 0},
+	}
+	out := LineChart("Lines", xs, series, 40, 10)
+	if !strings.Contains(out, "Lines") || !strings.Contains(out, "* = down") || !strings.Contains(out, "o = up") {
+		t.Errorf("line chart:\n%s", out)
+	}
+	if !strings.Contains(out, "x: 0 .. 3") {
+		t.Errorf("missing x range:\n%s", out)
+	}
+	// Empty series.
+	if out := LineChart("E", nil, map[string][]float64{}, 10, 5); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart:\n%s", out)
+	}
+	// NaN values skipped without panic.
+	out = LineChart("N", xs, map[string][]float64{"n": {math.NaN(), 1, math.NaN(), 2}}, 20, 5)
+	if out == "" {
+		t.Error("NaN chart empty")
+	}
+	// Constant series doesn't divide by zero.
+	out = LineChart("C", xs, map[string][]float64{"c": {1, 1, 1, 1}}, 20, 5)
+	if out == "" {
+		t.Error("constant chart empty")
+	}
+}
+
+func TestScatterPlot(t *testing.T) {
+	groups := map[string][][2]float64{
+		"a": {{0, 0}, {1, 1}},
+		"b": {{2, 0}},
+	}
+	out := ScatterPlot("Scatter", groups, 30, 10)
+	if !strings.Contains(out, "Scatter") || !strings.Contains(out, "o = a") || !strings.Contains(out, "^ = b") {
+		t.Errorf("scatter:\n%s", out)
+	}
+	if out := ScatterPlot("E", map[string][][2]float64{}, 10, 5); !strings.Contains(out, "no data") {
+		t.Errorf("empty scatter:\n%s", out)
+	}
+	// Degenerate ranges.
+	out = ScatterPlot("D", map[string][][2]float64{"p": {{1, 1}}}, 10, 5)
+	if out == "" {
+		t.Error("degenerate scatter empty")
+	}
+}
+
+func TestSortStrings(t *testing.T) {
+	s := []string{"c", "a", "b"}
+	sortStrings(s)
+	if s[0] != "a" || s[2] != "c" {
+		t.Errorf("sorted = %v", s)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("MD", "a", "b")
+	tb.AddRow("x|y", "2")
+	out := tb.Markdown()
+	if !strings.Contains(out, "**MD**") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("missing header/separator:\n%s", out)
+	}
+	if !strings.Contains(out, `x\|y`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+}

@@ -1,0 +1,304 @@
+// Package signature implements Sec. IV-C of the paper: extraction of the
+// degradation window (the final stretch of a failed drive's profile where
+// the distance to the failure record changes monotonically), the [-1, 0]
+// degradation normalization, and the automated derivation tool that fits
+// free polynomials and the fixed signature forms and selects the best
+// model by RMSE.
+package signature
+
+import (
+	"fmt"
+
+	"disksig/internal/distance"
+	"disksig/internal/regression"
+	"disksig/internal/smart"
+)
+
+// Options configures signature derivation.
+type Options struct {
+	// Metric measures record dissimilarity; nil means Euclidean.
+	Metric distance.Metric
+	// Attrs restricts the distance to a subset of attributes; nil means
+	// all 12.
+	Attrs []smart.Attr
+	// Tol is the relative tolerance (fraction of the curve maximum) for
+	// accepting small non-monotonic jitter during window extraction;
+	// <= 0 means 0.05 (measurement noise near the failure floor is a few
+	// percent of the curve scale, while real pre-window dips are much
+	// deeper).
+	Tol float64
+	// PlateauTrim is the relative level threshold used to place the
+	// window start: the window begins at the latest record whose distance
+	// reaches (1-PlateauTrim) of the estimated pre-window level; <= 0
+	// means 0.02 for plateau-free curves (a floor of 0.10 applies when a
+	// plateau precedes the window, since plateau noise sits a few percent
+	// under its own peak).
+	PlateauTrim float64
+	// MaxOrder bounds the free polynomial fits (the paper's tool makes
+	// this configurable); <= 0 means 3.
+	MaxOrder int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Metric == nil {
+		o.Metric = distance.Euclidean{}
+	}
+	if o.Tol <= 0 {
+		o.Tol = 0.05
+	}
+	if o.PlateauTrim <= 0 {
+		o.PlateauTrim = 0.02
+	}
+	if o.MaxOrder <= 0 {
+		o.MaxOrder = 3
+	}
+	return o
+}
+
+// Window is an extracted degradation window.
+type Window struct {
+	// Start is the index of the first record inside the window.
+	Start int
+	// D is the window size in hours (samples from Start to the failure
+	// record, exclusive of Start's own hour: D = lastIndex - Start).
+	D int
+	// Curve is the distance-to-failure series of the whole profile.
+	Curve []float64
+}
+
+// ExtractWindow finds the degradation window of a distance-to-failure
+// curve: starting from the failure record (last element, distance zero) it
+// walks backwards while the distance keeps increasing (within tol of the
+// curve maximum as jitter allowance), then places the window start at the
+// latest record whose distance reaches (1-trim) of the pre-window level.
+// The returned start index is in [0, len(curve)-1).
+func ExtractWindow(curve []float64, tol, trim float64) (Window, error) {
+	n := len(curve)
+	if n < 2 {
+		return Window{}, fmt.Errorf("signature: curve with %d points has no window", n)
+	}
+	// Boundary detection runs on a median-of-3 smoothed copy so isolated
+	// measurement spikes neither stop the walk early nor inflate the
+	// plateau maximum; the window itself keeps the raw distances.
+	smoothed := median3(curve)
+	var curveMax float64
+	for _, v := range smoothed {
+		if v > curveMax {
+			curveMax = v
+		}
+	}
+	absTol := tol * curveMax
+	// Walk backwards while monotone (distance non-decreasing as we move
+	// away from the failure). The tolerance bounds the drop below the
+	// running maximum rather than per-step changes, so a gradual decline
+	// (a transient pre-window episode) stops the walk even when every
+	// individual step is small.
+	start := n - 1
+	runMax := smoothed[start]
+	for start > 0 && smoothed[start-1] >= runMax-absTol {
+		start--
+		if smoothed[start] > runMax {
+			runMax = smoothed[start]
+		}
+	}
+	// Estimate the level the curve rises to. When the walk stopped inside
+	// the profile, the samples just before the stop belong to the flat
+	// pre-window plateau (or to a transient dip, which the max ignores),
+	// so they estimate the plateau level; when the walk reached the
+	// profile head there is no plateau and the window maximum itself is
+	// the level. The window start is then the latest record whose
+	// distance reaches (1-trim) of that level — a level-crossing boundary
+	// that leaves the in-window polynomial shape intact.
+	var level float64
+	if start > 0 {
+		lo := start - 24
+		if lo < 0 {
+			lo = 0
+		}
+		for i := lo; i <= start; i++ {
+			if smoothed[i] > level {
+				level = smoothed[i]
+			}
+		}
+		// Deeper trim when a plateau exists: plateau noise sits a few
+		// percent under its own peak.
+		if trim < 0.10 {
+			trim = 0.10
+		}
+	} else {
+		for i := start; i < n; i++ {
+			if smoothed[i] > level {
+				level = smoothed[i]
+			}
+		}
+	}
+	if level > 0 {
+		threshold := (1 - trim) * level
+		for i := n - 1; i >= start; i-- {
+			if smoothed[i] >= threshold {
+				start = i
+				break
+			}
+		}
+	} else {
+		// A flat-zero curve carries no degradation information; keep the
+		// minimal window.
+		start = n - 2
+	}
+	if start >= n-1 {
+		// Degenerate: no rise at all before the failure record; keep a
+		// minimal 1-hour window.
+		start = n - 2
+	}
+	return Window{Start: start, D: n - 1 - start, Curve: curve}, nil
+}
+
+// WindowTimes returns the hours-before-failure value of each record in the
+// window, chronologically (D, D-1, ..., 0).
+func (w Window) WindowTimes() []float64 {
+	out := make([]float64, w.D+1)
+	for i := range out {
+		out[i] = float64(w.D - i)
+	}
+	return out
+}
+
+// WindowCurve returns the distance values inside the window.
+func (w Window) WindowCurve() []float64 {
+	return w.Curve[w.Start:]
+}
+
+// Signature is the derived degradation signature of one failed drive.
+type Signature struct {
+	// DriveID identifies the drive.
+	DriveID int
+	// Window is the extracted degradation window; Window.D is the
+	// signature's d parameter.
+	Window Window
+	// Times are hours before failure for each window record.
+	Times []float64
+	// Degradation is the [-1, 0]-normalized distance inside the window.
+	Degradation []float64
+	// FreeFits are the order-1..MaxOrder free polynomial fits (Fig. 8).
+	FreeFits []regression.FitReport
+	// FormFits are the fixed-form fits compared by RMSE.
+	FormFits []regression.FormFit
+	// Best is the selected fixed form (lowest RMSE) — the drive's
+	// degradation signature.
+	Best regression.SignatureForm
+	// BestRMSE is the selected form's RMSE.
+	BestRMSE float64
+}
+
+// Derive runs the automated signature tool on one failed drive's
+// normalized profile: compute the distance-to-failure curve, extract the
+// degradation window, normalize the degradation to [-1, 0], fit free
+// polynomials and the fixed forms, and select the lowest-RMSE fixed form.
+func Derive(p *smart.Profile, opts Options) (*Signature, error) {
+	if !p.Failed {
+		return nil, fmt.Errorf("signature: drive %d did not fail", p.DriveID)
+	}
+	opts = opts.withDefaults()
+	var curve []float64
+	if opts.Attrs == nil {
+		curve = distance.ToFailureCurve(p, opts.Metric)
+	} else {
+		curve = distance.ToFailureCurveAttrs(p, opts.Metric, opts.Attrs)
+	}
+	w, err := ExtractWindow(curve, opts.Tol, opts.PlateauTrim)
+	if err != nil {
+		return nil, fmt.Errorf("signature: drive %d: %w", p.DriveID, err)
+	}
+	sig := &Signature{
+		DriveID:     p.DriveID,
+		Window:      w,
+		Times:       w.WindowTimes(),
+		Degradation: distance.NormalizeDegradation(w.WindowCurve()),
+	}
+	// Free polynomial fits (best-effort: tiny windows support fewer
+	// orders).
+	if fits, err := regression.FitOrders(sig.Times, sig.Degradation, opts.MaxOrder); err == nil {
+		sig.FreeFits = fits
+	}
+	formFits, best, err := regression.SelectForm(sig.Times, sig.Degradation, float64(w.D))
+	if err != nil {
+		return nil, fmt.Errorf("signature: drive %d: %w", p.DriveID, err)
+	}
+	sig.FormFits = formFits
+	sig.Best = formFits[best].Form
+	sig.BestRMSE = formFits[best].RMSE
+	return sig, nil
+}
+
+// GroupSummary aggregates the signatures of one failure group.
+type GroupSummary struct {
+	// Signatures holds the per-drive results.
+	Signatures []*Signature
+	// FormVotes counts how many drives selected each fixed form.
+	FormVotes map[regression.SignatureForm]int
+	// MajorityForm is the form most drives selected — the group's
+	// degradation signature.
+	MajorityForm regression.SignatureForm
+	// MinD, MedianD and MaxD summarize the window sizes.
+	MinD, MedianD, MaxD int
+}
+
+// DeriveGroup derives signatures for every profile (normalized failed
+// drives of one cluster) and aggregates them. Profiles whose derivation
+// fails (e.g. single-record censored profiles) are skipped.
+func DeriveGroup(profiles []*smart.Profile, opts Options) (*GroupSummary, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("signature: empty group")
+	}
+	g := &GroupSummary{FormVotes: map[regression.SignatureForm]int{}}
+	var ds []int
+	for _, p := range profiles {
+		sig, err := Derive(p, opts)
+		if err != nil {
+			continue
+		}
+		g.Signatures = append(g.Signatures, sig)
+		g.FormVotes[sig.Best]++
+		ds = append(ds, sig.Window.D)
+	}
+	if len(g.Signatures) == 0 {
+		return nil, fmt.Errorf("signature: no profile in the group yielded a signature")
+	}
+	bestVotes := -1
+	for _, f := range regression.AllForms() {
+		if v := g.FormVotes[f]; v > bestVotes {
+			g.MajorityForm, bestVotes = f, v
+		}
+	}
+	// Window-size summary.
+	sortInts(ds)
+	g.MinD, g.MedianD, g.MaxD = ds[0], ds[len(ds)/2], ds[len(ds)-1]
+	return g, nil
+}
+
+// median3 returns the running median-of-3 of xs (endpoints copied).
+func median3(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	for i := 1; i < len(xs)-1; i++ {
+		a, b, c := xs[i-1], xs[i], xs[i+1]
+		// Median of three without sorting.
+		switch {
+		case (a <= b && b <= c) || (c <= b && b <= a):
+			out[i] = b
+		case (b <= a && a <= c) || (c <= a && a <= b):
+			out[i] = a
+		default:
+			out[i] = c
+		}
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

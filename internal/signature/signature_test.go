@@ -1,0 +1,243 @@
+package signature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"disksig/internal/regression"
+	"disksig/internal/smart"
+)
+
+// syntheticCurve builds a distance curve with a plateau at level followed
+// by a polynomial descent to zero over the last d hours.
+func syntheticCurve(total, d int, level float64, order int) []float64 {
+	curve := make([]float64, total)
+	for i := range curve {
+		t := total - 1 - i // hours before failure
+		if t <= d {
+			x := float64(t) / float64(d)
+			switch order {
+			case 1:
+				curve[i] = level * x
+			case 2:
+				curve[i] = level * x * x
+			default:
+				curve[i] = level * x * x * x
+			}
+		} else {
+			curve[i] = level
+		}
+	}
+	return curve
+}
+
+func TestExtractWindowCleanRamp(t *testing.T) {
+	curve := syntheticCurve(100, 20, 2.0, 1)
+	w, err := ExtractWindow(curve, 0.02, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plateau trimming shaves ~trim of the window: expect d in [18, 20].
+	if w.D < 18 || w.D > 20 {
+		t.Errorf("window D = %d, want ~20", w.D)
+	}
+	if w.Curve[len(w.Curve)-1] != 0 {
+		t.Error("window must end at the failure record")
+	}
+	times := w.WindowTimes()
+	if times[0] != float64(w.D) || times[len(times)-1] != 0 {
+		t.Errorf("times = %v", times)
+	}
+	if len(w.WindowCurve()) != w.D+1 {
+		t.Errorf("window curve length = %d, want %d", len(w.WindowCurve()), w.D+1)
+	}
+}
+
+func TestExtractWindowStopsAtBump(t *testing.T) {
+	// A dip (bump episode) 30 hours before failure must bound the window
+	// even though the plateau continues beyond it.
+	curve := syntheticCurve(200, 15, 2.0, 2)
+	for i := 200 - 1 - 40; i < 200-1-25; i++ {
+		curve[i] = 0.8 // transient dip well below the plateau
+	}
+	w, err := ExtractWindow(curve, 0.02, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.D > 25 {
+		t.Errorf("window D = %d, should not extend past the dip at t=25", w.D)
+	}
+	if w.D < 13 {
+		t.Errorf("window D = %d, should cover most of the 15-hour ramp", w.D)
+	}
+}
+
+func TestExtractWindowPlateauTrimmed(t *testing.T) {
+	// Without any dips, the monotone-with-tolerance walk would reach the
+	// profile head; the plateau trim must still isolate the final ramp.
+	curve := syntheticCurve(480, 377, 1.5, 1)
+	w, err := ExtractWindow(curve, 0.02, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.D < 350 || w.D > 380 {
+		t.Errorf("window D = %d, want ~370 (377 generated)", w.D)
+	}
+}
+
+func TestExtractWindowErrorsAndDegenerate(t *testing.T) {
+	if _, err := ExtractWindow([]float64{0}, 0.02, 0.02); err == nil {
+		t.Error("expected error for single-point curve")
+	}
+	// A flat-zero curve degenerates to a minimal 1-hour window.
+	w, err := ExtractWindow([]float64{0, 0, 0}, 0.02, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.D != 1 {
+		t.Errorf("degenerate window D = %d, want 1", w.D)
+	}
+}
+
+// Property: the window always ends at the last record and D >= 1.
+func TestExtractWindowBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		curve := make([]float64, n)
+		for i := range curve {
+			curve[i] = rng.Float64() * 3
+		}
+		curve[n-1] = 0
+		w, err := ExtractWindow(curve, 0.02, 0.02)
+		if err != nil {
+			return false
+		}
+		return w.D >= 1 && w.Start >= 0 && w.Start+w.D == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// profileWithSignature builds a normalized profile whose every attribute
+// ramps toward the failure record with the given polynomial order over the
+// final d hours.
+func profileWithSignature(id, total, d, order int, noise float64, rng *rand.Rand) *smart.Profile {
+	p := &smart.Profile{DriveID: id, Failed: true}
+	for h := 0; h < total; h++ {
+		t := total - 1 - h
+		var sev float64
+		if t <= d {
+			x := float64(t) / float64(d)
+			switch order {
+			case 1:
+				sev = 1 - x
+			case 2:
+				sev = 1 - x*x
+			default:
+				sev = 1 - x*x*x
+			}
+		}
+		var v smart.Values
+		for a := range v {
+			v[a] = -0.5 + sev*0.8
+			if noise > 0 && t > d {
+				v[a] += rng.NormFloat64() * noise
+			}
+		}
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: v})
+	}
+	return p
+}
+
+func TestDeriveSelectsGeneratingForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		order int
+		d     int
+		want  regression.SignatureForm
+	}{
+		{1, 377, regression.FormLinear},
+		{2, 4, regression.FormQuadratic},
+		{3, 12, regression.FormCubic},
+	}
+	for _, c := range cases {
+		p := profileWithSignature(1, 480, c.d, c.order, 0.002, rng)
+		sig, err := Derive(p, Options{})
+		if err != nil {
+			t.Fatalf("order %d: %v", c.order, err)
+		}
+		if sig.Best != c.want {
+			t.Errorf("order %d: selected %v, want %v (D=%d, RMSE=%v)",
+				c.order, sig.Best, c.want, sig.Window.D, sig.BestRMSE)
+		}
+		if sig.BestRMSE > 0.1 {
+			t.Errorf("order %d: RMSE = %v", c.order, sig.BestRMSE)
+		}
+		if math.Abs(float64(sig.Window.D-c.d)) > float64(c.d)/8+1 {
+			t.Errorf("order %d: window D = %d, want ~%d", c.order, sig.Window.D, c.d)
+		}
+		if len(sig.FormFits) != 3 {
+			t.Errorf("form fits = %d", len(sig.FormFits))
+		}
+		if len(sig.FreeFits) == 0 {
+			t.Error("expected free polynomial fits")
+		}
+	}
+}
+
+func TestDeriveRejectsGoodDrive(t *testing.T) {
+	p := &smart.Profile{DriveID: 1, Failed: false, Records: []smart.Record{{}, {}}}
+	if _, err := Derive(p, Options{}); err == nil {
+		t.Fatal("expected error for good drive")
+	}
+}
+
+func TestDeriveAttrSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := profileWithSignature(1, 100, 10, 2, 0.002, rng)
+	sig, err := Derive(p, Options{Attrs: []smart.Attr{smart.RRER, smart.RUE}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Best != regression.FormQuadratic {
+		t.Errorf("subset-derived form = %v", sig.Best)
+	}
+}
+
+func TestDeriveGroupMajority(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var profiles []*smart.Profile
+	for i := 0; i < 10; i++ {
+		profiles = append(profiles, profileWithSignature(i, 480, 8+rng.Intn(5), 2, 0.002, rng))
+	}
+	g, err := DeriveGroup(profiles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MajorityForm != regression.FormQuadratic {
+		t.Errorf("majority form = %v, want quadratic (votes %v)", g.MajorityForm, g.FormVotes)
+	}
+	if len(g.Signatures) != 10 {
+		t.Errorf("signatures = %d", len(g.Signatures))
+	}
+	if g.MinD > g.MedianD || g.MedianD > g.MaxD {
+		t.Errorf("window summary out of order: %d/%d/%d", g.MinD, g.MedianD, g.MaxD)
+	}
+	if g.MinD < 6 || g.MaxD > 14 {
+		t.Errorf("window range [%d, %d], want within [6, 14]", g.MinD, g.MaxD)
+	}
+}
+
+func TestDeriveGroupEmpty(t *testing.T) {
+	if _, err := DeriveGroup(nil, Options{}); err == nil {
+		t.Error("expected error for empty group")
+	}
+	bad := []*smart.Profile{{DriveID: 1, Failed: true, Records: []smart.Record{{}}}}
+	if _, err := DeriveGroup(bad, Options{}); err == nil {
+		t.Error("expected error when no profile yields a signature")
+	}
+}

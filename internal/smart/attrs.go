@@ -1,0 +1,133 @@
+// Package smart models SMART (Self-Monitoring, Analysis and Reporting
+// Technology) disk-health telemetry: the 12 attributes the paper selects
+// (Table I), a vendor-style mapping from raw sensor counters to one-byte
+// health values, hourly health records and per-drive profiles, and the
+// paper's Eq. (1) min-max normalization to [-1, 1].
+package smart
+
+import "fmt"
+
+// Attr identifies one of the 12 selected disk health attributes.
+type Attr int
+
+// The attribute order matches Table I of the paper. The first eight are
+// read/write-related health values, RawRSC and RawCPSC are the two raw
+// counters kept because their normalized counterparts lose accuracy, and
+// POH / TC are environmental attributes.
+const (
+	RRER    Attr = iota // Raw Read Error Rate (health value)
+	RSC                 // Reallocated Sectors Count (health value)
+	SER                 // Seek Error Rate (health value)
+	RUE                 // Reported Uncorrectable Errors (health value)
+	HFW                 // High Fly Writes (health value)
+	HER                 // Hardware ECC Recovered (health value)
+	CPSC                // Current Pending Sector Count (health value)
+	SUT                 // Spin Up Time (health value)
+	RawRSC              // Reallocated Sectors Count (raw counter)
+	RawCPSC             // Current Pending Sector Count (raw counter)
+	POH                 // Power On Hours (health value, environmental)
+	TC                  // Temperature Celsius (health value, environmental)
+
+	NumAttrs // number of selected attributes
+)
+
+// Kind distinguishes read/write-related attributes from environmental ones.
+type Kind int
+
+const (
+	// ReadWrite attributes are directly related to disk read/write
+	// operations; the paper uses them (and only them) for failure
+	// categorization.
+	ReadWrite Kind = iota
+	// Environmental attributes (POH, TC) do not result from read/write
+	// activity; the paper analyzes their influence separately (Sec. IV-D).
+	Environmental
+)
+
+// ValueKind distinguishes normalized one-byte health values from six-byte
+// raw counters.
+type ValueKind int
+
+const (
+	// HealthValue is the vendor-normalized one-byte relative health.
+	HealthValue ValueKind = iota
+	// RawData is the raw sensor/counter measurement.
+	RawData
+)
+
+// Info describes one attribute (one row of Table I).
+type Info struct {
+	Attr      Attr
+	Symbol    string
+	Name      string
+	Kind      Kind
+	ValueKind ValueKind
+}
+
+var infos = [NumAttrs]Info{
+	{RRER, "RRER", "Raw Read Error Rate", ReadWrite, HealthValue},
+	{RSC, "RSC", "Reallocated Sectors Count", ReadWrite, HealthValue},
+	{SER, "SER", "Seek Error Rate", ReadWrite, HealthValue},
+	{RUE, "RUE", "Reported Uncorrectable Errors", ReadWrite, HealthValue},
+	{HFW, "HFW", "High Fly Writes", ReadWrite, HealthValue},
+	{HER, "HER", "Hardware ECC Recovered", ReadWrite, HealthValue},
+	{CPSC, "CPSC", "Current Pending Sector Count", ReadWrite, HealthValue},
+	{SUT, "SUT", "Spin Up Time", ReadWrite, HealthValue},
+	{RawRSC, "R-RSC", "Reallocated Sectors Count", ReadWrite, RawData},
+	{RawCPSC, "R-CPSC", "Current Pending Sector Count", ReadWrite, RawData},
+	{POH, "POH", "Power On Hours", Environmental, HealthValue},
+	{TC, "TC", "Temperature Celsius", Environmental, HealthValue},
+}
+
+// InfoOf returns the descriptor for a.
+func InfoOf(a Attr) Info {
+	if a < 0 || a >= NumAttrs {
+		panic(fmt.Sprintf("smart: invalid attribute %d", int(a)))
+	}
+	return infos[a]
+}
+
+// All returns every attribute in Table I order.
+func All() []Attr {
+	out := make([]Attr, NumAttrs)
+	for i := range out {
+		out[i] = Attr(i)
+	}
+	return out
+}
+
+// ReadWriteAttrs returns the ten R/W-related attributes, the feature basis
+// for failure categorization (Sec. IV-B).
+func ReadWriteAttrs() []Attr {
+	var out []Attr
+	for _, info := range infos {
+		if info.Kind == ReadWrite {
+			out = append(out, info.Attr)
+		}
+	}
+	return out
+}
+
+// EnvironmentalAttrs returns POH and TC.
+func EnvironmentalAttrs() []Attr {
+	var out []Attr
+	for _, info := range infos {
+		if info.Kind == Environmental {
+			out = append(out, info.Attr)
+		}
+	}
+	return out
+}
+
+// String returns the attribute's symbol (e.g. "R-RSC").
+func (a Attr) String() string { return InfoOf(a).Symbol }
+
+// ParseAttr resolves a symbol like "RRER" or "R-RSC" to its Attr.
+func ParseAttr(symbol string) (Attr, error) {
+	for _, info := range infos {
+		if info.Symbol == symbol {
+			return info.Attr, nil
+		}
+	}
+	return 0, fmt.Errorf("smart: unknown attribute symbol %q", symbol)
+}

@@ -1,0 +1,134 @@
+package smart
+
+import "math"
+
+// RawState is the physical sensor/counter state of a drive at one sample.
+// The synthetic fleet simulator produces RawState streams; MapToRecord
+// converts them into the 12 selected attribute values the way a drive's
+// firmware would.
+type RawState struct {
+	ReadErrorRate   float64 // raw read errors per million operations
+	Reallocated     int     // cumulative reallocated sectors
+	SeekErrorRate   float64 // seek errors per million seeks
+	Uncorrectable   int     // cumulative reported uncorrectable errors
+	HighFlyWrites   int     // cumulative high-fly write incidents
+	ECCRecovered    float64 // hardware-ECC-recovered errors per million reads
+	PendingSectors  int     // current pending (unstable) sectors
+	SpinUpMillis    float64 // last spin-up time in milliseconds
+	PowerOnHours    float64 // total powered-on hours
+	TemperatureC    float64 // current drive temperature, Celsius
+	SpareSectorPool int     // size of the spare sector pool (vendor constant)
+}
+
+// Firmware parameters of the vendor health-value mapping. Health values
+// start at Best and decrease linearly with the raw measurement, clamped to
+// [Worst, Best]. A linear-with-saturation map keeps the degradation
+// polynomial visible after Eq. (1) normalization (see DESIGN.md).
+const (
+	healthBest  = 100.0
+	healthWorst = 1.0
+
+	// Per-unit health penalty of each raw measurement.
+	readErrPenalty   = 0.35 // per raw read error/1e6 ops
+	reallocPenalty   = 0.02 // per reallocated sector
+	seekErrPenalty   = 0.5  // per seek error/1e6 seeks
+	uncorrPenalty    = 0.9  // per uncorrectable error
+	hfwPenalty       = 0.6  // per high-fly write
+	eccPenalty       = 0.12 // per ECC-recovered error/1e6 reads
+	pendingPenalty   = 0.8  // per pending sector
+	nominalSpinUpMs  = 4200.0
+	spinUpPenaltyPer = 0.02 // per millisecond above nominal
+
+	// POHDecrementHours reproduces the paper's quirk: the POH health value
+	// drops by one for every 876 powered-on hours (about 1/10 of a year).
+	POHDecrementHours = 876.0
+)
+
+// clampHealth clamps v into the legal one-byte health range.
+func clampHealth(v float64) float64 {
+	if v > healthBest {
+		return healthBest
+	}
+	if v < healthWorst {
+		return healthWorst
+	}
+	return v
+}
+
+// HealthRRER maps a raw read error rate to its health value.
+func HealthRRER(rate float64) float64 { return clampHealth(healthBest - readErrPenalty*rate) }
+
+// HealthRSC maps a reallocated sector count to its health value.
+func HealthRSC(realloc int) float64 {
+	return clampHealth(healthBest - reallocPenalty*float64(realloc))
+}
+
+// HealthSER maps a seek error rate to its health value.
+func HealthSER(rate float64) float64 { return clampHealth(healthBest - seekErrPenalty*rate) }
+
+// HealthRUE maps an uncorrectable error count to its health value.
+func HealthRUE(uncorr int) float64 {
+	return clampHealth(healthBest - uncorrPenalty*float64(uncorr))
+}
+
+// HealthHFW maps a high-fly write count to its health value.
+func HealthHFW(hfw int) float64 { return clampHealth(healthBest - hfwPenalty*float64(hfw)) }
+
+// HealthHER maps an ECC-recovered error rate to its health value.
+func HealthHER(rate float64) float64 { return clampHealth(healthBest - eccPenalty*rate) }
+
+// HealthCPSC maps a pending sector count to its health value.
+func HealthCPSC(pending int) float64 {
+	return clampHealth(healthBest - pendingPenalty*float64(pending))
+}
+
+// HealthSUT maps a spin-up time to its health value.
+func HealthSUT(ms float64) float64 {
+	excess := ms - nominalSpinUpMs
+	if excess < 0 {
+		excess = 0
+	}
+	return clampHealth(healthBest - spinUpPenaltyPer*excess)
+}
+
+// HealthPOH maps power-on hours to the quirky stepped health value the
+// paper describes: reduced by one for every 876 hours of operation.
+func HealthPOH(hours float64) float64 {
+	if hours < 0 {
+		hours = 0
+	}
+	return clampHealth(healthBest - math.Floor(hours/POHDecrementHours))
+}
+
+// SmoothPOH is the paper's preprocessing of the stepped POH value: a very
+// small constant is added between consecutive hourly samples so the value
+// reflects the one-hour sampling interval while preserving the step scale.
+func SmoothPOH(hours float64) float64 {
+	if hours < 0 {
+		hours = 0
+	}
+	return clampHealth(healthBest - hours/POHDecrementHours)
+}
+
+// HealthTC maps drive temperature to its health value (hotter is worse).
+func HealthTC(celsius float64) float64 { return clampHealth(healthBest - celsius) }
+
+// MapToRecord converts a raw drive state into the 12 selected attribute
+// values (Table I order): eight R/W health values, the two raw counters,
+// and the two environmental health values.
+func MapToRecord(s RawState) Values {
+	var v Values
+	v[RRER] = HealthRRER(s.ReadErrorRate)
+	v[RSC] = HealthRSC(s.Reallocated)
+	v[SER] = HealthSER(s.SeekErrorRate)
+	v[RUE] = HealthRUE(s.Uncorrectable)
+	v[HFW] = HealthHFW(s.HighFlyWrites)
+	v[HER] = HealthHER(s.ECCRecovered)
+	v[CPSC] = HealthCPSC(s.PendingSectors)
+	v[SUT] = HealthSUT(s.SpinUpMillis)
+	v[RawRSC] = float64(s.Reallocated)
+	v[RawCPSC] = float64(s.PendingSectors)
+	v[POH] = SmoothPOH(s.PowerOnHours)
+	v[TC] = HealthTC(s.TemperatureC)
+	return v
+}

@@ -1,0 +1,116 @@
+package smart
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalizer implements the paper's Eq. (1) min-max normalization,
+//
+//	x_norm = 2*(x - x_min)/(x_max - x_min) - 1,
+//
+// where x_min and x_max are the dataset-wide extrema of each attribute.
+// Normalization makes values of different attributes comparable so that
+// Euclidean distances and clustering treat them uniformly.
+type Normalizer struct {
+	Min    Values
+	Max    Values
+	fitted bool
+}
+
+// NewNormalizer returns an empty normalizer ready for Observe calls.
+func NewNormalizer() *Normalizer {
+	n := &Normalizer{}
+	for a := 0; a < int(NumAttrs); a++ {
+		n.Min[a] = math.Inf(1)
+		n.Max[a] = math.Inf(-1)
+	}
+	return n
+}
+
+// Observe extends the per-attribute extrema with one record's values.
+func (n *Normalizer) Observe(v Values) {
+	for a := 0; a < int(NumAttrs); a++ {
+		if v[a] < n.Min[a] {
+			n.Min[a] = v[a]
+		}
+		if v[a] > n.Max[a] {
+			n.Max[a] = v[a]
+		}
+	}
+	n.fitted = true
+}
+
+// ObserveProfile extends the extrema with every record of a profile.
+func (n *Normalizer) ObserveProfile(p *Profile) {
+	for _, r := range p.Records {
+		n.Observe(r.Values)
+	}
+}
+
+// Fitted reports whether at least one record has been observed.
+func (n *Normalizer) Fitted() bool { return n.fitted }
+
+// NormalizeValue maps a single attribute value into [-1, 1] per Eq. (1).
+// Attributes that are constant across the dataset map to 0.
+func (n *Normalizer) NormalizeValue(a Attr, x float64) float64 {
+	if !n.fitted {
+		panic("smart: Normalizer used before observing any data")
+	}
+	span := n.Max[a] - n.Min[a]
+	if span == 0 || math.IsInf(span, 0) {
+		return 0
+	}
+	v := 2*(x-n.Min[a])/span - 1
+	// Clamp: values outside the fitted range (e.g. from a held-out drive)
+	// saturate rather than escaping [-1, 1].
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// Normalize maps all attribute values of v into [-1, 1].
+func (n *Normalizer) Normalize(v Values) Values {
+	var out Values
+	for a := 0; a < int(NumAttrs); a++ {
+		out[a] = n.NormalizeValue(Attr(a), v[a])
+	}
+	return out
+}
+
+// Denormalize inverts Eq. (1) for a single attribute value.
+func (n *Normalizer) Denormalize(a Attr, x float64) float64 {
+	if !n.fitted {
+		panic("smart: Normalizer used before observing any data")
+	}
+	span := n.Max[a] - n.Min[a]
+	return n.Min[a] + (x+1)/2*span
+}
+
+// NormalizeProfile returns a copy of p with all records normalized.
+func (n *Normalizer) NormalizeProfile(p *Profile) *Profile {
+	c := p.Clone()
+	for i := range c.Records {
+		c.Records[i].Values = n.Normalize(c.Records[i].Values)
+	}
+	return c
+}
+
+// String summarizes the fitted ranges.
+func (n *Normalizer) String() string {
+	if !n.fitted {
+		return "Normalizer(unfitted)"
+	}
+	s := "Normalizer{"
+	for a := 0; a < int(NumAttrs); a++ {
+		if a > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:[%.3g,%.3g]", Attr(a), n.Min[a], n.Max[a])
+	}
+	return s + "}"
+}

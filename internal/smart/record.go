@@ -1,0 +1,89 @@
+package smart
+
+import "fmt"
+
+// Values holds one value per selected attribute, in Table I order.
+type Values [NumAttrs]float64
+
+// Slice returns the values as a fresh []float64.
+func (v Values) Slice() []float64 {
+	out := make([]float64, NumAttrs)
+	copy(out, v[:])
+	return out
+}
+
+// Select returns the values of the given attributes, in order.
+func (v Values) Select(attrs []Attr) []float64 {
+	out := make([]float64, len(attrs))
+	for i, a := range attrs {
+		out[i] = v[a]
+	}
+	return out
+}
+
+// Record is one hourly health sample of one drive.
+type Record struct {
+	// Hour is the sample time as hours since the drive entered monitoring.
+	Hour int
+	// Values are the 12 selected attribute values. Depending on pipeline
+	// stage they are either vendor health values / raw counters (as
+	// produced by MapToRecord) or Eq. (1)-normalized values in [-1, 1].
+	Values Values
+}
+
+// Profile is the monitored health history of one drive.
+type Profile struct {
+	// DriveID uniquely identifies the drive within its dataset.
+	DriveID int
+	// Failed reports whether the drive was replaced due to failure. For
+	// failed drives the last record is the failure record (the paper's
+	// definition: the last recorded health state before replacement).
+	Failed bool
+	// TrueGroup is the generative failure mode for synthetic drives
+	// (1..3), or 0 when unknown/not failed. The analysis pipeline must
+	// never read it; it exists so experiments can score cluster recovery.
+	TrueGroup int
+	// Records are the hourly samples in chronological order.
+	Records []Record
+}
+
+// Len returns the number of records in the profile.
+func (p *Profile) Len() int { return len(p.Records) }
+
+// FailureRecord returns the last recorded health state of a failed drive.
+// It panics if the profile is empty or the drive did not fail.
+func (p *Profile) FailureRecord() Record {
+	if !p.Failed {
+		panic(fmt.Sprintf("smart: drive %d did not fail; it has no failure record", p.DriveID))
+	}
+	if len(p.Records) == 0 {
+		panic(fmt.Sprintf("smart: drive %d has an empty profile", p.DriveID))
+	}
+	return p.Records[len(p.Records)-1]
+}
+
+// AttrSeries returns the time series of one attribute across the profile.
+func (p *Profile) AttrSeries(a Attr) []float64 {
+	out := make([]float64, len(p.Records))
+	for i, r := range p.Records {
+		out[i] = r.Values[a]
+	}
+	return out
+}
+
+// Tail returns the last n records (fewer if the profile is shorter). The
+// returned slice aliases the profile's storage.
+func (p *Profile) Tail(n int) []Record {
+	if n >= len(p.Records) {
+		return p.Records
+	}
+	return p.Records[len(p.Records)-n:]
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	c := *p
+	c.Records = make([]Record, len(p.Records))
+	copy(c.Records, p.Records)
+	return &c
+}

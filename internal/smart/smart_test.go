@@ -1,0 +1,316 @@
+package smart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrRegistry(t *testing.T) {
+	if int(NumAttrs) != 12 {
+		t.Fatalf("NumAttrs = %d, want 12 (Table I)", NumAttrs)
+	}
+	if len(ReadWriteAttrs()) != 10 {
+		t.Errorf("ReadWriteAttrs = %d, want 10", len(ReadWriteAttrs()))
+	}
+	if len(EnvironmentalAttrs()) != 2 {
+		t.Errorf("EnvironmentalAttrs = %d, want 2", len(EnvironmentalAttrs()))
+	}
+	if RRER.String() != "RRER" || RawRSC.String() != "R-RSC" {
+		t.Errorf("symbols: %s %s", RRER, RawRSC)
+	}
+}
+
+func TestParseAttr(t *testing.T) {
+	for _, a := range All() {
+		got, err := ParseAttr(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAttr(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAttr("NOPE"); err == nil {
+		t.Error("expected error for unknown symbol")
+	}
+}
+
+func TestInfoOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid attr")
+		}
+	}()
+	InfoOf(Attr(99))
+}
+
+func TestHealthMappingsMonotone(t *testing.T) {
+	// Every health mapping must be non-increasing in its raw measurement
+	// and clamped to [1, 100].
+	maps := []struct {
+		name string
+		f    func(float64) float64
+	}{
+		{"RRER", HealthRRER},
+		{"SER", HealthSER},
+		{"HER", HealthHER},
+		{"SUT", HealthSUT},
+		{"TC", HealthTC},
+		{"POH", HealthPOH},
+		{"SmoothPOH", SmoothPOH},
+	}
+	for _, m := range maps {
+		prev := math.Inf(1)
+		for raw := 0.0; raw <= 20000; raw += 97 {
+			h := m.f(raw)
+			if h > prev {
+				t.Errorf("%s not monotone at raw=%v", m.name, raw)
+				break
+			}
+			if h < 1 || h > 100 {
+				t.Errorf("%s out of range at raw=%v: %v", m.name, raw, h)
+				break
+			}
+			prev = h
+		}
+	}
+	intMaps := []struct {
+		name string
+		f    func(int) float64
+	}{
+		{"RSC", HealthRSC},
+		{"RUE", HealthRUE},
+		{"HFW", HealthHFW},
+		{"CPSC", HealthCPSC},
+	}
+	for _, m := range intMaps {
+		prev := math.Inf(1)
+		for raw := 0; raw <= 20000; raw += 37 {
+			h := m.f(raw)
+			if h > prev || h < 1 || h > 100 {
+				t.Errorf("%s violated monotone/clamp at raw=%d: %v", m.name, raw, h)
+				break
+			}
+			prev = h
+		}
+	}
+}
+
+func TestHealthPOHQuirk(t *testing.T) {
+	// The stepped POH value must drop exactly at 876-hour boundaries.
+	if HealthPOH(0) != 100 || HealthPOH(875) != 100 {
+		t.Errorf("POH(0)=%v POH(875)=%v, want 100", HealthPOH(0), HealthPOH(875))
+	}
+	if HealthPOH(876) != 99 {
+		t.Errorf("POH(876) = %v, want 99", HealthPOH(876))
+	}
+	if HealthPOH(876*3) != 97 {
+		t.Errorf("POH(2628) = %v, want 97", HealthPOH(876*3))
+	}
+	// SmoothPOH must strictly decrease between samples inside a step.
+	if !(SmoothPOH(101) < SmoothPOH(100)) {
+		t.Error("SmoothPOH not strictly decreasing within a step")
+	}
+	// And agree with the stepped value at step boundaries.
+	if SmoothPOH(876) != HealthPOH(876) {
+		t.Errorf("SmoothPOH(876)=%v != HealthPOH(876)=%v", SmoothPOH(876), HealthPOH(876))
+	}
+}
+
+func TestMapToRecordHealthyDrive(t *testing.T) {
+	s := RawState{SpinUpMillis: 4000, TemperatureC: 30, PowerOnHours: 100}
+	v := MapToRecord(s)
+	for _, a := range []Attr{RRER, RSC, SER, RUE, HFW, HER, CPSC, SUT} {
+		if v[a] != 100 {
+			t.Errorf("%s = %v, want 100 for pristine drive", a, v[a])
+		}
+	}
+	if v[RawRSC] != 0 || v[RawCPSC] != 0 {
+		t.Errorf("raw counters = %v/%v, want 0", v[RawRSC], v[RawCPSC])
+	}
+	if v[TC] != 70 {
+		t.Errorf("TC = %v, want 70 for 30C", v[TC])
+	}
+}
+
+func TestMapToRecordDegradedDrive(t *testing.T) {
+	s := RawState{
+		ReadErrorRate: 100, Reallocated: 2000, SeekErrorRate: 40,
+		Uncorrectable: 80, HighFlyWrites: 50, ECCRecovered: 300,
+		PendingSectors: 60, SpinUpMillis: 6000, PowerOnHours: 20000,
+		TemperatureC: 48,
+	}
+	v := MapToRecord(s)
+	healthy := MapToRecord(RawState{SpinUpMillis: 4000, TemperatureC: 30})
+	for _, a := range []Attr{RRER, RSC, SER, RUE, HFW, HER, CPSC, SUT, TC} {
+		if v[a] >= healthy[a] {
+			t.Errorf("%s = %v, want below healthy %v", a, v[a], healthy[a])
+		}
+	}
+	if v[RawRSC] != 2000 || v[RawCPSC] != 60 {
+		t.Errorf("raw counters = %v/%v", v[RawRSC], v[RawCPSC])
+	}
+}
+
+func TestValuesSelect(t *testing.T) {
+	var v Values
+	for i := range v {
+		v[i] = float64(i)
+	}
+	got := v.Select([]Attr{TC, RRER})
+	if got[0] != float64(TC) || got[1] != 0 {
+		t.Errorf("Select = %v", got)
+	}
+	s := v.Slice()
+	s[0] = 99
+	if v[0] == 99 {
+		t.Error("Slice should copy")
+	}
+}
+
+func TestProfileAccessors(t *testing.T) {
+	p := &Profile{DriveID: 7, Failed: true}
+	for h := 0; h < 5; h++ {
+		var v Values
+		v[RRER] = float64(h)
+		p.Records = append(p.Records, Record{Hour: h, Values: v})
+	}
+	if p.Len() != 5 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	if fr := p.FailureRecord(); fr.Hour != 4 {
+		t.Errorf("FailureRecord.Hour = %d, want 4", fr.Hour)
+	}
+	series := p.AttrSeries(RRER)
+	if len(series) != 5 || series[3] != 3 {
+		t.Errorf("AttrSeries = %v", series)
+	}
+	if got := p.Tail(2); len(got) != 2 || got[0].Hour != 3 {
+		t.Errorf("Tail(2) = %v", got)
+	}
+	if got := p.Tail(99); len(got) != 5 {
+		t.Errorf("Tail(99) len = %d", len(got))
+	}
+	c := p.Clone()
+	c.Records[0].Values[RRER] = 42
+	if p.Records[0].Values[RRER] == 42 {
+		t.Error("Clone shares record storage")
+	}
+}
+
+func TestFailureRecordPanicsOnGoodDrive(t *testing.T) {
+	p := &Profile{DriveID: 1, Failed: false, Records: []Record{{}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.FailureRecord()
+}
+
+func TestNormalizerEq1(t *testing.T) {
+	n := NewNormalizer()
+	var lo, hi Values
+	for a := range lo {
+		lo[a] = 0
+		hi[a] = 10
+	}
+	n.Observe(lo)
+	n.Observe(hi)
+	var mid Values
+	for a := range mid {
+		mid[a] = 5
+	}
+	got := n.Normalize(mid)
+	for a, v := range got {
+		if v != 0 {
+			t.Errorf("attr %d: normalize(5) = %v, want 0", a, v)
+		}
+	}
+	if n.NormalizeValue(RRER, 0) != -1 || n.NormalizeValue(RRER, 10) != 1 {
+		t.Error("extremes should map to -1 and 1")
+	}
+	// Out-of-range values saturate.
+	if n.NormalizeValue(RRER, 20) != 1 || n.NormalizeValue(RRER, -5) != -1 {
+		t.Error("out-of-range values should clamp")
+	}
+}
+
+func TestNormalizerConstantAttr(t *testing.T) {
+	n := NewNormalizer()
+	var v Values
+	v[TC] = 55
+	n.Observe(v)
+	n.Observe(v)
+	if got := n.NormalizeValue(TC, 55); got != 0 {
+		t.Errorf("constant attribute should normalize to 0, got %v", got)
+	}
+}
+
+func TestNormalizerRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNormalizer()
+		var samples []Values
+		for i := 0; i < 20; i++ {
+			var v Values
+			for a := range v {
+				v[a] = rng.Float64() * 100
+			}
+			n.Observe(v)
+			samples = append(samples, v)
+		}
+		for _, v := range samples {
+			norm := n.Normalize(v)
+			for a := 0; a < int(NumAttrs); a++ {
+				if norm[a] < -1 || norm[a] > 1 {
+					return false
+				}
+				back := n.Denormalize(Attr(a), norm[a])
+				if math.Abs(back-v[a]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerUnfittedPanics(t *testing.T) {
+	n := NewNormalizer()
+	if n.Fitted() {
+		t.Error("fresh normalizer should not be fitted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unfitted use")
+		}
+	}()
+	n.NormalizeValue(RRER, 1)
+}
+
+func TestNormalizeProfile(t *testing.T) {
+	n := NewNormalizer()
+	p := &Profile{DriveID: 1, Failed: true}
+	for h := 0; h < 3; h++ {
+		var v Values
+		for a := range v {
+			v[a] = float64(h * 10)
+		}
+		p.Records = append(p.Records, Record{Hour: h, Values: v})
+	}
+	n.ObserveProfile(p)
+	np := n.NormalizeProfile(p)
+	if np.Records[0].Values[RRER] != -1 || np.Records[2].Values[RRER] != 1 {
+		t.Errorf("normalized profile = %v", np.Records)
+	}
+	// Original untouched.
+	if p.Records[0].Values[RRER] != 0 {
+		t.Error("NormalizeProfile mutated the original")
+	}
+	if n.String() == "" || NewNormalizer().String() != "Normalizer(unfitted)" {
+		t.Error("String rendering")
+	}
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"disksig/internal/linalg"
+)
+
+// Pearson returns the Pearson product-moment correlation coefficient of
+// the paired samples xs and ys. If either sample has zero variance the
+// correlation is undefined and 0 is returned (the convention the pipeline
+// uses for constant SMART attributes).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Covariance returns the population covariance of the paired samples.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Covariance length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var s float64
+	for i := 0; i < n; i++ {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n)
+}
+
+// CovarianceMatrix returns the population covariance matrix of the row
+// observations in data (each row is one observation, each column one
+// variable).
+func CovarianceMatrix(data *linalg.Matrix) *linalg.Matrix {
+	n, d := data.Rows(), data.Cols()
+	cov := linalg.NewMatrix(d, d)
+	if n == 0 {
+		return cov
+	}
+	means := make([]float64, d)
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += data.At(i, j)
+		}
+		means[j] = s / float64(n)
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += (data.At(i, a) - means[a]) * (data.At(i, b) - means[b])
+			}
+			c := s / float64(n)
+			cov.Set(a, b, c)
+			cov.Set(b, a, c)
+		}
+	}
+	return cov
+}
+
+// ColumnMeans returns the per-column means of the row observations in data.
+func ColumnMeans(data *linalg.Matrix) []float64 {
+	n, d := data.Rows(), data.Cols()
+	means := make([]float64, d)
+	if n == 0 {
+		return means
+	}
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += data.At(i, j)
+		}
+		means[j] = s / float64(n)
+	}
+	return means
+}

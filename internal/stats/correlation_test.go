@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"disksig/internal/linalg"
+)
+
+func TestPearsonKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Pearson(xs, xs); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Pearson(x,x) = %v, want 1", got)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("Pearson(x,-x) = %v, want -1", got)
+	}
+}
+
+func TestPearsonConstant(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("Pearson with constant series = %v, want 0", got)
+	}
+}
+
+func TestPearsonEmptyAndMismatch(t *testing.T) {
+	if !math.IsNaN(Pearson(nil, nil)) {
+		t.Error("Pearson of empty should be NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+// Property: Pearson is invariant under positive affine transforms and
+// bounded in [-1, 1].
+func TestPearsonAffineInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r := Pearson(xs, ys)
+		if r < -1-1e-12 || r > 1+1e-12 {
+			return false
+		}
+		a := 0.5 + rng.Float64()*3
+		b := rng.NormFloat64() * 10
+		xs2 := make([]float64, n)
+		for i := range xs {
+			xs2[i] = a*xs[i] + b
+		}
+		return almostEq(Pearson(xs2, ys), r, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{2, 4, 6}
+	// cov = mean((x-2)(y-4)) = (2 + 0 + 2)/3
+	if got := Covariance(xs, ys); !almostEq(got, 4.0/3, 1e-12) {
+		t.Errorf("Covariance = %v, want %v", got, 4.0/3)
+	}
+	if got := Covariance(xs, xs); !almostEq(got, Variance(xs), 1e-12) {
+		t.Errorf("Cov(x,x) = %v, want Var(x) = %v", got, Variance(xs))
+	}
+}
+
+func TestCovarianceMatrix(t *testing.T) {
+	data := linalg.FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+		{3, 6},
+	})
+	cov := CovarianceMatrix(data)
+	if !almostEq(cov.At(0, 0), Variance([]float64{1, 2, 3}), 1e-12) {
+		t.Errorf("cov(0,0) = %v", cov.At(0, 0))
+	}
+	if !almostEq(cov.At(0, 1), 4.0/3, 1e-12) {
+		t.Errorf("cov(0,1) = %v", cov.At(0, 1))
+	}
+	if !cov.IsSymmetric(1e-12) {
+		t.Error("covariance matrix should be symmetric")
+	}
+}
+
+func TestCovarianceMatrixPSDProperty(t *testing.T) {
+	// Covariance matrices are positive semi-definite: all eigenvalues >= 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 3+rng.Intn(30), 1+rng.Intn(5)
+		data := linalg.NewMatrix(n, d)
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				data.Set(i, j, rng.NormFloat64())
+			}
+		}
+		cov := CovarianceMatrix(data)
+		vals, _, err := linalg.EigenSym(cov)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	data := linalg.FromRows([][]float64{{1, 10}, {3, 20}})
+	m := ColumnMeans(data)
+	if m[0] != 2 || m[1] != 15 {
+		t.Errorf("ColumnMeans = %v", m)
+	}
+	if m := ColumnMeans(linalg.NewMatrix(0, 3)); len(m) != 3 {
+		t.Errorf("empty ColumnMeans = %v", m)
+	}
+}
+
+func TestZScore(t *testing.T) {
+	// Identical populations => z = 0.
+	if got := ZScore(5, 1, 100, 5, 1, 100); got != 0 {
+		t.Errorf("z = %v, want 0", got)
+	}
+	// Failed mean below good mean => negative z.
+	if got := ZScore(3, 1, 100, 5, 1, 100); got >= 0 {
+		t.Errorf("z = %v, want negative", got)
+	}
+	if !math.IsNaN(ZScore(1, 1, 0, 1, 1, 5)) {
+		t.Error("z with empty sample should be NaN")
+	}
+	if !math.IsNaN(ZScore(1, 0, 5, 1, 0, 5)) {
+		t.Error("z with zero variance should be NaN")
+	}
+}
+
+func TestZScoreSamples(t *testing.T) {
+	failed := []float64{1, 2, 3}
+	good := []float64{5, 6, 7}
+	z := ZScoreSamples(failed, good)
+	if z >= 0 {
+		t.Errorf("z = %v, want negative", z)
+	}
+	// Known value: means 2 vs 6, variances 2/3 each, n=3 each.
+	want := (2.0 - 6.0) / math.Sqrt(2.0/3/3+2.0/3/3)
+	if !almostEq(z, want, 1e-12) {
+		t.Errorf("z = %v, want %v", z, want)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	z := Standardize([]float64{1, 2, 3})
+	if !almostEq(Mean(z), 0, 1e-12) || !almostEq(StdDev(z), 1, 1e-12) {
+		t.Errorf("standardized mean/sd = %v/%v", Mean(z), StdDev(z))
+	}
+	zc := Standardize([]float64{4, 4, 4})
+	for _, v := range zc {
+		if v != 0 {
+			t.Errorf("constant standardize = %v", zc)
+		}
+	}
+}

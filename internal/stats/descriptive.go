@@ -1,0 +1,198 @@
+// Package stats implements the descriptive and inferential statistics the
+// characterization pipeline relies on: moments, quantiles and deciles,
+// boxplot summaries, histograms, Pearson correlation, covariance matrices,
+// the paper's Welch-style z-score (Eq. 7), and rank utilities for the
+// rank-sum baseline detector.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n), or NaN
+// for an empty slice.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance of xs (dividing by
+// n-1), or NaN when len(xs) < 2.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SampleStdDev returns the sample standard deviation of xs.
+func SampleStdDev(xs []float64) float64 { return math.Sqrt(SampleVariance(xs)) }
+
+// MinMax returns the smallest and largest values in xs. It returns
+// (NaN, NaN) for an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// ChangeRate returns the average per-step change of a series,
+// (last-first)/(n-1), used as one of the paper's clustering features.
+// It returns 0 for series shorter than 2.
+func ChangeRate(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return (xs[len(xs)-1] - xs[0]) / float64(len(xs)-1)
+}
+
+// Running accumulates streaming mean and variance using Welford's
+// algorithm. It lets the pipeline aggregate millions of good-drive records
+// without materializing them.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddAll incorporates every observation in xs.
+func (r *Running) AddAll(xs []float64) {
+	for _, x := range xs {
+		r.Add(x)
+	}
+}
+
+// Merge combines another accumulator into r (parallel Welford merge).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	r.m2 += o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.mean += d * float64(o.n) / float64(n)
+	r.n = n
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean, or NaN if empty.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the running population variance, or NaN if empty.
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SampleVariance returns the running sample variance, or NaN if n < 2.
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Describe summarizes a sample for reporting.
+type Describe struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Describe for xs.
+func Summarize(xs []float64) Describe {
+	min, max := MinMax(xs)
+	return Describe{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    min,
+		Max:    max,
+	}
+}
+
+// String renders the summary compactly.
+func (d Describe) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", d.N, d.Mean, d.StdDev, d.Min, d.Max)
+}
+
+// sortedCopy returns xs sorted ascending without mutating the input.
+func sortedCopy(xs []float64) []float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return s
+}

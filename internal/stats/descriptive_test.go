@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := SampleVariance(xs); !almostEq(got, 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, 32.0/7)
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("Mean/Variance of empty slice should be NaN")
+	}
+	if !math.IsNaN(SampleVariance([]float64{1})) {
+		t.Error("SampleVariance of single element should be NaN")
+	}
+	min, max := MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Error("MinMax of empty slice should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", min, max)
+	}
+}
+
+func TestChangeRate(t *testing.T) {
+	if got := ChangeRate([]float64{0, 2, 4, 6}); got != 2 {
+		t.Errorf("ChangeRate = %v, want 2", got)
+	}
+	if got := ChangeRate([]float64{5}); got != 0 {
+		t.Errorf("ChangeRate single = %v, want 0", got)
+	}
+	if got := ChangeRate(nil); got != 0 {
+		t.Errorf("ChangeRate nil = %v, want 0", got)
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		var r Running
+		r.AddAll(xs)
+		return almostEq(r.Mean(), Mean(xs), 1e-9) &&
+			almostEq(r.Variance(), Variance(xs), 1e-7) &&
+			r.N() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1, n2 := rng.Intn(50), 1+rng.Intn(50)
+		xs := make([]float64, n1+n2)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		var a, b, whole Running
+		a.AddAll(xs[:n1])
+		b.AddAll(xs[n1:])
+		whole.AddAll(xs)
+		a.Merge(b)
+		return a.N() == whole.N() &&
+			almostEq(a.Mean(), whole.Mean(), 1e-9) &&
+			almostEq(a.Variance(), whole.Variance(), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Variance()) {
+		t.Error("empty Running should report NaN")
+	}
+	var o Running
+	o.Add(3)
+	r.Merge(o)
+	if r.N() != 1 || r.Mean() != 3 {
+		t.Errorf("merge into empty: n=%d mean=%v", r.N(), r.Mean())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Summarize([]float64{1, 2, 3, 4})
+	if d.N != 4 || d.Mean != 2.5 || d.Min != 1 || d.Max != 4 {
+		t.Errorf("Summarize = %+v", d)
+	}
+	if d.String() == "" {
+		t.Error("String should not be empty")
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import "math"
+
+// Quantile returns the q-th quantile of xs (0 <= q <= 1) using linear
+// interpolation between order statistics (the "type 7" estimator used by
+// R and NumPy). It returns NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		min, _ := MinMax(xs)
+		return min
+	}
+	if q >= 1 {
+		_, max := MinMax(xs)
+		return max
+	}
+	s := sortedCopy(xs)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted is Quantile for an already-sorted slice.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	if hi >= len(s) {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Deciles returns the first nine deciles (10%..90%) of xs, the summary the
+// paper uses in Fig. 6 to compare failure groups against good drives while
+// avoiding outlier skew. It returns nil for an empty slice.
+func Deciles(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := sortedCopy(xs)
+	out := make([]float64, 9)
+	for i := 1; i <= 9; i++ {
+		out[i-1] = quantileSorted(s, float64(i)/10)
+	}
+	return out
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// BoxPlot is the five-number summary (plus whiskers) used for Fig. 2.
+type BoxPlot struct {
+	Min    float64 // smallest observation
+	Q1     float64 // 25th percentile
+	Median float64 // 50th percentile
+	Q3     float64 // 75th percentile
+	Max    float64 // largest observation
+	// LowWhisker and HighWhisker are the most extreme observations within
+	// 1.5*IQR of the quartiles (Tukey convention); observations outside
+	// them are Outliers.
+	LowWhisker  float64
+	HighWhisker float64
+	Outliers    int
+}
+
+// IQR returns the interquartile range Q3 - Q1.
+func (b BoxPlot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// NewBoxPlot computes the boxplot summary of xs. It returns a zero BoxPlot
+// with NaN fields for an empty slice.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return BoxPlot{Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan, LowWhisker: nan, HighWhisker: nan}
+	}
+	s := sortedCopy(xs)
+	b := BoxPlot{
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+	iqr := b.IQR()
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.LowWhisker, b.HighWhisker = b.Max, b.Min
+	for _, x := range s {
+		if x < loFence || x > hiFence {
+			b.Outliers++
+			continue
+		}
+		if x < b.LowWhisker {
+			b.LowWhisker = x
+		}
+		if x > b.HighWhisker {
+			b.HighWhisker = x
+		}
+	}
+	return b
+}
+
+// Histogram is a fixed-width-bin histogram over [Min, Max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+}
+
+// NewHistogram bins xs into the given number of equal-width bins spanning
+// [min, max]. Values outside the range are clamped into the end bins,
+// which matches how the paper's Fig. 1 buckets censored profile lengths.
+func NewHistogram(xs []float64, min, max float64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 1
+	}
+	if max <= min {
+		max = min + 1
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	width := (max - min) / float64(bins)
+	for _, x := range xs {
+		i := int((x - min) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+		h.total++
+	}
+	return h
+}
+
+// Total returns the number of observations binned.
+func (h *Histogram) Total() int { return h.total }
+
+// BinEdges returns the lower edge of each bin plus the final upper edge.
+func (h *Histogram) BinEdges() []float64 {
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	edges := make([]float64, len(h.Counts)+1)
+	for i := range edges {
+		edges[i] = h.Min + float64(i)*width
+	}
+	return edges
+}
+
+// FractionAtLeast returns the fraction of observations with value >= x.
+func (h *Histogram) FractionAtLeast(x float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	var n int
+	for i, c := range h.Counts {
+		lower := h.Min + float64(i)*width
+		if lower >= x {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}

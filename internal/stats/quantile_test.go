@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("Quantile single = %v, want 7", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestDeciles(t *testing.T) {
+	// 0..100 inclusive: decile i should be ~10*i.
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	d := Deciles(xs)
+	if len(d) != 9 {
+		t.Fatalf("len = %d, want 9", len(d))
+	}
+	for i, v := range d {
+		want := float64((i + 1) * 10)
+		if !almostEq(v, want, 1e-9) {
+			t.Errorf("decile %d = %v, want %v", i+1, v, want)
+		}
+	}
+	if Deciles(nil) != nil {
+		t.Error("Deciles of empty should be nil")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 5
+		}
+		min, max := MinMax(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 || v < min-1e-12 || v > max+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100} // 100 is an outlier
+	b := NewBoxPlot(xs)
+	if b.Min != 1 || b.Max != 100 {
+		t.Errorf("Min/Max = %v/%v", b.Min, b.Max)
+	}
+	if b.Median != 5 {
+		t.Errorf("Median = %v, want 5", b.Median)
+	}
+	if b.Outliers != 1 {
+		t.Errorf("Outliers = %d, want 1", b.Outliers)
+	}
+	if b.HighWhisker != 8 {
+		t.Errorf("HighWhisker = %v, want 8", b.HighWhisker)
+	}
+	if b.IQR() <= 0 {
+		t.Errorf("IQR = %v", b.IQR())
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	b := NewBoxPlot(nil)
+	if !math.IsNaN(b.Median) {
+		t.Error("empty boxplot should have NaN fields")
+	}
+}
+
+func TestBoxPlotOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		b := NewBoxPlot(xs)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.LowWhisker >= b.Min && b.HighWhisker <= b.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 0, 10, 5)
+	if h.Total() != 10 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bin %d = %d, want 2", i, c)
+		}
+	}
+	edges := h.BinEdges()
+	if len(edges) != 6 || edges[0] != 0 || edges[5] != 10 {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram([]float64{-5, 15}, 0, 10, 2)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("clamped counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramFractionAtLeast(t *testing.T) {
+	xs := []float64{1, 3, 5, 7, 9}
+	h := NewHistogram(xs, 0, 10, 5)
+	if got := h.FractionAtLeast(6); !almostEq(got, 0.4, 1e-12) {
+		t.Errorf("FractionAtLeast(6) = %v, want 0.4", got)
+	}
+	empty := NewHistogram(nil, 0, 1, 2)
+	if !math.IsNaN(empty.FractionAtLeast(0)) {
+		t.Error("empty histogram fraction should be NaN")
+	}
+}
+
+func TestMedianMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + 2*rng.Intn(25) // odd n: median is the middle element
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		s := make([]float64, n)
+		copy(s, xs)
+		sort.Float64s(s)
+		return almostEq(Median(xs), s[n/2], 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

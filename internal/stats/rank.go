@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks returns the 1-based ranks of xs with ties receiving the average of
+// the ranks they span (midrank method), as required by the Wilcoxon
+// rank-sum baseline detector.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group spanning sorted positions i..j.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// RankSumZ computes the normal approximation z statistic of the Wilcoxon
+// rank-sum (Mann-Whitney) test for sample against reference. A large |z|
+// indicates the sample's distribution is shifted relative to the
+// reference. Returns NaN when either sample is empty.
+func RankSumZ(sample, reference []float64) float64 {
+	n1, n2 := len(sample), len(reference)
+	if n1 == 0 || n2 == 0 {
+		return math.NaN()
+	}
+	all := make([]float64, 0, n1+n2)
+	all = append(all, sample...)
+	all = append(all, reference...)
+	ranks := Ranks(all)
+	var w float64
+	for i := 0; i < n1; i++ {
+		w += ranks[i]
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	mean := fn1 * (fn1 + fn2 + 1) / 2
+	// Tie correction for the variance.
+	variance := fn1 * fn2 * (fn1 + fn2 + 1) / 12
+	variance -= fn1 * fn2 / (12 * (fn1 + fn2) * (fn1 + fn2 - 1)) * tieCorrection(all)
+	if variance <= 0 {
+		return 0
+	}
+	return (w - mean) / math.Sqrt(variance)
+}
+
+// KolmogorovSmirnov returns the two-sample KS statistic: the maximum
+// absolute difference between the empirical CDFs of a and b. Values near
+// 1 mean the distributions barely overlap — the quantitative form of the
+// Fig. 6 decile separations. Returns NaN when either sample is empty.
+func KolmogorovSmirnov(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	var i, j int
+	var d float64
+	for i < len(sa) && j < len(sb) {
+		// Advance past every copy of the smaller value; ties advance both
+		// sides so the CDFs are compared only between distinct values.
+		v := math.Min(sa[i], sb[j])
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// tieCorrection returns sum over tie groups of t^3 - t.
+func tieCorrection(xs []float64) float64 {
+	s := sortedCopy(xs)
+	var total float64
+	for i := 0; i < len(s); {
+		j := i
+		for j+1 < len(s) && s[j+1] == s[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		if t > 1 {
+			total += t*t*t - t
+		}
+		i = j + 1
+	}
+	return total
+}

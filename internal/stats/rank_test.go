@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRanksNoTies(t *testing.T) {
+	ranks := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("Ranks = %v, want %v", ranks, want)
+			break
+		}
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	ranks := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("Ranks = %v, want %v", ranks, want)
+			break
+		}
+	}
+}
+
+func TestRanksSumProperty(t *testing.T) {
+	// Rank sum is always n(n+1)/2 regardless of ties.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(10)) // many ties
+		}
+		return almostEq(Sum(Ranks(xs)), float64(n*(n+1))/2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankSumZShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sample := make([]float64, 50)
+	ref := make([]float64, 200)
+	for i := range sample {
+		sample[i] = rng.NormFloat64() + 3 // clearly shifted up
+	}
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	z := RankSumZ(sample, ref)
+	if z < 5 {
+		t.Errorf("z = %v, want strongly positive for shifted sample", z)
+	}
+	zDown := RankSumZ(ScaledBy(sample, -1), ScaledBy(ref, -1))
+	if zDown > -5 {
+		t.Errorf("z = %v, want strongly negative for downward shift", zDown)
+	}
+}
+
+// ScaledBy is a test helper returning xs*k.
+func ScaledBy(xs []float64, k float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}
+
+func TestRankSumZIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	z := RankSumZ(a, b)
+	if math.Abs(z) > 3 {
+		t.Errorf("z = %v for identically distributed samples, want near 0", z)
+	}
+}
+
+func TestRankSumZEmpty(t *testing.T) {
+	if !math.IsNaN(RankSumZ(nil, []float64{1})) {
+		t.Error("expected NaN for empty sample")
+	}
+}
+
+func TestRankSumZAllTies(t *testing.T) {
+	z := RankSumZ([]float64{1, 1}, []float64{1, 1, 1})
+	if z != 0 {
+		t.Errorf("z = %v for fully tied data, want 0", z)
+	}
+}
+
+func TestKolmogorovSmirnovKnown(t *testing.T) {
+	// Disjoint supports: D = 1.
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if got := KolmogorovSmirnov(a, b); got != 1 {
+		t.Errorf("disjoint KS = %v, want 1", got)
+	}
+	// Identical samples: D = 0.
+	if got := KolmogorovSmirnov(a, a); got != 0 {
+		t.Errorf("identical KS = %v, want 0", got)
+	}
+	if !math.IsNaN(KolmogorovSmirnov(nil, a)) {
+		t.Error("empty sample should be NaN")
+	}
+}
+
+func TestKolmogorovSmirnovShiftSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := make([]float64, 500)
+	shifted := make([]float64, 500)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+		shifted[i] = rng.NormFloat64() + 0.5
+	}
+	small := KolmogorovSmirnov(base, base[:250])
+	big := KolmogorovSmirnov(base, shifted)
+	if !(big > small+0.1) {
+		t.Errorf("shifted KS %v should exceed same-distribution KS %v", big, small)
+	}
+}
+
+// Property: KS is symmetric and in [0, 1].
+func TestKolmogorovSmirnovProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(50), 1+rng.Intn(50)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		d1 := KolmogorovSmirnov(a, b)
+		d2 := KolmogorovSmirnov(b, a)
+		return d1 >= 0 && d1 <= 1 && math.Abs(d1-d2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package stats
+
+import "math"
+
+// ZScore computes the paper's Eq. (7): the standardized difference between
+// the mean of a disk health attribute over failed drives and over good
+// drives,
+//
+//	z = (m_f - m_g) / sqrt(var_f/n_f + var_g/n_g)
+//
+// A strongly negative z means the failed drives' attribute health value is
+// far below the good drives' (e.g. hotter temperature in Fig. 11).
+// Returns NaN when either sample is empty or both variance terms are zero.
+func ZScore(meanF, varF float64, nF int, meanG, varG float64, nG int) float64 {
+	if nF == 0 || nG == 0 {
+		return math.NaN()
+	}
+	den := varF/float64(nF) + varG/float64(nG)
+	if den <= 0 {
+		return math.NaN()
+	}
+	return (meanF - meanG) / math.Sqrt(den)
+}
+
+// ZScoreSamples computes Eq. (7) directly from the two samples.
+func ZScoreSamples(failed, good []float64) float64 {
+	return ZScore(Mean(failed), Variance(failed), len(failed), Mean(good), Variance(good), len(good))
+}
+
+// Standardize returns (x - mean)/sd per element; sd == 0 yields zeros.
+func Standardize(xs []float64) []float64 {
+	m := Mean(xs)
+	sd := StdDev(xs)
+	out := make([]float64, len(xs))
+	if sd == 0 || math.IsNaN(sd) {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / sd
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"disksig/internal/smart"
+)
+
+// baseline is the healthy operating point of one drive. Every raw process
+// fluctuates around it; failed drives additionally superimpose their
+// group's degradation deltas scaled by the severity ramp.
+type baseline struct {
+	tempC    float64 // resting temperature, Celsius
+	readErr  float64 // baseline raw read error rate
+	ecc      float64 // baseline hardware-ECC-recovered rate
+	seekErr  float64 // baseline seek error rate
+	spinUpMs float64 // baseline spin-up time
+	realloc  int     // benign factory-remapped sectors
+	hfw      int     // benign high-fly write count
+	poh0     float64 // drive age (powered-on hours) when monitoring began
+}
+
+// rawDelta is a failure mode's displacement of the raw processes at full
+// severity (sev = 1, the failure record).
+type rawDelta struct {
+	readErr float64
+	seekErr float64
+	ecc     float64
+	spinUp  float64
+	realloc float64 // cumulative counters: ramp only inside the window
+	uncorr  float64
+	hfw     float64
+	pending float64
+}
+
+// groupProfile captures a failure mode's generative parameters: the raw
+// deltas at failure, the persistent temperature elevation (present through
+// the whole profile, the Fig. 11 effect), and the drive-age distribution
+// (the Fig. 12 effect).
+type groupProfile struct {
+	// delta returns the drive-specific displacement vector; called once
+	// per drive so modes like group 2's "diverse R-RSC" can vary widely
+	// between drives.
+	delta func(rng *rand.Rand) rawDelta
+	// persistentTempC is sampled once per drive.
+	persistentTempC func(rng *rand.Rand) float64
+	// ageHours is sampled once per drive.
+	ageHours func(rng *rand.Rand) float64
+}
+
+// jit scales v by a uniform factor in [1-spread, 1+spread].
+func jit(rng *rand.Rand, v, spread float64) float64 {
+	return v * (1 + spread*(2*rng.Float64()-1))
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*rng.Float64()
+}
+
+// The three failure modes. Indices 0..2 correspond to the paper's Groups
+// 1..3 (logical, bad-sector, read/write-head failures).
+var groupProfiles = [3]groupProfile{
+	// Group 1 — logical failures. Attribute values stay close to good
+	// states: a small number of write errors and internal scan errors,
+	// medium read errors. The distinguishing trait is a persistently
+	// elevated temperature (hottest of all groups) and a short quadratic
+	// degradation window.
+	{
+		delta: func(rng *rand.Rand) rawDelta {
+			return rawDelta{
+				readErr: jit(rng, 40, 0.25),
+				seekErr: jit(rng, 2.0, 0.3),
+				ecc:     jit(rng, 25, 0.3),
+				spinUp:  jit(rng, 120, 0.3),
+				realloc: jit(rng, 30, 0.5),
+				uncorr:  math.Floor(uniform(rng, 0, 3)),
+				hfw:     math.Floor(uniform(rng, 0, 2)),
+				pending: jit(rng, 4, 0.5),
+			}
+		},
+		persistentTempC: func(rng *rand.Rand) float64 { return uniform(rng, 4.5, 7) },
+		ageHours:        func(rng *rand.Rand) float64 { return uniform(rng, 8000, 30000) },
+	},
+	// Group 2 — bad-sector failures. Highest number of uncorrectable
+	// errors, more media (read) errors, widely varying reallocated
+	// sectors, and a long monotone linear degradation.
+	{
+		delta: func(rng *rand.Rand) rawDelta {
+			return rawDelta{
+				readErr: jit(rng, 100, 0.2),
+				seekErr: jit(rng, 1.5, 0.3),
+				ecc:     jit(rng, 150, 0.25),
+				spinUp:  jit(rng, 80, 0.3),
+				realloc: uniform(rng, 0, 2500), // "diverse R-RSC"
+				uncorr:  jit(rng, 70, 0.35),
+				hfw:     uniform(rng, 0, 70), // the wide-range HFW minority of Fig. 2
+				pending: jit(rng, 60, 0.3),
+			}
+		},
+		persistentTempC: func(rng *rand.Rand) float64 { return uniform(rng, 2, 3.5) },
+		ageHours:        func(rng *rand.Rand) float64 { return uniform(rng, 15000, 30000) },
+	},
+	// Group 3 — read/write-head failures. Highest number of reallocated
+	// sectors (write errors), larger high-fly writes, longest power-on
+	// hours, low media errors and internal scan errors; cubic window.
+	{
+		delta: func(rng *rand.Rand) rawDelta {
+			return rawDelta{
+				readErr: jit(rng, 10, 0.4),
+				seekErr: jit(rng, 6, 0.3),
+				ecc:     jit(rng, 15, 0.4),
+				spinUp:  jit(rng, 800, 0.25),
+				realloc: uniform(rng, 4350, 4500), // near the fleet maximum
+				uncorr:  math.Floor(uniform(rng, 0, 3)),
+				hfw:     uniform(rng, 4, 10), // larger than the other groups, yet modest
+				pending: jit(rng, 6, 0.5),
+			}
+		},
+		persistentTempC: func(rng *rand.Rand) float64 { return uniform(rng, 3, 4.5) },
+		ageHours:        func(rng *rand.Rand) float64 { return uniform(rng, 30000, 40000) },
+	},
+}
+
+// newBaseline samples a healthy operating point by first drawing the
+// drive's workload and deriving the error processes from it. The wide
+// utilization spread makes good and failed temperature distributions
+// overlap — Group 1 is distinguishable by TC only statistically, not per
+// drive.
+func newBaseline(rng *rand.Rand) baseline {
+	return baselineFor(drawWorkload(rng), rng)
+}
+
+// measurement noise of the rate-like raw processes, applied per sample.
+const (
+	noiseReadErr = 0.5
+	noiseEcc     = 2.0
+	noiseSeekErr = 0.08
+	// Spin-up time only changes when the drive actually spins up, so the
+	// hourly samples carry very little noise; a large value here would
+	// dominate SUT's narrow fleet-wide span after Eq. (1) normalization.
+	noiseSpinUp = 4.0
+	// Temperature varies mildly hour to hour; a large diurnal swing would
+	// put a 24-hour oscillation into every distance-to-failure curve and
+	// drown the degradation windows of the near-good Group 1 drives.
+	noiseTempC   = 0.2
+	diurnalTempC = 0.25
+)
+
+// goodDrive generates the profile of a drive that never fails.
+func goodDrive(id, hours int, rng *rand.Rand) *smart.Profile {
+	b := newBaseline(rng)
+	p := &smart.Profile{DriveID: id, Failed: false}
+	p.Records = make([]smart.Record, 0, hours)
+	phase := rng.Float64() * 24
+	pending := 0
+	for h := 0; h < hours; h++ {
+		// Rare benign pending-sector episodes that the scrubber resolves.
+		if pending == 0 && rng.Float64() < 0.002 {
+			pending = 1 + rng.Intn(2)
+		} else if pending > 0 && rng.Float64() < 0.3 {
+			pending--
+		}
+		s := rawSample(b, h, phase, rng)
+		s.PendingSectors = pending
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: smart.MapToRecord(s)})
+	}
+	return p
+}
+
+// rawSample draws the noisy healthy raw state at hour h.
+func rawSample(b baseline, h int, phase float64, rng *rand.Rand) smart.RawState {
+	diurnal := diurnalTempC * math.Sin(2*math.Pi*(float64(h)+phase)/24)
+	return smart.RawState{
+		ReadErrorRate: nonNeg(b.readErr + rng.NormFloat64()*noiseReadErr),
+		Reallocated:   b.realloc,
+		SeekErrorRate: nonNeg(b.seekErr + rng.NormFloat64()*noiseSeekErr),
+		Uncorrectable: 0,
+		HighFlyWrites: b.hfw,
+		ECCRecovered:  nonNeg(b.ecc + rng.NormFloat64()*noiseEcc),
+		SpinUpMillis:  nonNeg(b.spinUpMs + rng.NormFloat64()*noiseSpinUp),
+		PowerOnHours:  b.poh0 + float64(h),
+		TemperatureC:  b.tempC + diurnal + rng.NormFloat64()*noiseTempC,
+	}
+}
+
+func nonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// failedDrive generates the profile of a drive that fails with the given
+// mode (group 1..3) after profileHours of monitoring. The last record is
+// the failure record.
+func failedDrive(id, group, profileHours int, rng *rand.Rand) *smart.Profile {
+	b := newBaseline(rng)
+	gp := groupProfiles[group-1]
+	b.poh0 = gp.ageHours(rng)
+	delta := gp.delta(rng)
+	persistentTemp := gp.persistentTempC(rng)
+	sev := newSeverity(group, profileHours, rng)
+
+	p := &smart.Profile{DriveID: id, Failed: true, TrueGroup: group}
+	p.Records = make([]smart.Record, 0, profileHours)
+	phase := rng.Float64() * 24
+	for h := 0; h < profileHours; h++ {
+		t := profileHours - 1 - h // hours remaining until failure
+		sv := sev.at(t)
+		// Cumulative counters ramp only inside the final window so they
+		// never decrease; rate-like processes follow the full severity
+		// including pre-window transient episodes.
+		var winSv float64
+		if t <= sev.window {
+			winSv = sv
+		}
+		s := rawSample(b, h, phase, rng)
+		s.ReadErrorRate = nonNeg(s.ReadErrorRate + delta.readErr*sv)
+		s.SeekErrorRate = nonNeg(s.SeekErrorRate + delta.seekErr*sv)
+		s.ECCRecovered = nonNeg(s.ECCRecovered + delta.ecc*sv)
+		s.SpinUpMillis = nonNeg(s.SpinUpMillis + delta.spinUp*sv)
+		s.PendingSectors = int(delta.pending * sv)
+		s.Reallocated = b.realloc + int(delta.realloc*winSv)
+		s.Uncorrectable = int(delta.uncorr * winSv)
+		s.HighFlyWrites = b.hfw + int(delta.hfw*winSv)
+		// The temperature elevation persists through the whole profile and
+		// intensifies mildly toward the failure (Fig. 11's narrowing gap at
+		// 480 hours before failure).
+		ramp := 0.75 + 0.25*(1-float64(t)/float64(profileHours))
+		s.TemperatureC += persistentTemp * ramp
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: smart.MapToRecord(s)})
+	}
+	return p
+}

@@ -1,0 +1,168 @@
+package synth
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"disksig/internal/dataset"
+	"disksig/internal/smart"
+)
+
+// Generate produces a synthetic fleet dataset for the configuration.
+// Generation is deterministic in cfg (including cfg.Seed) and parallelized
+// across drives.
+func Generate(cfg Config) (*dataset.Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plans := planDrives(cfg)
+	profiles := make([]*smart.Profile, len(plans))
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := plans[i]
+				// A per-drive generator seeded from (fleet seed, drive ID)
+				// keeps output independent of scheduling.
+				rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(p.id)*7919))
+				if p.group == 0 {
+					profiles[i] = goodDrive(p.id, p.hours, rng)
+				} else {
+					profiles[i] = failedDrive(p.id, p.group, p.hours, rng)
+				}
+			}
+		}()
+	}
+	for i := range plans {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var failed, good []*smart.Profile
+	for _, p := range profiles {
+		if p.Failed {
+			failed = append(failed, p)
+		} else {
+			good = append(good, p)
+		}
+	}
+	return dataset.New(failed, good), nil
+}
+
+// drivePlan is the pre-drawn identity of one drive: its ID, failure group
+// (0 = good) and profile length.
+type drivePlan struct {
+	id    int
+	group int
+	hours int
+}
+
+// planDrives draws group assignments and censored profile lengths with a
+// single sequential RNG so the fleet composition is independent of worker
+// scheduling.
+func planDrives(cfg Config) []drivePlan {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	plans := make([]drivePlan, 0, cfg.FailedDrives+cfg.GoodDrives)
+	groups := groupAssignments(cfg.FailedDrives, cfg.GroupFractions)
+	for i := 0; i < cfg.FailedDrives; i++ {
+		plans = append(plans, drivePlan{
+			id:    i,
+			group: groups[i],
+			hours: censoredHours(cfg, rng),
+		})
+	}
+	for i := 0; i < cfg.GoodDrives; i++ {
+		// Good drives are monitored for up to GoodProfileHours; most have
+		// the full window, a minority joined late.
+		hours := cfg.GoodProfileHours
+		if rng.Float64() < 0.15 {
+			hours = cfg.GoodProfileHours/2 + rng.Intn(cfg.GoodProfileHours/2)
+		}
+		plans = append(plans, drivePlan{id: cfg.FailedDrives + i, group: 0, hours: hours})
+	}
+	return plans
+}
+
+// groupAssignments splits n failed drives into the three groups by the
+// largest-remainder method, then returns the per-drive group (1..3) in a
+// deterministic interleaved order.
+func groupAssignments(n int, fractions [3]float64) []int {
+	counts := [3]int{}
+	assigned := 0
+	type rem struct {
+		g int
+		r float64
+	}
+	var rems []rem
+	for g, f := range fractions {
+		exact := f * float64(n)
+		counts[g] = int(exact)
+		assigned += counts[g]
+		rems = append(rems, rem{g: g, r: exact - float64(counts[g])})
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].r != rems[j].r {
+			return rems[i].r > rems[j].r
+		}
+		return rems[i].g < rems[j].g
+	})
+	for i := 0; assigned < n; i++ {
+		counts[rems[i%3].g]++
+		assigned++
+	}
+	out := make([]int, 0, n)
+	for g, c := range counts {
+		for i := 0; i < c; i++ {
+			out = append(out, g+1)
+		}
+	}
+	// Deterministically shuffle so drive IDs don't encode the group.
+	rng := rand.New(rand.NewSource(int64(n)*2654435761 + 17))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// censoredHours draws a failed drive's monitored profile length per the
+// Fig. 1 distribution: FullProfileFrac of drives have the full profile,
+// Over10DayFrac have more than half of it, the rest are shorter (but at
+// least two days, enough to hold any degradation window).
+func censoredHours(cfg Config, rng *rand.Rand) int {
+	full := cfg.FailedProfileHours
+	half := full / 2
+	u := rng.Float64()
+	switch {
+	case u < cfg.FullProfileFrac:
+		return full
+	case u < cfg.Over10DayFrac:
+		return half + 1 + rng.Intn(full-half-1)
+	default:
+		return 48 + rng.Intn(half-48)
+	}
+}
+
+// GroupCount returns how many failed drives in the dataset were generated
+// with the given mode (1..3). It reads the generative labels and therefore
+// must only be used to *score* the analysis, never inside it.
+func GroupCount(d *dataset.Dataset, group int) int {
+	n := 0
+	for _, p := range d.Failed {
+		if p.TrueGroup == group {
+			n++
+		}
+	}
+	return n
+}

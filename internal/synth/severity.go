@@ -1,0 +1,124 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// severity models how far a failed drive's error processes have advanced
+// toward the failure state: 0 is the drive's healthy baseline, 1 is the
+// failure record. Inside the final degradation window of d hours the ramp
+// follows the group's polynomial,
+//
+//	group 1 (logical):    sev(t) = 1 - (t/d)^2
+//	group 2 (bad sector): sev(t) = 1 - (t/d)
+//	group 3 (head):       sev(t) = 1 - (t/d)^3
+//
+// with t the hours remaining until failure. Groups 1 and 3 additionally
+// exhibit episodic pre-window "bumps" (transient partial degradations that
+// recover), which produce the fluctuating distance curves of Fig. 7(a)
+// and 7(c); group 2 degrades monotonically over nearly the whole profile
+// (Fig. 7(b)).
+type severity struct {
+	window int     // degradation window d, in hours
+	order  int     // polynomial order of the in-window ramp (1, 2 or 3)
+	bumps  []bump  // pre-window transient episodes
+	floor  float64 // residual pre-window severity level (small)
+}
+
+// bump is a transient triangular degradation episode: severity rises
+// linearly to peak at the midpoint of [start, start+width) hours before
+// failure, then falls back.
+type bump struct {
+	start int // hours before failure at which the episode begins (nearest to failure)
+	width int
+	peak  float64
+}
+
+// at returns the severity t hours before failure.
+func (s *severity) at(t int) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if t <= s.window {
+		x := float64(t) / float64(s.window)
+		var ramp float64
+		switch s.order {
+		case 1:
+			ramp = 1 - x
+		case 2:
+			ramp = 1 - x*x
+		default:
+			ramp = 1 - x*x*x
+		}
+		// The ramp dominates the bump floor inside the window.
+		return ramp
+	}
+	v := s.floor
+	for _, b := range s.bumps {
+		if t >= b.start && t < b.start+b.width {
+			// Triangular profile over the episode.
+			pos := float64(t-b.start) / float64(b.width)
+			tri := 1 - math.Abs(2*pos-1)
+			v += b.peak * tri
+		}
+	}
+	if v > 0.9 {
+		v = 0.9 // episodes never reach the failure state
+	}
+	return v
+}
+
+// newSeverity draws a severity model for one failed drive.
+//
+// profileHours is the drive's (possibly censored) monitored length; the
+// window is clipped so it fits inside the profile.
+func newSeverity(group int, profileHours int, rng *rand.Rand) *severity {
+	s := &severity{}
+	switch group {
+	case 1:
+		s.order = 2
+		s.window = 2 + rng.Intn(11) // 2..12, paper: "no greater than 12"
+	case 2:
+		s.order = 1
+		// Nearly the whole profile degrades monotonically; the centroid in
+		// the paper has d = 377 of a 480-hour profile.
+		s.window = 300 + rng.Intn(161) // 300..460
+	case 3:
+		s.order = 3
+		s.window = 10 + rng.Intn(15) // 10..24, paper: "ranges from 10 to 24"
+	default:
+		panic("synth: invalid failure group")
+	}
+	if s.window >= profileHours {
+		s.window = profileHours - 1
+	}
+	if group == 2 {
+		// Group 2 has no pre-window fluctuation: the distance decreases
+		// monotonically to zero (Fig. 7(b)).
+		return s
+	}
+	// Pre-window transient episodes for groups 1 and 3. Episodes never
+	// overlap the final window (plus a small guard band) so the window
+	// remains the unique final monotone stretch.
+	guard := s.window + 6
+	span := profileHours - guard
+	if span <= 20 {
+		return s
+	}
+	n := 2 + rng.Intn(4+span/120)
+	for i := 0; i < n; i++ {
+		b := bump{
+			start: guard + rng.Intn(span-12),
+			width: 10 + rng.Intn(30),
+			peak:  0.10 + 0.20*rng.Float64(),
+		}
+		if b.start+b.width > profileHours {
+			b.width = profileHours - b.start
+		}
+		if b.width >= 4 {
+			s.bumps = append(s.bumps, b)
+		}
+	}
+	return s
+}

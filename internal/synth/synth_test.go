@@ -1,0 +1,412 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"disksig/internal/smart"
+	"disksig/internal/stats"
+)
+
+func TestScaleParseString(t *testing.T) {
+	for _, s := range []Scale{ScaleSmall, ScaleMedium, ScalePaper} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScale(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("expected error for unknown scale")
+	}
+	if Scale(99).String() == "" {
+		t.Error("unknown scale should still render")
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	for _, s := range []Scale{ScaleSmall, ScaleMedium, ScalePaper} {
+		if err := DefaultConfig(s).Validate(); err != nil {
+			t.Errorf("DefaultConfig(%v) invalid: %v", s, err)
+		}
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	base := DefaultConfig(ScaleSmall)
+	cases := []func(*Config){
+		func(c *Config) { c.GoodDrives = -1 },
+		func(c *Config) { c.GoodDrives, c.FailedDrives = 0, 0 },
+		func(c *Config) { c.GoodProfileHours = 1 },
+		func(c *Config) { c.FailedProfileHours = 10 },
+		func(c *Config) { c.GroupFractions = [3]float64{0.5, 0.5, 0.5} },
+		func(c *Config) { c.GroupFractions = [3]float64{-0.1, 0.6, 0.5} },
+		func(c *Config) { c.FullProfileFrac = 0.9; c.Over10DayFrac = 0.5 },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGroupAssignmentsCounts(t *testing.T) {
+	gs := groupAssignments(433, [3]float64{0.596, 0.076, 0.328})
+	counts := map[int]int{}
+	for _, g := range gs {
+		counts[g]++
+	}
+	// Paper: 258 / 33 / 142.
+	if counts[1] != 258 || counts[2] != 33 || counts[3] != 142 {
+		t.Errorf("group counts = %v, want 258/33/142", counts)
+	}
+}
+
+func TestGroupAssignmentsSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		gs := groupAssignments(n, [3]float64{0.596, 0.076, 0.328})
+		if len(gs) != n {
+			return false
+		}
+		for _, g := range gs {
+			if g < 1 || g > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeverityWindowRamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for group := 1; group <= 3; group++ {
+		s := newSeverity(group, 480, rng)
+		if s.at(0) != 1 {
+			t.Errorf("group %d: sev(0) = %v, want 1", group, s.at(0))
+		}
+		if got := s.at(s.window); got != 0 {
+			t.Errorf("group %d: sev(window) = %v, want 0", group, got)
+		}
+		// Monotone non-increasing in t inside the window.
+		prev := math.Inf(1)
+		for tt := 0; tt <= s.window; tt++ {
+			v := s.at(tt)
+			if v > prev {
+				t.Errorf("group %d: severity not monotone at t=%d", group, tt)
+				break
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSeverityWindowSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		if w := newSeverity(1, 480, rng).window; w < 2 || w > 12 {
+			t.Fatalf("group 1 window %d outside [2,12]", w)
+		}
+		if w := newSeverity(2, 480, rng).window; w < 300 || w > 460 {
+			t.Fatalf("group 2 window %d outside [300,460]", w)
+		}
+		if w := newSeverity(3, 480, rng).window; w < 10 || w > 24 {
+			t.Fatalf("group 3 window %d outside [10,24]", w)
+		}
+	}
+}
+
+func TestSeverityWindowClippedToProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := newSeverity(2, 100, rng)
+	if s.window >= 100 {
+		t.Errorf("window %d not clipped to profile 100", s.window)
+	}
+}
+
+func TestSeverityGroup2NoBumps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := newSeverity(2, 480, rng)
+	if len(s.bumps) != 0 {
+		t.Errorf("group 2 should have no bumps, got %d", len(s.bumps))
+	}
+}
+
+func TestSeverityBumpsStayOutsideWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		for _, g := range []int{1, 3} {
+			s := newSeverity(g, 480, rng)
+			for _, b := range s.bumps {
+				if b.start <= s.window {
+					t.Fatalf("group %d: bump at %d overlaps window %d", g, b.start, s.window)
+				}
+			}
+		}
+	}
+}
+
+func TestSeverityInvalidGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newSeverity(4, 480, rand.New(rand.NewSource(1)))
+}
+
+func TestGoodDriveProfile(t *testing.T) {
+	p := goodDrive(5, 96, rand.New(rand.NewSource(1)))
+	if p.Failed || p.DriveID != 5 || p.Len() != 96 {
+		t.Fatalf("profile: failed=%v id=%d len=%d", p.Failed, p.DriveID, p.Len())
+	}
+	// Healthy drives stay near full health on error attributes.
+	for _, a := range []smart.Attr{RUEAttr(), smart.HFW} {
+		series := p.AttrSeries(a)
+		if min, _ := stats.MinMax(series); min < 95 {
+			t.Errorf("good drive %s dipped to %v", a, min)
+		}
+	}
+	// POH advances by one hour per sample.
+	poh := p.AttrSeries(smart.POH)
+	if !(poh[0] > poh[len(poh)-1]) {
+		t.Error("POH health value should decrease with age")
+	}
+}
+
+// RUEAttr avoids an unused-import dance in table-driven tests.
+func RUEAttr() smart.Attr { return smart.RUE }
+
+func TestFailedDriveDeterministic(t *testing.T) {
+	a := failedDrive(3, 1, 200, rand.New(rand.NewSource(42)))
+	b := failedDrive(3, 1, 200, rand.New(rand.NewSource(42)))
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i].Values != b.Records[i].Values {
+			t.Fatalf("records differ at %d", i)
+		}
+	}
+}
+
+func TestFailedDriveGroupManifestations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g1 := failedDrive(0, 1, 480, rng)
+	g2 := failedDrive(1, 2, 480, rng)
+	g3 := failedDrive(2, 3, 480, rng)
+
+	fr1 := g1.FailureRecord().Values
+	fr2 := g2.FailureRecord().Values
+	fr3 := g3.FailureRecord().Values
+
+	if !(fr2[smart.RUE] < fr1[smart.RUE] && fr2[smart.RUE] < fr3[smart.RUE]) {
+		t.Errorf("group 2 should have the lowest RUE health: %v %v %v",
+			fr1[smart.RUE], fr2[smart.RUE], fr3[smart.RUE])
+	}
+	if !(fr3[smart.RawRSC] > fr1[smart.RawRSC] && fr3[smart.RawRSC] > fr2[smart.RawRSC]) {
+		t.Errorf("group 3 should have the highest raw reallocated count: %v %v %v",
+			fr1[smart.RawRSC], fr2[smart.RawRSC], fr3[smart.RawRSC])
+	}
+	if fr3[smart.RawRSC] < 4300 {
+		t.Errorf("group 3 R-RSC = %v, want near fleet max", fr3[smart.RawRSC])
+	}
+	if !(fr3[smart.HFW] < fr1[smart.HFW]) {
+		t.Errorf("group 3 should have more high-fly writes than group 1")
+	}
+	// Group 1 R/W attributes remain close to good states.
+	if fr1[smart.RUE] < 95 || fr1[smart.RawRSC] > 60 {
+		t.Errorf("group 1 failure record should look nearly healthy: RUE=%v R-RSC=%v",
+			fr1[smart.RUE], fr1[smart.RawRSC])
+	}
+}
+
+func TestFailedDriveCumulativeCountersMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for group := 1; group <= 3; group++ {
+		p := failedDrive(group, group, 480, rng)
+		for _, a := range []smart.Attr{smart.RawRSC} {
+			prev := math.Inf(-1)
+			for i, r := range p.Records {
+				if r.Values[a] < prev {
+					t.Errorf("group %d: cumulative %s decreased at hour %d", group, a, i)
+					break
+				}
+				prev = r.Values[a]
+			}
+		}
+	}
+}
+
+func TestFailedDriveHotterThanGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	good := goodDrive(0, 480, rng)
+	g1 := failedDrive(1, 1, 480, rng)
+	// TC is a health value: lower means hotter.
+	goodTC := stats.Mean(good.AttrSeries(smart.TC))
+	g1TC := stats.Mean(g1.AttrSeries(smart.TC))
+	if g1TC >= goodTC-2 {
+		t.Errorf("group 1 TC health %v should be well below good %v", g1TC, goodTC)
+	}
+}
+
+func TestGenerateSmallFleet(t *testing.T) {
+	cfg := DefaultConfig(ScaleSmall)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Failed) != cfg.FailedDrives || len(ds.Good) != cfg.GoodDrives {
+		t.Fatalf("population = %d/%d, want %d/%d", len(ds.Failed), len(ds.Good), cfg.FailedDrives, cfg.GoodDrives)
+	}
+	// All three groups are represented.
+	for g := 1; g <= 3; g++ {
+		if GroupCount(ds, g) == 0 {
+			t.Errorf("group %d empty", g)
+		}
+	}
+	// Group proportions follow the configuration.
+	if got := GroupCount(ds, 1); math.Abs(float64(got)/float64(cfg.FailedDrives)-0.596) > 0.03 {
+		t.Errorf("group 1 fraction = %v", float64(got)/float64(cfg.FailedDrives))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(ScaleSmall)
+	cfg.GoodDrives, cfg.FailedDrives = 20, 10
+	cfg.Workers = 4
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Failed) != len(b.Failed) {
+		t.Fatal("failed counts differ")
+	}
+	for i := range a.Failed {
+		pa, pb := a.Failed[i], b.Failed[i]
+		if pa.DriveID != pb.DriveID || pa.Len() != pb.Len() {
+			t.Fatalf("profile %d metadata differs", i)
+		}
+		for j := range pa.Records {
+			if pa.Records[j].Values != pb.Records[j].Values {
+				t.Fatalf("drive %d record %d differs between worker counts", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("expected error for zero config")
+	}
+}
+
+func TestCensoredHoursDistribution(t *testing.T) {
+	cfg := DefaultConfig(ScaleMedium)
+	rng := rand.New(rand.NewSource(21))
+	n := 20000
+	full, over10 := 0, 0
+	for i := 0; i < n; i++ {
+		h := censoredHours(cfg, rng)
+		if h < 48 || h > cfg.FailedProfileHours {
+			t.Fatalf("censored hours %d out of range", h)
+		}
+		if h == cfg.FailedProfileHours {
+			full++
+		}
+		if h > cfg.FailedProfileHours/2 {
+			over10++
+		}
+	}
+	if f := float64(full) / float64(n); math.Abs(f-0.513) > 0.02 {
+		t.Errorf("full-profile fraction = %v, want ~0.513", f)
+	}
+	if f := float64(over10) / float64(n); math.Abs(f-0.785) > 0.02 {
+		t.Errorf(">10-day fraction = %v, want ~0.785", f)
+	}
+}
+
+func TestWorkloadDerivedBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Busier drives run hotter; more random access means more seek errors.
+	hot := baselineFor(Workload{Utilization: 0.9, ReadFraction: 0.5, RandomAccess: 0.2}, rng)
+	cool := baselineFor(Workload{Utilization: 0.1, ReadFraction: 0.5, RandomAccess: 0.2}, rng)
+	if !(hot.tempC > cool.tempC+5) {
+		t.Errorf("tempC: busy %v vs idle %v", hot.tempC, cool.tempC)
+	}
+	if !(hot.readErr > cool.readErr) || !(hot.ecc > cool.ecc) {
+		t.Errorf("read errors should scale with read volume: %v/%v vs %v/%v",
+			hot.readErr, hot.ecc, cool.readErr, cool.ecc)
+	}
+	random := baselineFor(Workload{Utilization: 0.5, ReadFraction: 0.5, RandomAccess: 0.95}, rng)
+	sequential := baselineFor(Workload{Utilization: 0.5, ReadFraction: 0.5, RandomAccess: 0.05}, rng)
+	if !(random.seekErr > sequential.seekErr+1) {
+		t.Errorf("seekErr: random %v vs sequential %v", random.seekErr, sequential.seekErr)
+	}
+}
+
+func TestWorkloadBaselineEnvelopes(t *testing.T) {
+	// The derived operating points stay inside the fleet envelopes the
+	// analysis is calibrated against.
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 2000; i++ {
+		b := baselineFor(drawWorkload(rng), rng)
+		if b.tempC < 26 || b.tempC > 36 {
+			t.Fatalf("tempC = %v outside [26, 36]", b.tempC)
+		}
+		if b.readErr < 1 || b.readErr > 5 {
+			t.Fatalf("readErr = %v outside [1, 5]", b.readErr)
+		}
+		if b.ecc < 10 || b.ecc > 30 {
+			t.Fatalf("ecc = %v outside [10, 30]", b.ecc)
+		}
+		if b.seekErr < 0.5 || b.seekErr > 3 {
+			t.Fatalf("seekErr = %v outside [0.5, 3]", b.seekErr)
+		}
+	}
+}
+
+func TestGeneratePaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale fleet generation is memory- and time-intensive")
+	}
+	cfg := DefaultConfig(ScalePaper)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ds.Counts()
+	if c.FailedDrives != 433 || c.GoodDrives != 22962 {
+		t.Fatalf("population = %d/%d, want 433/22962", c.FailedDrives, c.GoodDrives)
+	}
+	// The paper's 1.85% replacement rate.
+	if r := ds.FailureRate(); math.Abs(r-0.0185) > 0.0005 {
+		t.Errorf("failure rate = %v, want ~0.0185", r)
+	}
+	// Good drives contribute millions of records, failed drives ~150k
+	// (censoring shortens some profiles), matching the paper's 3.85M/156k
+	// proportions.
+	if c.GoodRecords < 3_000_000 {
+		t.Errorf("good records = %d, want millions", c.GoodRecords)
+	}
+	if c.FailedRecords < 120_000 || c.FailedRecords > 210_000 {
+		t.Errorf("failed records = %d, want ~156k", c.FailedRecords)
+	}
+	// Exact paper group split at 433 drives.
+	if GroupCount(ds, 1) != 258 || GroupCount(ds, 2) != 33 || GroupCount(ds, 3) != 142 {
+		t.Errorf("groups = %d/%d/%d, want 258/33/142",
+			GroupCount(ds, 1), GroupCount(ds, 2), GroupCount(ds, 3))
+	}
+}

@@ -1,0 +1,60 @@
+package synth
+
+import "math/rand"
+
+// Workload is the I/O profile a drive serves. The studied data center
+// "experiences diverse workloads" (Sec. IV-B); each drive's healthy
+// operating point derives from its workload: busier drives run hotter,
+// read-heavy drives surface more media and ECC-recovered errors, and
+// random-access drives accumulate seek errors.
+type Workload struct {
+	// Utilization is the busy fraction of the drive in (0, 1).
+	Utilization float64
+	// ReadFraction is the share of operations that are reads.
+	ReadFraction float64
+	// RandomAccess is the seek intensity: 0 is fully sequential, 1 is
+	// fully random.
+	RandomAccess float64
+}
+
+// drawWorkload samples a drive's workload profile.
+func drawWorkload(rng *rand.Rand) Workload {
+	return Workload{
+		Utilization:  rng.Float64(),
+		ReadFraction: uniform(rng, 0.3, 0.9),
+		RandomAccess: rng.Float64(),
+	}
+}
+
+// baselineFor derives a drive's healthy operating point from its
+// workload. The ranges match the fleet-wide envelopes the analysis is
+// calibrated against (temperature 26-36 C, read error rate ~1-5, seek
+// error rate ~0.5-3, ECC-recovered ~10-30).
+func baselineFor(w Workload, rng *rand.Rand) baseline {
+	readVolume := w.Utilization * w.ReadFraction // in (0, 0.9)
+	return baseline{
+		// Dissipated heat follows utilization; rack position adds a small
+		// independent spread.
+		tempC: 26 + 10*w.Utilization,
+		// Media read errors surface in proportion to read volume.
+		readErr: 1 + 4*clamp01(readVolume/0.9),
+		// ECC-recovered errors likewise scale with read volume.
+		ecc: 10 + 20*clamp01(readVolume/0.9),
+		// Seek errors follow how random the access pattern is.
+		seekErr:  0.5 + 2.5*w.RandomAccess,
+		spinUpMs: uniform(rng, 3900, 4100),
+		realloc:  rng.Intn(15),
+		hfw:      rng.Intn(3),
+		poh0:     uniform(rng, 500, 35000),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,139 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sineData(n int, rng *rand.Rand) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		v := rng.Float64() * 2 * math.Pi
+		x[i] = []float64{v, rng.Float64()} // second feature is noise
+		y[i] = math.Sin(v) + rng.NormFloat64()*0.05
+	}
+	return x, y
+}
+
+func rmseOf(pred, truth []float64) float64 {
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+func TestTrainForestErrors(t *testing.T) {
+	if _, err := TrainForest(nil, nil, ForestConfig{}); err == nil {
+		t.Error("expected error for empty data")
+	}
+	if _, err := TrainForest([][]float64{{1}}, []float64{1, 2}, ForestConfig{}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+}
+
+func TestForestFitsAndGeneralizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trainX, trainY := sineData(800, rng)
+	testX, testY := sineData(200, rng)
+	f, err := TrainForest(trainX, trainY, ForestConfig{Trees: 20, Tree: Config{MaxDepth: 8, MinLeaf: 5}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 20 {
+		t.Errorf("size = %d", f.Size())
+	}
+	if r := rmseOf(f.PredictAll(testX), testY); r > 0.15 {
+		t.Errorf("test RMSE = %v, want < 0.15", r)
+	}
+}
+
+func TestForestBeatsSingleDeepTreeOnNoise(t *testing.T) {
+	// With noisy targets and unconstrained depth, bagging reduces test
+	// variance relative to one fully-grown tree.
+	rng := rand.New(rand.NewSource(2))
+	trainX, trainY := sineData(400, rng)
+	testX, testY := sineData(400, rng)
+	single, err := Train(trainX, trainY, Config{MaxDepth: 20, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := TrainForest(trainX, trainY, ForestConfig{
+		Trees: 40, Tree: Config{MaxDepth: 20, MinLeaf: 1}, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := rmseOf(single.PredictAll(testX), testY)
+	rf := rmseOf(forest.PredictAll(testX), testY)
+	if !(rf < rs) {
+		t.Errorf("forest RMSE %v should beat single deep tree %v", rf, rs)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := sineData(200, rng)
+	cfg := ForestConfig{Trees: 10, Seed: 7, Workers: 4, Tree: Config{MinLeaf: 2}}
+	a, err := TrainForest(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := TrainForest(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		probe := []float64{rng.Float64() * 2 * math.Pi, rng.Float64()}
+		if a.Predict(probe) != b.Predict(probe) {
+			t.Fatal("forest not deterministic across worker counts")
+		}
+	}
+}
+
+func TestForestFeatureBagging(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := sineData(300, rng)
+	f, err := TrainForest(x, y, ForestConfig{
+		Trees: 10, FeatureFraction: 0.5, Seed: 1, Tree: Config{MinLeaf: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With fraction 0.5 of 2 features, each tree sees exactly 1 feature.
+	subsampled := 0
+	for _, fs := range f.featureSets {
+		if fs != nil {
+			if len(fs) != 1 {
+				t.Errorf("feature set = %v", fs)
+			}
+			subsampled++
+		}
+	}
+	if subsampled != 10 {
+		t.Errorf("subsampled trees = %d", subsampled)
+	}
+	// Predictions still work.
+	if math.IsNaN(f.Predict([]float64{1, 0.5})) {
+		t.Error("NaN prediction")
+	}
+}
+
+func TestForestPredictDimensionPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := sineData(50, rng)
+	f, err := TrainForest(x, y, ForestConfig{Trees: 2, Tree: Config{MinLeaf: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Predict([]float64{1})
+}

@@ -1,0 +1,298 @@
+// Package tree implements CART least-squares regression trees, the
+// method Sec. V-B uses for disk degradation prediction. Splits minimize
+// the sum of squared errors of child-node means (Eq. 8); leaves predict
+// the mean target of their training samples.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Config controls tree induction.
+type Config struct {
+	// MaxDepth bounds the tree depth; 0 means 8.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf; 0 means 5.
+	MinLeaf int
+	// MinImprovement is the minimum SSE reduction required to split;
+	// 0 means 1e-7 of the root SSE.
+	MinImprovement float64
+}
+
+func (c Config) withDefaults(rootSSE float64) Config {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	if c.MinImprovement <= 0 {
+		c.MinImprovement = 1e-7 * (1 + rootSSE)
+	}
+	return c
+}
+
+// Tree is a trained regression tree.
+type Tree struct {
+	root     *node
+	features int
+}
+
+type node struct {
+	// feature < 0 marks a leaf.
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	value     float64 // mean target of the node's training samples
+	n         int     // training samples reaching the node
+}
+
+// Train fits a regression tree to the row observations X with targets y.
+func Train(x [][]float64, y []float64, cfg Config) (*Tree, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("tree: no training samples")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("tree: %d observations but %d targets", len(x), len(y))
+	}
+	d := len(x[0])
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("tree: observation %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	rootMean, rootSSE := meanSSE(idx, y)
+	cfg = cfg.withDefaults(rootSSE)
+	t := &Tree{features: d}
+	t.root = grow(x, y, idx, rootMean, rootSSE, 0, cfg)
+	return t, nil
+}
+
+// meanSSE computes the mean target and sum of squared errors of a sample
+// subset.
+func meanSSE(idx []int, y []float64) (mean, sse float64) {
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+func grow(x [][]float64, y []float64, idx []int, mean, sse float64, depth int, cfg Config) *node {
+	n := &node{feature: -1, value: mean, n: len(idx)}
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || sse <= cfg.MinImprovement {
+		return n
+	}
+	feat, thr, gain, ok := bestSplit(x, y, idx, sse, cfg.MinLeaf)
+	if !ok || gain < cfg.MinImprovement {
+		return n
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][feat] < thr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	n.feature = feat
+	n.threshold = thr
+	lm, ls := meanSSE(leftIdx, y)
+	rm, rs := meanSSE(rightIdx, y)
+	n.left = grow(x, y, leftIdx, lm, ls, depth+1, cfg)
+	n.right = grow(x, y, rightIdx, rm, rs, depth+1, cfg)
+	return n
+}
+
+// bestSplit scans every feature and threshold for the split that
+// minimizes the summed child SSE, using sorted prefix sums.
+func bestSplit(x [][]float64, y []float64, idx []int, parentSSE float64, minLeaf int) (feature int, threshold, gain float64, ok bool) {
+	n := len(idx)
+	d := len(x[idx[0]])
+	order := make([]int, n)
+	bestSSE := math.Inf(1)
+	for f := 0; f < d; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		// Prefix scan: left side accumulates sum and sum of squares.
+		var lSum, lSq float64
+		var tSum, tSq float64
+		for _, i := range order {
+			tSum += y[i]
+			tSq += y[i] * y[i]
+		}
+		for k := 0; k < n-1; k++ {
+			yi := y[order[k]]
+			lSum += yi
+			lSq += yi * yi
+			// Can't split between equal feature values.
+			if x[order[k]][f] == x[order[k+1]][f] {
+				continue
+			}
+			nl, nr := k+1, n-k-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			rSum := tSum - lSum
+			rSq := tSq - lSq
+			sse := (lSq - lSum*lSum/float64(nl)) + (rSq - rSum*rSum/float64(nr))
+			if sse < bestSSE {
+				bestSSE = sse
+				feature = f
+				threshold = (x[order[k]][f] + x[order[k+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	if !ok {
+		return 0, 0, 0, false
+	}
+	return feature, threshold, parentSSE - bestSSE, true
+}
+
+// Predict returns the tree's prediction for one observation.
+func (t *Tree) Predict(x []float64) float64 {
+	if len(x) != t.features {
+		panic(fmt.Sprintf("tree: observation has %d features, tree was trained on %d", len(x), t.features))
+	}
+	n := t.root
+	for n.feature >= 0 {
+		if x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// PredictAll predicts every observation.
+func (t *Tree) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = t.Predict(row)
+	}
+	return out
+}
+
+// Depth returns the tree depth (a lone leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n.feature < 0 {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return leavesOf(t.root) }
+
+func leavesOf(n *node) int {
+	if n.feature < 0 {
+		return 1
+	}
+	return leavesOf(n.left) + leavesOf(n.right)
+}
+
+// FeatureImportance returns, per feature, the total SSE reduction
+// contributed by splits on that feature, normalized to sum to 1 (or all
+// zeros for a stump). It identifies the "critical attributes" of Sec. V-B.
+func (t *Tree) FeatureImportance(x [][]float64, y []float64) []float64 {
+	imp := make([]float64, t.features)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	accumulateImportance(t.root, x, y, idx, imp)
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+func accumulateImportance(n *node, x [][]float64, y []float64, idx []int, imp []float64) {
+	if n.feature < 0 || len(idx) == 0 {
+		return
+	}
+	_, parentSSE := meanSSE(idx, y)
+	var left, right []int
+	for _, i := range idx {
+		if x[i][n.feature] < n.threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	var childSSE float64
+	if len(left) > 0 {
+		_, s := meanSSE(left, y)
+		childSSE += s
+	}
+	if len(right) > 0 {
+		_, s := meanSSE(right, y)
+		childSSE += s
+	}
+	if gain := parentSSE - childSSE; gain > 0 {
+		imp[n.feature] += gain
+	}
+	accumulateImportance(n.left, x, y, left, imp)
+	accumulateImportance(n.right, x, y, right, imp)
+}
+
+// Render draws the tree in the style of Fig. 13: each node shows its mean
+// target value and population share; internal nodes show their split.
+// featNames labels the split features; nil uses generic names.
+func (t *Tree) Render(featNames []string) string {
+	var b strings.Builder
+	total := t.root.n
+	var walk func(n *node, prefix string, isLast bool)
+	walk = func(n *node, prefix string, isLast bool) {
+		connector := "├── "
+		childPrefix := prefix + "│   "
+		if isLast {
+			connector = "└── "
+			childPrefix = prefix + "    "
+		}
+		if prefix == "" {
+			connector = ""
+			childPrefix = ""
+		}
+		share := 100 * float64(n.n) / float64(total)
+		if n.feature < 0 {
+			fmt.Fprintf(&b, "%s%svalue=%.2f (%.0f%%)\n", prefix, connector, n.value, share)
+			return
+		}
+		name := fmt.Sprintf("x%d", n.feature)
+		if featNames != nil && n.feature < len(featNames) {
+			name = featNames[n.feature]
+		}
+		fmt.Fprintf(&b, "%s%s%s < %.2f? value=%.2f (%.0f%%)\n", prefix, connector, name, n.threshold, n.value, share)
+		walk(n.left, childPrefix, false)
+		walk(n.right, childPrefix, true)
+	}
+	walk(t.root, "", true)
+	return b.String()
+}

@@ -1,0 +1,247 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Error("expected error for empty data")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, Config{}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []float64{1, 2}, Config{}); err == nil {
+		t.Error("expected error for ragged features")
+	}
+}
+
+func TestStepFunction(t *testing.T) {
+	// y = 0 for x < 5, y = 10 for x >= 5: one split suffices.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 10
+		x = append(x, []float64{v})
+		if v < 5 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 10)
+		}
+	}
+	tr, err := Train(x, y, Config{MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{1}); got != 0 {
+		t.Errorf("Predict(1) = %v, want 0", got)
+	}
+	if got := tr.Predict([]float64{9}); got != 10 {
+		t.Errorf("Predict(9) = %v, want 10", got)
+	}
+	if tr.Leaves() != 2 || tr.Depth() != 1 {
+		t.Errorf("leaves=%d depth=%d, want 2/1", tr.Leaves(), tr.Depth())
+	}
+}
+
+func TestConstantTargetIsStump(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	tr, err := Train(x, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 1 {
+		t.Errorf("leaves = %d, want 1 (no split on constant target)", tr.Leaves())
+	}
+	if got := tr.Predict([]float64{10}); got != 7 {
+		t.Errorf("Predict = %v", got)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 10
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(v))
+	}
+	tr, err := Train(x, y, Config{MaxDepth: 3, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 3 {
+		t.Errorf("depth = %d, want <= 3", tr.Depth())
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v})
+		y = append(y, v)
+	}
+	tr, err := Train(x, y, Config{MinLeaf: 30, MaxDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := leafCounts(tr.root)
+	for _, c := range counts {
+		if c < 30 {
+			t.Errorf("leaf with %d samples, want >= 30", c)
+		}
+	}
+}
+
+func leafCounts(n *node) []int {
+	if n.feature < 0 {
+		return []int{n.n}
+	}
+	return append(leafCounts(n.left), leafCounts(n.right)...)
+}
+
+func TestMultiFeatureSelectsInformative(t *testing.T) {
+	// Feature 1 is pure noise; feature 0 determines y.
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		x = append(x, []float64{a, b})
+		if a < 0.5 {
+			y = append(y, -1)
+		} else {
+			y = append(y, 1)
+		}
+	}
+	tr, err := Train(x, y, Config{MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportance(x, y)
+	if !(imp[0] > 0.9) {
+		t.Errorf("importance = %v, want feature 0 dominant", imp)
+	}
+	if s := imp[0] + imp[1]; math.Abs(s-1) > 1e-9 {
+		t.Errorf("importance sums to %v", s)
+	}
+}
+
+func TestFeatureImportanceStump(t *testing.T) {
+	tr, err := Train([][]float64{{1}, {2}}, []float64{3, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportance([][]float64{{1}, {2}}, []float64{3, 3})
+	if imp[0] != 0 {
+		t.Errorf("stump importance = %v", imp)
+	}
+}
+
+// Property: leaf predictions are the mean of training targets routed to
+// the leaf, so training RMSE never exceeds the target standard deviation.
+func TestTrainingErrorBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = x[i][0]*2 + rng.NormFloat64()*0.1
+		}
+		tr, err := Train(x, y, Config{MinLeaf: 2})
+		if err != nil {
+			return false
+		}
+		pred := tr.PredictAll(x)
+		var mean float64
+		for _, v := range y {
+			mean += v
+		}
+		mean /= float64(n)
+		var sseTree, sseMean float64
+		for i := range y {
+			sseTree += (pred[i] - y[i]) * (pred[i] - y[i])
+			sseMean += (mean - y[i]) * (mean - y[i])
+		}
+		return sseTree <= sseMean+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictDimensionPanics(t *testing.T) {
+	tr, _ := Train([][]float64{{1}, {2}}, []float64{1, 2}, Config{MinLeaf: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Predict([]float64{1, 2})
+}
+
+func TestRender(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		v := float64(i)
+		x = append(x, []float64{v})
+		if v < 25 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 1)
+		}
+	}
+	tr, err := Train(x, y, Config{MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Render([]string{"POH"})
+	if !strings.Contains(out, "POH <") {
+		t.Errorf("render missing feature name:\n%s", out)
+	}
+	if !strings.Contains(out, "(100%)") {
+		t.Errorf("render missing root share:\n%s", out)
+	}
+	// Generic names when nil.
+	out2 := tr.Render(nil)
+	if !strings.Contains(out2, "x0 <") {
+		t.Errorf("render missing generic name:\n%s", out2)
+	}
+}
+
+func TestDeepFitImprovesOverStump(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64() * 2 * math.Pi
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(v))
+	}
+	shallow, _ := Train(x, y, Config{MaxDepth: 1, MinLeaf: 2})
+	deep, _ := Train(x, y, Config{MaxDepth: 8, MinLeaf: 2})
+	rmse := func(tr *Tree) float64 {
+		var s float64
+		for i := range x {
+			d := tr.Predict(x[i]) - y[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(x)))
+	}
+	if !(rmse(deep) < rmse(shallow)/2) {
+		t.Errorf("deep RMSE %v should be well below shallow %v", rmse(deep), rmse(shallow))
+	}
+}
