@@ -15,7 +15,9 @@ import (
 	"sync"
 	"testing"
 
+	"disksig/internal/cluster"
 	"disksig/internal/core"
+	"disksig/internal/dataset"
 	"disksig/internal/experiments"
 	"disksig/internal/synth"
 )
@@ -101,6 +103,49 @@ func BenchmarkFleetGeneration(b *testing.B) {
 		if _, err := synth.Generate(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkKMeans measures clustering the 30-dimensional failure-record
+// features at the paper's k=3.
+func BenchmarkKMeans(b *testing.B) {
+	ds, err := synth.Generate(synth.DefaultConfig(synth.ScaleSmall))
+	if err != nil {
+		b.Fatal(err)
+	}
+	features := core.FeaturizeAll(ds.NormalizedFailed())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(features, cluster.KMeansConfig{K: 3, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNormalizeFleet measures dataset construction (the sharded
+// min/max fit) plus normalizing every failed profile.
+func BenchmarkNormalizeFleet(b *testing.B) {
+	ds, err := synth.Generate(synth.DefaultConfig(synth.ScaleSmall))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dataset.New(ds.Failed, ds.Good)
+		d.NormalizedFailed()
+	}
+}
+
+// BenchmarkGoodSample measures drawing the normalized good-record sample
+// via the sharded reservoir.
+func BenchmarkGoodSample(b *testing.B) {
+	ds, err := synth.Generate(synth.DefaultConfig(synth.ScaleSmall))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.NormalizedGoodSample(100_000, 1)
 	}
 }
 

@@ -32,6 +32,7 @@ func main() {
 		only      = flag.String("only", "", "print only artifacts whose ID contains this string (e.g. \"Fig. 8\")")
 		quiet     = flag.Bool("quiet", false, "print only artifact headers and metrics")
 		metrics   = flag.String("metrics", "", "also write all headline metrics as CSV to this file")
+		workers   = flag.Int("workers", 0, "parallelism bound for generation and analysis; 0 means all CPUs (output is identical at any value)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 	}
 	cfg := synth.DefaultConfig(scale)
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	var ds *dataset.Dataset
 	start := time.Now()

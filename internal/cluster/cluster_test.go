@@ -311,3 +311,53 @@ func TestUnionFind(t *testing.T) {
 		t.Errorf("singleton label = %d, want 2", labels[2])
 	}
 }
+
+func TestKMeansWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points, _ := threeBlobs(rng, 50)
+	base, err := KMeans(points, KMeansConfig{K: 3, Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		res, err := KMeans(points, KMeansConfig{K: 3, Seed: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.AvgWithinDistance(points), base.AvgWithinDistance(points); got != want {
+			t.Fatalf("workers=%d: within-distance %v, want %v", workers, got, want)
+		}
+		for i := range res.Assign {
+			if res.Assign[i] != base.Assign[i] {
+				t.Fatalf("workers=%d: assignment differs at point %d", workers, i)
+			}
+		}
+		for c := range res.Centroids {
+			for j := range res.Centroids[c] {
+				if res.Centroids[c][j] != base.Centroids[c][j] {
+					t.Fatalf("workers=%d: centroid %d differs", workers, c)
+				}
+			}
+		}
+	}
+}
+
+func TestElbowWorkerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	points, _ := threeBlobs(rng, 30)
+	base, err := ElbowWithWorkers(points, 6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		curve, err := ElbowWithWorkers(points, 6, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range curve {
+			if curve[i] != base[i] {
+				t.Fatalf("workers=%d: elbow point %d = %+v, want %+v", workers, i, curve[i], base[i])
+			}
+		}
+	}
+}

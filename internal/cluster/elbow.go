@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+
+	"disksig/internal/parallel"
 )
 
 // ElbowPoint is the Fig. 3 statistic for one candidate cluster count.
@@ -15,19 +17,42 @@ type ElbowPoint struct {
 // within-group distances, the curve the paper plots in Fig. 3 to choose
 // the number of failure categories.
 func Elbow(points [][]float64, maxK int, seed int64) ([]ElbowPoint, error) {
+	return ElbowWithWorkers(points, maxK, seed, 0)
+}
+
+// ElbowWithWorkers is Elbow with an explicit parallelism bound
+// (<= 0 means GOMAXPROCS). The candidate cluster counts are independent
+// runs, so the sweep fans out across them; each k's K-means keeps the
+// same (seed, restart)-derived RNG streams regardless of worker count,
+// making the curve identical at every parallelism level.
+func ElbowWithWorkers(points [][]float64, maxK int, seed int64, workers int) ([]ElbowPoint, error) {
 	if maxK < 1 {
 		return nil, fmt.Errorf("cluster: maxK must be >= 1, got %d", maxK)
 	}
 	if maxK > len(points) {
 		maxK = len(points)
 	}
-	out := make([]ElbowPoint, 0, maxK)
-	for k := 1; k <= maxK; k++ {
-		res, err := KMeans(points, KMeansConfig{K: k, Seed: seed})
+	workers = parallel.Workers(workers)
+	outer := workers
+	if outer > maxK {
+		outer = maxK
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	out := make([]ElbowPoint, maxK)
+	err := parallel.ForEachErr(outer, maxK, func(i int) error {
+		k := i + 1
+		res, err := KMeans(points, KMeansConfig{K: k, Seed: seed, Workers: inner})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, ElbowPoint{K: k, AvgWithinDistance: res.AvgWithinDistance(points)})
+		out[i] = ElbowPoint{K: k, AvgWithinDistance: res.AvgWithinDistance(points)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

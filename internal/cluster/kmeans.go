@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"disksig/internal/parallel"
 )
 
 // Result is a flat clustering of n points into k groups.
@@ -98,12 +100,26 @@ type KMeansConfig struct {
 	// Restarts runs the whole algorithm multiple times with different
 	// seedings and keeps the lowest-inertia result; 0 means 8.
 	Restarts int
-	// Seed drives the k-means++ seeding.
+	// Seed drives the k-means++ seeding. Each restart r draws its RNG
+	// stream from (Seed, r), so restarts are independent of each other
+	// and of how they are scheduled.
 	Seed int64
+	// Workers bounds the parallelism across restarts and within the
+	// assignment step; <= 0 means GOMAXPROCS. The clustering is
+	// identical at every worker count.
+	Workers int
 }
 
+// assignParallelMin is the minimum number of point-centroid distance
+// evaluations per Lloyd iteration before the assignment step fans out;
+// below it goroutine overhead beats the arithmetic saved.
+const assignParallelMin = 1 << 14
+
 // KMeans clusters points with Lloyd's algorithm and k-means++ seeding.
-// All points must have the same dimension.
+// All points must have the same dimension. Restarts run concurrently,
+// each on its own (Seed, restart)-derived RNG stream; the lowest-inertia
+// result wins, ties broken by the lowest restart number, so the outcome
+// is deterministic in Seed at any worker count.
 func KMeans(points [][]float64, cfg KMeansConfig) (*Result, error) {
 	n := len(points)
 	if cfg.K < 1 {
@@ -126,20 +142,35 @@ func KMeans(points [][]float64, cfg KMeansConfig) (*Result, error) {
 	if restarts <= 0 {
 		restarts = 8
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := parallel.Workers(cfg.Workers)
+	outer := workers
+	if outer > restarts {
+		outer = restarts
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
 
-	var best *Result
-	bestInertia := math.Inf(1)
-	for r := 0; r < restarts; r++ {
-		res, inertia := kmeansOnce(points, cfg.K, maxIter, rng)
-		if inertia < bestInertia {
-			best, bestInertia = res, inertia
+	type attempt struct {
+		res     *Result
+		inertia float64
+	}
+	attempts := parallel.Map(outer, restarts, func(r int) attempt {
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, int64(r))))
+		res, inertia := kmeansOnce(points, cfg.K, maxIter, rng, inner)
+		return attempt{res, inertia}
+	})
+	best := attempts[0]
+	for _, a := range attempts[1:] {
+		if a.inertia < best.inertia {
+			best = a
 		}
 	}
-	return best, nil
+	return best.res, nil
 }
 
-func kmeansOnce(points [][]float64, k, maxIter int, rng *rand.Rand) (*Result, float64) {
+func kmeansOnce(points [][]float64, k, maxIter int, rng *rand.Rand, workers int) (*Result, float64) {
 	centroids := seedPlusPlus(points, k, rng)
 	assign := make([]int, len(points))
 	for i := range assign {
@@ -147,20 +178,7 @@ func kmeansOnce(points [][]float64, k, maxIter int, rng *rand.Rand) (*Result, fl
 	}
 	iter := 0
 	for ; iter < maxIter; iter++ {
-		changed := false
-		for i, p := range points {
-			best, bestDist := 0, math.Inf(1)
-			for c, cent := range centroids {
-				if d := sqEuclid(p, cent); d < bestDist {
-					best, bestDist = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-		}
-		if !changed {
+		if !assignPoints(points, centroids, assign, workers) {
 			break
 		}
 		recomputeCentroids(points, assign, centroids, rng)
@@ -170,6 +188,52 @@ func kmeansOnce(points [][]float64, k, maxIter int, rng *rand.Rand) (*Result, fl
 		inertia += sqEuclid(p, centroids[assign[i]])
 	}
 	return &Result{K: k, Assign: assign, Centroids: centroids, Iterations: iter}, inertia
+}
+
+// assignPoints reassigns every point to its nearest centroid and reports
+// whether any assignment changed. Each point's result depends only on
+// the centroids, so the chunked fan-out is exact: assign[i] is written
+// by exactly one goroutine and the per-chunk change flags are OR-merged.
+func assignPoints(points [][]float64, centroids [][]float64, assign []int, workers int) bool {
+	n := len(points)
+	assignOne := func(i int) bool {
+		best, bestDist := 0, math.Inf(1)
+		for c, cent := range centroids {
+			if d := sqEuclid(points[i], cent); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			return true
+		}
+		return false
+	}
+	if workers <= 1 || n*len(centroids) < assignParallelMin {
+		changed := false
+		for i := 0; i < n; i++ {
+			if assignOne(i) {
+				changed = true
+			}
+		}
+		return changed
+	}
+	chunk := (n + workers - 1) / workers
+	flags := parallel.MapShards(workers, parallel.Shards(n, chunk), func(s parallel.Shard) bool {
+		changed := false
+		for i := s.Lo; i < s.Hi; i++ {
+			if assignOne(i) {
+				changed = true
+			}
+		}
+		return changed
+	})
+	for _, f := range flags {
+		if f {
+			return true
+		}
+	}
+	return false
 }
 
 // seedPlusPlus picks initial centroids with the k-means++ D² weighting.

@@ -89,7 +89,7 @@ func Categorize(ds *dataset.Dataset, cfg Config) (*Categorization, error) {
 		return nil, fmt.Errorf("core: %d failed drives are too few to categorize (need >= %d)", len(failed), cfg.MaxClusters)
 	}
 	features := FeaturizeAll(failed)
-	curve, err := cluster.Elbow(features, cfg.MaxClusters, cfg.Seed)
+	curve, err := cluster.ElbowWithWorkers(features, cfg.MaxClusters, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: elbow analysis: %w", err)
 	}
@@ -97,7 +97,7 @@ func Categorize(ds *dataset.Dataset, cfg Config) (*Categorization, error) {
 	if k <= 0 {
 		k = cluster.PickElbow(curve)
 	}
-	res, err := cluster.KMeans(features, cluster.KMeansConfig{K: k, Seed: cfg.Seed})
+	res, err := cluster.KMeans(features, cluster.KMeansConfig{K: k, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}

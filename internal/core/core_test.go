@@ -322,3 +322,85 @@ func TestGroupPopulationEmpty(t *testing.T) {
 		t.Error("empty population should be 0")
 	}
 }
+
+// TestCharacterizeWorkerEquivalence is the tentpole determinism check:
+// the pipeline must produce an identical Characterization whether it runs
+// serially or with many workers. Two fresh fleets are used so each run
+// also rebuilds the dataset's lazy views under its own worker count.
+func TestCharacterizeWorkerEquivalence(t *testing.T) {
+	run := func(workers int) *Characterization {
+		t.Helper()
+		ds, err := synth.Generate(synth.DefaultConfig(synth.ScaleSmall))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := Characterize(ds, Config{Seed: 1, GoodSample: 2000, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	a, b := run(1), run(4)
+
+	if len(a.Categorization.Elbow) != len(b.Categorization.Elbow) {
+		t.Fatalf("elbow lengths differ: %d vs %d", len(a.Categorization.Elbow), len(b.Categorization.Elbow))
+	}
+	for i := range a.Categorization.Elbow {
+		if a.Categorization.Elbow[i] != b.Categorization.Elbow[i] {
+			t.Errorf("elbow point %d: %+v vs %+v", i, a.Categorization.Elbow[i], b.Categorization.Elbow[i])
+		}
+	}
+	if a.Categorization.K != b.Categorization.K {
+		t.Fatalf("K differs: %d vs %d", a.Categorization.K, b.Categorization.K)
+	}
+	for i := range a.Categorization.GroupOf {
+		if a.Categorization.GroupOf[i] != b.Categorization.GroupOf[i] {
+			t.Fatalf("group assignment differs at drive %d", i)
+		}
+	}
+	if len(a.GoodSample) != len(b.GoodSample) {
+		t.Fatalf("good sample sizes differ: %d vs %d", len(a.GoodSample), len(b.GoodSample))
+	}
+	for i := range a.GoodSample {
+		if a.GoodSample[i] != b.GoodSample[i] {
+			t.Fatalf("good sample differs at record %d", i)
+		}
+	}
+	for i, ga := range a.Results {
+		gb := b.Results[i]
+		if ga.Group.Number != gb.Group.Number || ga.Group.CentroidDrive != gb.Group.CentroidDrive {
+			t.Errorf("group %d identity differs", i+1)
+		}
+		if ga.Signature.Best != gb.Signature.Best || ga.Signature.BestRMSE != gb.Signature.BestRMSE {
+			t.Errorf("group %d centroid signature differs", ga.Group.Number)
+		}
+		if ga.Summary.MajorityForm != gb.Summary.MajorityForm || ga.Summary.MedianD != gb.Summary.MedianD {
+			t.Errorf("group %d summary differs", ga.Group.Number)
+		}
+		pa, pb := ga.Prediction, gb.Prediction
+		if pa.RMSE != pb.RMSE || pa.ErrorRate != pb.ErrorRate ||
+			pa.TrainSamples != pb.TrainSamples || pa.TestSamples != pb.TestSamples {
+			t.Errorf("group %d prediction differs: %+v vs %+v", ga.Group.Number, pa, pb)
+		}
+		for f := range pa.Importance {
+			if pa.Importance[f] != pb.Importance[f] {
+				t.Errorf("group %d importance %d differs: %v vs %v", ga.Group.Number, f, pa.Importance[f], pb.Importance[f])
+			}
+		}
+	}
+	sameSeries := func(name string, sa, sb []*ZScoreSeries) {
+		if len(sa) != len(sb) {
+			t.Fatalf("%s series counts differ: %d vs %d", name, len(sa), len(sb))
+		}
+		for i := range sa {
+			for j := range sa[i].Z {
+				za, zb := sa[i].Z[j], sb[i].Z[j]
+				if za != zb && !(math.IsNaN(za) && math.IsNaN(zb)) {
+					t.Errorf("%s series %d point %d differs: %v vs %v", name, i, j, za, zb)
+				}
+			}
+		}
+	}
+	sameSeries("TC", a.TCZScores, b.TCZScores)
+	sameSeries("POH", a.POHZScores, b.POHZScores)
+}

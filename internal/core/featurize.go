@@ -6,6 +6,7 @@
 package core
 
 import (
+	"disksig/internal/parallel"
 	"disksig/internal/smart"
 	"disksig/internal/stats"
 )
@@ -61,11 +62,10 @@ func Featurize(p *smart.Profile) []float64 {
 }
 
 // FeaturizeAll builds the feature matrix for a set of normalized failed
-// profiles.
+// profiles. Rows are independent, so they are computed in parallel into
+// their own slots.
 func FeaturizeAll(profiles []*smart.Profile) [][]float64 {
-	out := make([][]float64, len(profiles))
-	for i, p := range profiles {
-		out[i] = Featurize(p)
-	}
-	return out
+	return parallel.Map(0, len(profiles), func(i int) []float64 {
+		return Featurize(profiles[i])
+	})
 }

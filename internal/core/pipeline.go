@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"disksig/internal/dataset"
+	"disksig/internal/parallel"
 	"disksig/internal/predict"
 	"disksig/internal/signature"
 	"disksig/internal/smart"
+	"disksig/internal/tree"
 )
 
 // Config parameterizes the characterization pipeline. The zero value
@@ -29,6 +31,12 @@ type Config struct {
 	// SkipPrediction disables the Sec. V-B prediction stage (it is the
 	// most expensive stage; Figs. 1-12 don't need it).
 	SkipPrediction bool
+	// Workers bounds the pipeline's parallelism (clustering restarts,
+	// the elbow sweep, per-group stages, tree induction, dataset
+	// views); <= 0 means GOMAXPROCS. Every stage is deterministic in
+	// Seed at any worker count: Workers is a resource bound, never a
+	// result knob, and Workers: 1 runs the same algorithms serially.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +89,7 @@ type Characterization struct {
 // predictors.
 func Characterize(ds *dataset.Dataset, cfg Config) (*Characterization, error) {
 	cfg = cfg.withDefaults()
+	ds.SetWorkers(cfg.Workers)
 	cat, err := Categorize(ds, cfg)
 	if err != nil {
 		return nil, err
@@ -92,55 +101,83 @@ func Characterize(ds *dataset.Dataset, cfg Config) (*Characterization, error) {
 		GoodSample:     ds.NormalizedGoodSample(cfg.GoodSample, cfg.Seed),
 	}
 	failed := ds.NormalizedFailed()
-	for _, g := range cat.Groups {
-		gr := &GroupResult{Group: g}
 
-		centroid := failed[g.CentroidDrive]
-		sig, err := signature.Derive(centroid, cfg.Signature)
-		if err != nil {
-			return nil, fmt.Errorf("core: deriving centroid signature of group %d: %w", g.Number, err)
-		}
-		gr.Signature = sig
-
-		summary, err := signature.DeriveGroup(GroupProfiles(ds, g), cfg.Signature)
-		if err != nil {
-			return nil, fmt.Errorf("core: deriving group %d signatures: %w", g.Number, err)
-		}
-		gr.Summary = summary
-
-		inf, err := AnalyzeInfluence(ds, g, sig, 2)
-		if err != nil {
-			return nil, fmt.Errorf("core: influence analysis of group %d: %w", g.Number, err)
-		}
-		gr.Influence = inf
-
-		if !cfg.SkipPrediction {
-			pred, err := predict.TrainDegradation(GroupProfiles(ds, g), ch.GoodSample, predict.DegradationConfig{
-				Form:    summary.MajorityForm,
-				WindowD: float64(summary.MedianD),
-				Seed:    cfg.Seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: training group %d predictor: %w", g.Number, err)
-			}
-			gr.Prediction = pred
-		}
-		ch.Results = append(ch.Results, gr)
-	}
-
+	// The per-group stages are independent of each other, and the two
+	// temporal z-score passes are independent of the groups, so all of
+	// it fans out; Results is assembled in group order and errors are
+	// reported lowest-group-first, so the outcome (and the error, if
+	// any) is the same as the sequential pass.
 	maxHours := 0
 	for _, p := range ds.Failed {
 		if p.Len() > maxHours {
 			maxHours = p.Len()
 		}
 	}
-	if ch.TCZScores, err = TemporalZScores(ds, cat.Groups, smart.TC, maxHours-1, 8); err != nil {
-		return nil, err
-	}
-	if ch.POHZScores, err = TemporalZScores(ds, cat.Groups, smart.POH, maxHours-1, 8); err != nil {
+	ch.Results = make([]*GroupResult, len(cat.Groups))
+	var fan parallel.Group
+	fan.Go(func() error {
+		return parallel.ForEachErr(cfg.Workers, len(cat.Groups), func(i int) error {
+			gr, err := characterizeGroup(ds, cfg, cat.Groups[i], failed, ch.GoodSample)
+			if err != nil {
+				return err
+			}
+			ch.Results[i] = gr
+			return nil
+		})
+	})
+	fan.Go(func() error {
+		tc, err := TemporalZScores(ds, cat.Groups, smart.TC, maxHours-1, 8)
+		ch.TCZScores = tc
+		return err
+	})
+	fan.Go(func() error {
+		poh, err := TemporalZScores(ds, cat.Groups, smart.POH, maxHours-1, 8)
+		ch.POHZScores = poh
+		return err
+	})
+	if err := fan.Wait(); err != nil {
 		return nil, err
 	}
 	return ch, nil
+}
+
+// characterizeGroup derives one group's signature, summary, influence
+// analysis and (unless skipped) degradation predictor.
+func characterizeGroup(ds *dataset.Dataset, cfg Config, g *Group, failed []*smart.Profile, goodSample []smart.Values) (*GroupResult, error) {
+	gr := &GroupResult{Group: g}
+
+	centroid := failed[g.CentroidDrive]
+	sig, err := signature.Derive(centroid, cfg.Signature)
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving centroid signature of group %d: %w", g.Number, err)
+	}
+	gr.Signature = sig
+
+	summary, err := signature.DeriveGroup(GroupProfiles(ds, g), cfg.Signature)
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving group %d signatures: %w", g.Number, err)
+	}
+	gr.Summary = summary
+
+	inf, err := AnalyzeInfluence(ds, g, sig, 2)
+	if err != nil {
+		return nil, fmt.Errorf("core: influence analysis of group %d: %w", g.Number, err)
+	}
+	gr.Influence = inf
+
+	if !cfg.SkipPrediction {
+		pred, err := predict.TrainDegradation(GroupProfiles(ds, g), goodSample, predict.DegradationConfig{
+			Form:    summary.MajorityForm,
+			WindowD: float64(summary.MedianD),
+			Seed:    cfg.Seed,
+			Tree:    tree.Config{Workers: cfg.Workers},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: training group %d predictor: %w", g.Number, err)
+		}
+		gr.Prediction = pred
+	}
+	return gr, nil
 }
 
 // GroupByNumber returns the result for a paper group number, or nil.

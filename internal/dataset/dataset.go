@@ -8,15 +8,30 @@ import (
 	"math/rand"
 	"sync"
 
+	"disksig/internal/parallel"
 	"disksig/internal/smart"
 	"disksig/internal/stats"
 )
+
+// normFitShardProfiles is the shard size (in profiles) of the parallel
+// normalizer fit. Min/max merging is exact, so the shard size only
+// affects scheduling granularity, never the fitted extrema.
+const normFitShardProfiles = 64
+
+// goodSampleShards is the fixed shard count of the sharded good-record
+// reservoir. It depends on nothing but this constant, so the drawn
+// sample is identical at every worker count.
+const goodSampleShards = 16
 
 // Dataset is a labeled fleet of drive health profiles.
 //
 // Profiles are stored in vendor health-value / raw-counter space (as
 // produced by smart.MapToRecord); Norm is fitted over every record so the
 // analysis pipeline can work in Eq. (1)-normalized space.
+//
+// All methods are safe for concurrent use once construction finishes;
+// the derived views (normalized profiles, failure records, the ID index)
+// are computed once, in parallel, and cached.
 type Dataset struct {
 	// Failed holds one profile per replaced drive; the last record of
 	// each is its failure record.
@@ -26,22 +41,53 @@ type Dataset struct {
 	// Norm is the fleet-wide min-max normalizer (Eq. 1).
 	Norm *smart.Normalizer
 
+	// workers bounds the parallelism of derived-view computation;
+	// <= 0 means GOMAXPROCS. It is a throughput hint only: every
+	// result is identical at any worker count.
+	workers int
+
 	normFailedOnce sync.Once
 	normFailed     []*smart.Profile
+
+	failRecordsOnce sync.Once
+	failRecords     []smart.Values
+
+	idIndexOnce sync.Once
+	idIndex     map[int]int
 }
 
 // New builds a dataset from failed and good profiles and fits the
-// normalizer over every record of both populations.
+// normalizer over every record of both populations. The fit runs on
+// per-shard normalizers merged in shard order, which reproduces a
+// sequential fit exactly (min/max merging is order-independent).
 func New(failed, good []*smart.Profile) *Dataset {
 	d := &Dataset{Failed: failed, Good: good, Norm: smart.NewNormalizer()}
-	for _, p := range failed {
-		d.Norm.ObserveProfile(p)
+	total := len(failed) + len(good)
+	profile := func(i int) *smart.Profile {
+		if i < len(failed) {
+			return failed[i]
+		}
+		return good[i-len(failed)]
 	}
-	for _, p := range good {
-		d.Norm.ObserveProfile(p)
+	shards := parallel.Shards(total, normFitShardProfiles)
+	norms := parallel.MapShards(0, shards, func(s parallel.Shard) *smart.Normalizer {
+		n := smart.NewNormalizer()
+		for i := s.Lo; i < s.Hi; i++ {
+			n.ObserveProfile(profile(i))
+		}
+		return n
+	})
+	for _, n := range norms {
+		d.Norm.Merge(n)
 	}
 	return d
 }
+
+// SetWorkers bounds the parallelism used to compute derived views
+// (normalized profiles, samples); <= 0 means GOMAXPROCS. Worker count
+// never changes any result — call it to pin resource usage, not output.
+// Not safe to call concurrently with other methods.
+func (d *Dataset) SetWorkers(n int) { d.workers = n }
 
 // Counts summarizes the dataset populations.
 type Counts struct {
@@ -75,25 +121,27 @@ func (d *Dataset) FailureRate() float64 {
 }
 
 // NormalizedFailed returns the failed profiles normalized per Eq. (1).
-// The result is computed once and cached; callers must not mutate it.
+// The result is computed once (in parallel, one profile per slot) and
+// cached; callers must not mutate it.
 func (d *Dataset) NormalizedFailed() []*smart.Profile {
 	d.normFailedOnce.Do(func() {
-		d.normFailed = make([]*smart.Profile, len(d.Failed))
-		for i, p := range d.Failed {
-			d.normFailed[i] = d.Norm.NormalizeProfile(p)
-		}
+		d.normFailed = parallel.Map(d.workers, len(d.Failed), func(i int) *smart.Profile {
+			return d.Norm.NormalizeProfile(d.Failed[i])
+		})
 	})
 	return d.normFailed
 }
 
 // NormalizedFailureRecords returns the Eq. (1)-normalized failure record
-// (last health state) of every failed drive, in Failed order.
+// (last health state) of every failed drive, in Failed order. The result
+// is computed once and cached; callers must not mutate it.
 func (d *Dataset) NormalizedFailureRecords() []smart.Values {
-	out := make([]smart.Values, len(d.Failed))
-	for i, p := range d.Failed {
-		out[i] = d.Norm.Normalize(p.FailureRecord().Values)
-	}
-	return out
+	d.failRecordsOnce.Do(func() {
+		d.failRecords = parallel.Map(d.workers, len(d.Failed), func(i int) smart.Values {
+			return d.Norm.Normalize(d.Failed[i].FailureRecord().Values)
+		})
+	})
+	return d.failRecords
 }
 
 // GoodAttrValues returns the normalized values of attribute a across every
@@ -122,29 +170,100 @@ func (d *Dataset) GoodAttrStats(a smart.Attr) stats.Running {
 }
 
 // NormalizedGoodSample reservoir-samples up to n good-drive records and
-// returns them Eq. (1)-normalized. The sample is deterministic in seed and
-// streams over the good population, so it stays cheap at paper scale.
+// returns them Eq. (1)-normalized.
+//
+// The good population is split into a fixed number of shards (boundaries
+// depend only on the population, never on the worker count); each shard
+// runs its own reservoir with an RNG seeded from (seed, shard index),
+// and the shard reservoirs are merged in shard order with a seeded
+// weighted merge. The sample is therefore deterministic in seed at every
+// parallelism level. A population that fits within the per-shard
+// capacities comes back whole, in stream order, exactly as a single
+// sequential reservoir would return it.
 func (d *Dataset) NormalizedGoodSample(n int, seed int64) []smart.Values {
 	if n <= 0 {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(seed))
-	reservoir := make([]smart.Values, 0, n)
-	seen := 0
-	for _, p := range d.Good {
-		for _, r := range p.Records {
-			seen++
-			if len(reservoir) < n {
-				reservoir = append(reservoir, r.Values)
-			} else if j := rng.Intn(seen); j < n {
-				reservoir[j] = r.Values
-			}
+	shardSize := (len(d.Good) + goodSampleShards - 1) / goodSampleShards
+	shards := parallel.Shards(len(d.Good), shardSize)
+	// Per-shard capacity: enough headroom that balanced shards are never
+	// the binding constraint on the merged sample, without holding the
+	// whole population in memory the way capacity n per shard would.
+	capPerShard := n
+	if len(shards) > 1 {
+		capPerShard = (4*n + len(shards) - 1) / len(shards)
+		if capPerShard < 1 {
+			capPerShard = 1
 		}
 	}
-	for i := range reservoir {
-		reservoir[i] = d.Norm.Normalize(reservoir[i])
+	type shardSample struct {
+		vals []smart.Values
+		seen int
 	}
-	return reservoir
+	samples := parallel.MapShards(d.workers, shards, func(s parallel.Shard) shardSample {
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, int64(s.Index))))
+		reservoir := make([]smart.Values, 0, capPerShard)
+		seen := 0
+		for _, p := range d.Good[s.Lo:s.Hi] {
+			for _, r := range p.Records {
+				seen++
+				if len(reservoir) < capPerShard {
+					reservoir = append(reservoir, r.Values)
+				} else if j := rng.Intn(seen); j < capPerShard {
+					reservoir[j] = r.Values
+				}
+			}
+		}
+		return shardSample{vals: reservoir, seen: seen}
+	})
+	// Merge in shard order with an RNG stream reserved for the merge, so
+	// the result depends only on (population, n, seed).
+	mergeRNG := rand.New(rand.NewSource(parallel.DeriveSeed(seed, int64(len(shards)))))
+	var merged []smart.Values
+	var seen int
+	for _, s := range samples {
+		merged = mergeReservoirs(merged, seen, s.vals, s.seen, n, mergeRNG)
+		seen += s.seen
+	}
+	parallel.ForEach(d.workers, len(merged), func(i int) {
+		merged[i] = d.Norm.Normalize(merged[i])
+	})
+	return merged
+}
+
+// mergeReservoirs combines reservoirs drawn from two disjoint streams
+// into one of capacity n. Every retained value stands for seen/len(vals)
+// records of its stream; slots are filled by weighted draws so each
+// stream contributes in proportion to its size.
+func mergeReservoirs(a []smart.Values, seenA int, b []smart.Values, seenB int, n int, rng *rand.Rand) []smart.Values {
+	if len(a) == 0 {
+		if len(b) <= n {
+			return b
+		}
+		return b[:n]
+	}
+	if len(b) == 0 {
+		return a
+	}
+	if len(a)+len(b) <= n {
+		return append(a, b...)
+	}
+	wa := float64(seenA) / float64(len(a))
+	wb := float64(seenB) / float64(len(b))
+	out := make([]smart.Values, 0, n)
+	ia, ib := 0, 0
+	for len(out) < n && (ia < len(a) || ib < len(b)) {
+		ra := wa * float64(len(a)-ia)
+		rb := wb * float64(len(b)-ib)
+		if ib >= len(b) || (ia < len(a) && rng.Float64()*(ra+rb) < ra) {
+			out = append(out, a[ia])
+			ia++
+		} else {
+			out = append(out, b[ib])
+			ib++
+		}
+	}
+	return out
 }
 
 // FailedProfileHours returns the profile length in hours of every failed
@@ -158,12 +277,19 @@ func (d *Dataset) FailedProfileHours() []float64 {
 }
 
 // FailedByID returns the failed profile with the given drive ID, or an
-// error if absent.
+// error if absent. The ID index is built lazily on first use and cached.
 func (d *Dataset) FailedByID(id int) (*smart.Profile, error) {
-	for _, p := range d.Failed {
-		if p.DriveID == id {
-			return p, nil
+	d.idIndexOnce.Do(func() {
+		d.idIndex = make(map[int]int, len(d.Failed))
+		for i, p := range d.Failed {
+			// Keep the first occurrence, matching the former linear scan.
+			if _, ok := d.idIndex[p.DriveID]; !ok {
+				d.idIndex[p.DriveID] = i
+			}
 		}
+	})
+	if i, ok := d.idIndex[id]; ok {
+		return d.Failed[i], nil
 	}
 	return nil, fmt.Errorf("dataset: no failed drive with ID %d", id)
 }

@@ -225,3 +225,98 @@ func TestSaveLoadFile(t *testing.T) {
 		t.Error("expected error for unknown load extension")
 	}
 }
+
+// biggerDataset builds a fleet large enough to span several normalizer
+// and reservoir shards.
+func biggerDataset() *Dataset {
+	var failed, good []*smart.Profile
+	for i := 0; i < 40; i++ {
+		failed = append(failed, makeProfile(i, true, 1+i%3, 30+i%7, float64(i)))
+	}
+	for i := 0; i < 200; i++ {
+		good = append(good, makeProfile(1000+i, false, 0, 50+i%11, float64(i)/3))
+	}
+	return New(failed, good)
+}
+
+func TestGoodSampleWorkerEquivalence(t *testing.T) {
+	const n, seed = 500, 7
+	var want []smart.Values
+	for _, workers := range []int{1, 2, 4, 16} {
+		d := biggerDataset()
+		d.SetWorkers(workers)
+		got := d.NormalizedGoodSample(n, seed)
+		if len(got) != n {
+			t.Fatalf("workers=%d: sample size = %d, want %d", workers, len(got), n)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: sample record %d differs from workers=1", workers, i)
+			}
+		}
+	}
+}
+
+func TestGoodSampleDifferentSeedsDiffer(t *testing.T) {
+	d := biggerDataset()
+	a := d.NormalizedGoodSample(200, 1)
+	b := d.NormalizedGoodSample(200, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("samples for seeds 1 and 2 are identical")
+	}
+}
+
+func TestNormalizerShardedFitMatchesSequential(t *testing.T) {
+	// The parallel per-shard min/max fit must reproduce a plain
+	// sequential pass over every record.
+	d := biggerDataset()
+	seq := smart.NewNormalizer()
+	for _, p := range d.Failed {
+		seq.ObserveProfile(p)
+	}
+	for _, p := range d.Good {
+		seq.ObserveProfile(p)
+	}
+	probe := d.Failed[3].Records[7].Values
+	if got, want := d.Norm.Normalize(probe), seq.Normalize(probe); got != want {
+		t.Errorf("sharded fit normalizes to %v, sequential fit to %v", got, want)
+	}
+}
+
+func TestNormalizedFailureRecordsCached(t *testing.T) {
+	d := testDataset()
+	a := d.NormalizedFailureRecords()
+	b := d.NormalizedFailureRecords()
+	if &a[0] != &b[0] {
+		t.Error("NormalizedFailureRecords is not cached")
+	}
+	if len(a) != len(d.Failed) {
+		t.Errorf("records = %d, want %d", len(a), len(d.Failed))
+	}
+}
+
+func TestFailedByIDIndexed(t *testing.T) {
+	d := biggerDataset()
+	// Every drive resolves through the lazy index, including after
+	// repeated lookups.
+	for _, p := range d.Failed {
+		got, err := d.FailedByID(p.DriveID)
+		if err != nil || got != p {
+			t.Fatalf("FailedByID(%d) = %v, %v", p.DriveID, got, err)
+		}
+	}
+	if _, err := d.FailedByID(-5); err == nil {
+		t.Error("expected error for missing drive")
+	}
+}

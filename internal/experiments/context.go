@@ -13,6 +13,7 @@ import (
 
 	"disksig/internal/core"
 	"disksig/internal/dataset"
+	"disksig/internal/parallel"
 	"disksig/internal/synth"
 )
 
@@ -61,9 +62,11 @@ func NewContextWithConfig(cfg synth.Config) (*Context, error) {
 }
 
 // NewContextFromDataset characterizes an existing dataset (e.g. one loaded
-// from disk by cmd/diskchar).
+// from disk by cmd/diskchar). cfg.Workers bounds the pipeline's
+// parallelism; the characterization is deterministic in seed at any
+// worker count.
 func NewContextFromDataset(ds *dataset.Dataset, seed int64, cfg synth.Config) (*Context, error) {
-	ch, err := core.Characterize(ds, core.Config{Seed: seed})
+	ch, err := core.Characterize(ds, core.Config{Seed: seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: characterizing fleet: %w", err)
 	}
@@ -98,13 +101,21 @@ func (ctx *Context) All() ([]*Result, error) {
 		ctx.AblationProactiveRAID,
 		ctx.AblationRescueTime,
 	}
-	var out []*Result
-	for _, run := range runs {
-		r, err := run()
+	// Every experiment only reads ctx (the dataset's lazy views are
+	// built under sync.Once), so independent artifacts regenerate
+	// concurrently. Results keep paper order and a failure reports the
+	// earliest failing experiment, matching the sequential pass.
+	out := make([]*Result, len(runs))
+	err := parallel.ForEachErr(ctx.Config.Workers, len(runs), func(i int) error {
+		r, err := runs[i]()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

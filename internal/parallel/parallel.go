@@ -1,0 +1,183 @@
+// Package parallel is the deterministic parallel execution layer of the
+// characterization pipeline: a bounded worker pool with ForEach/Map/shard
+// helpers, an errgroup-style fan-out, and the seed-derivation scheme used
+// to give independent parallel tasks (K-means restarts, reservoir shards)
+// decorrelated but reproducible RNG streams.
+//
+// Every helper guarantees that results are independent of the worker
+// count and of goroutine scheduling as long as the supplied callbacks
+// are themselves deterministic and write only to their own index/shard:
+// work is identified by index, outputs land in index-addressed slots,
+// shard boundaries depend only on the data size, and errors are reported
+// by the lowest failing index. Running with one worker therefore
+// produces bit-for-bit the same output as running with many.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values > 0 are used as
+// given, anything else means runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (Workers semantics: <= 0 means GOMAXPROCS). Indices are handed out
+// dynamically, so callers must not depend on execution order; for
+// deterministic results fn(i) should write only to slot i of shared
+// state. With one worker (or n <= 1) it degenerates to a plain loop.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work: it runs every index to
+// completion (no early abort) and returns the error of the lowest
+// failing index, so the reported error is independent of scheduling.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the results in index order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Shard is a contiguous index range [Lo, Hi) with its position in the
+// shard sequence.
+type Shard struct {
+	Index  int
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the shard.
+func (s Shard) Len() int { return s.Hi - s.Lo }
+
+// Shards splits [0, n) into contiguous ranges of at most size indices.
+// Boundaries depend only on n and size — never on the worker count — so
+// per-shard results (and RNG streams seeded from Shard.Index) are stable
+// across machines and parallelism levels.
+func Shards(n, size int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = n
+	}
+	out := make([]Shard, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Shard{Index: len(out), Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// MapShards runs fn over every shard on up to workers goroutines and
+// returns the per-shard results in shard order, ready for an in-order
+// (and therefore deterministic) merge by the caller.
+func MapShards[T any](workers int, shards []Shard, fn func(s Shard) T) []T {
+	return Map(workers, len(shards), func(i int) T { return fn(shards[i]) })
+}
+
+// Group runs heterogeneous tasks concurrently, errgroup-style. Errors
+// are collected per task and Wait returns the error of the earliest
+// submitted task that failed, independent of completion order.
+type Group struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+}
+
+// Go submits one task.
+func (g *Group) Go(fn func() error) {
+	g.mu.Lock()
+	slot := len(g.errs)
+	g.errs = append(g.errs, nil)
+	g.mu.Unlock()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		err := fn()
+		g.mu.Lock()
+		g.errs[slot] = err
+		g.mu.Unlock()
+	}()
+}
+
+// Wait blocks until every submitted task finishes and returns the error
+// of the earliest submission that failed, or nil.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, err := range g.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeriveSeed mixes a base seed with a stream number into an independent
+// 64-bit seed using the SplitMix64 finalizer, so parallel restarts and
+// shards get decorrelated deterministic RNG streams. Equal inputs always
+// produce equal outputs; nearby stream numbers produce unrelated seeds.
+func DeriveSeed(seed, stream int64) int64 {
+	z := uint64(seed) + uint64(stream)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

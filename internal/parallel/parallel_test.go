@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Error("explicit worker count not respected")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("defaulted worker count must be >= 1")
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 1000
+		hits := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+	// n <= 0 is a no-op.
+	ForEach(4, 0, func(int) { t.Fatal("called for n=0") })
+	ForEach(4, -1, func(int) { t.Fatal("called for n<0") })
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := ForEachErr(workers, 50, func(i int) error {
+			if i == 41 || i == 7 || i == 33 {
+				return fmt.Errorf("failed at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "failed at 7" {
+			t.Fatalf("workers=%d: err = %v, want lowest-index failure", workers, err)
+		}
+		if err := ForEachErr(workers, 50, func(int) error { return nil }); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+	}
+}
+
+func TestShards(t *testing.T) {
+	shards := Shards(10, 3)
+	want := []Shard{{0, 0, 3}, {1, 3, 6}, {2, 6, 9}, {3, 9, 10}}
+	if len(shards) != len(want) {
+		t.Fatalf("shards = %v", shards)
+	}
+	for i, s := range shards {
+		if s != want[i] {
+			t.Errorf("shard %d = %v, want %v", i, s, want[i])
+		}
+		if s.Len() != s.Hi-s.Lo {
+			t.Errorf("shard %d Len = %d", i, s.Len())
+		}
+	}
+	if Shards(0, 3) != nil {
+		t.Error("empty range should produce no shards")
+	}
+	// size <= 0 means one shard.
+	if got := Shards(5, 0); len(got) != 1 || got[0].Hi != 5 {
+		t.Errorf("Shards(5, 0) = %v", got)
+	}
+}
+
+func TestMapShardsInOrder(t *testing.T) {
+	shards := Shards(100, 7)
+	sums := MapShards(8, shards, func(s Shard) int {
+		total := 0
+		for i := s.Lo; i < s.Hi; i++ {
+			total += i
+		}
+		return total
+	})
+	grand := 0
+	for _, s := range sums {
+		grand += s
+	}
+	if grand != 99*100/2 {
+		t.Errorf("sharded sum = %d", grand)
+	}
+}
+
+func TestGroupReturnsEarliestSubmittedError(t *testing.T) {
+	var g Group
+	g.Go(func() error { return nil })
+	g.Go(func() error { return errors.New("second") })
+	g.Go(func() error { return errors.New("third") })
+	if err := g.Wait(); err == nil || err.Error() != "second" {
+		t.Errorf("err = %v, want earliest submitted failure", err)
+	}
+	var ok Group
+	ok.Go(func() error { return nil })
+	if err := ok.Wait(); err != nil {
+		t.Errorf("unexpected error %v", err)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Error("DeriveSeed must be deterministic")
+	}
+	seen := map[int64]bool{}
+	for s := int64(-4); s < 4; s++ {
+		for stream := int64(0); stream < 16; stream++ {
+			v := DeriveSeed(s, stream)
+			if seen[v] {
+				t.Fatalf("collision at seed=%d stream=%d", s, stream)
+			}
+			seen[v] = true
+		}
+	}
+}

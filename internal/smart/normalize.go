@@ -51,6 +51,24 @@ func (n *Normalizer) ObserveProfile(p *Profile) {
 // Fitted reports whether at least one record has been observed.
 func (n *Normalizer) Fitted() bool { return n.fitted }
 
+// Merge extends the extrema with another normalizer's. Min/max merging
+// is exact and order-independent, so a fit sharded across goroutines and
+// merged reproduces a sequential fit over the same records bit-for-bit.
+func (n *Normalizer) Merge(other *Normalizer) {
+	if !other.fitted {
+		return
+	}
+	for a := 0; a < int(NumAttrs); a++ {
+		if other.Min[a] < n.Min[a] {
+			n.Min[a] = other.Min[a]
+		}
+		if other.Max[a] > n.Max[a] {
+			n.Max[a] = other.Max[a]
+		}
+	}
+	n.fitted = true
+}
+
 // NormalizeValue maps a single attribute value into [-1, 1] per Eq. (1).
 // Attributes that are constant across the dataset map to 0.
 func (n *Normalizer) NormalizeValue(a Attr, x float64) float64 {

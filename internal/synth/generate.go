@@ -2,11 +2,10 @@ package synth
 
 import (
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"disksig/internal/dataset"
+	"disksig/internal/parallel"
 	"disksig/internal/smart"
 )
 
@@ -18,39 +17,16 @@ func Generate(cfg Config) (*dataset.Dataset, error) {
 		return nil, err
 	}
 	plans := planDrives(cfg)
-	profiles := make([]*smart.Profile, len(plans))
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(plans) {
-		workers = len(plans)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				p := plans[i]
-				// A per-drive generator seeded from (fleet seed, drive ID)
-				// keeps output independent of scheduling.
-				rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(p.id)*7919))
-				if p.group == 0 {
-					profiles[i] = goodDrive(p.id, p.hours, rng)
-				} else {
-					profiles[i] = failedDrive(p.id, p.group, p.hours, rng)
-				}
-			}
-		}()
-	}
-	for i := range plans {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	// A per-drive generator seeded from (fleet seed, drive ID) keeps
+	// output independent of scheduling.
+	profiles := parallel.Map(cfg.Workers, len(plans), func(i int) *smart.Profile {
+		p := plans[i]
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(p.id)*7919))
+		if p.group == 0 {
+			return goodDrive(p.id, p.hours, rng)
+		}
+		return failedDrive(p.id, p.group, p.hours, rng)
+	})
 
 	var failed, good []*smart.Profile
 	for _, p := range profiles {

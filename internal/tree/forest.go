@@ -39,6 +39,11 @@ func (c ForestConfig) withDefaults() ForestConfig {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Tree.Workers == 0 {
+		// Trees already train concurrently; keep each induction
+		// sequential unless the caller explicitly asks otherwise.
+		c.Tree.Workers = 1
+	}
 	return c
 }
 

@@ -9,6 +9,9 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+
+	"disksig/internal/parallel"
 )
 
 // Config controls tree induction.
@@ -20,7 +23,22 @@ type Config struct {
 	// MinImprovement is the minimum SSE reduction required to split;
 	// 0 means 1e-7 of the root SSE.
 	MinImprovement float64
+	// Workers bounds induction parallelism — concurrent per-feature
+	// split scans and concurrent subtree growth on large nodes; 0 means
+	// GOMAXPROCS, 1 trains sequentially. The fitted tree is bit-for-bit
+	// identical at every setting: feature scans are self-contained and
+	// merged in feature order, and sibling subtrees share no state.
+	Workers int
 }
+
+const (
+	// splitParallelMin is the minimum samples×features at a node before
+	// its split search fans out across features.
+	splitParallelMin = 1 << 13
+	// subtreeParallelMin is the minimum per-child sample count before
+	// the two children grow concurrently.
+	subtreeParallelMin = 1 << 11
+)
 
 func (c Config) withDefaults(rootSSE float64) Config {
 	if c.MaxDepth <= 0 {
@@ -71,6 +89,7 @@ func Train(x [][]float64, y []float64, cfg Config) (*Tree, error) {
 	}
 	rootMean, rootSSE := meanSSE(idx, y)
 	cfg = cfg.withDefaults(rootSSE)
+	cfg.Workers = parallel.Workers(cfg.Workers)
 	t := &Tree{features: d}
 	t.root = grow(x, y, idx, rootMean, rootSSE, 0, cfg)
 	return t, nil
@@ -95,7 +114,7 @@ func grow(x [][]float64, y []float64, idx []int, mean, sse float64, depth int, c
 	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || sse <= cfg.MinImprovement {
 		return n
 	}
-	feat, thr, gain, ok := bestSplit(x, y, idx, sse, cfg.MinLeaf)
+	feat, thr, gain, ok := bestSplit(x, y, idx, sse, cfg.MinLeaf, cfg.Workers)
 	if !ok || gain < cfg.MinImprovement {
 		return n
 	}
@@ -111,49 +130,97 @@ func grow(x [][]float64, y []float64, idx []int, mean, sse float64, depth int, c
 	n.threshold = thr
 	lm, ls := meanSSE(leftIdx, y)
 	rm, rs := meanSSE(rightIdx, y)
-	n.left = grow(x, y, leftIdx, lm, ls, depth+1, cfg)
-	n.right = grow(x, y, rightIdx, rm, rs, depth+1, cfg)
+	if cfg.Workers > 1 && len(leftIdx) >= subtreeParallelMin && len(rightIdx) >= subtreeParallelMin {
+		// Sibling subtrees read shared x/y but write disjoint nodes, so
+		// growing them concurrently produces the same tree.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.left = grow(x, y, leftIdx, lm, ls, depth+1, cfg)
+		}()
+		n.right = grow(x, y, rightIdx, rm, rs, depth+1, cfg)
+		wg.Wait()
+	} else {
+		n.left = grow(x, y, leftIdx, lm, ls, depth+1, cfg)
+		n.right = grow(x, y, rightIdx, rm, rs, depth+1, cfg)
+	}
 	return n
 }
 
+// featureSplit is one feature's best candidate split.
+type featureSplit struct {
+	sse       float64
+	threshold float64
+	ok        bool
+}
+
+// scanFeature finds feature f's lowest-SSE split over the node samples
+// using sorted prefix sums. order is scratch space of len(idx). The scan
+// is self-contained (it never reads other features' state), so scans can
+// run concurrently and be merged in feature order with results identical
+// to a single sequential pass.
+func scanFeature(x [][]float64, y []float64, idx []int, f, minLeaf int, order []int) featureSplit {
+	n := len(idx)
+	copy(order, idx)
+	sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+	// Prefix scan: left side accumulates sum and sum of squares.
+	var lSum, lSq float64
+	var tSum, tSq float64
+	for _, i := range order {
+		tSum += y[i]
+		tSq += y[i] * y[i]
+	}
+	best := featureSplit{sse: math.Inf(1)}
+	for k := 0; k < n-1; k++ {
+		yi := y[order[k]]
+		lSum += yi
+		lSq += yi * yi
+		// Can't split between equal feature values.
+		if x[order[k]][f] == x[order[k+1]][f] {
+			continue
+		}
+		nl, nr := k+1, n-k-1
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		rSum := tSum - lSum
+		rSq := tSq - lSq
+		sse := (lSq - lSum*lSum/float64(nl)) + (rSq - rSum*rSum/float64(nr))
+		if sse < best.sse {
+			best = featureSplit{sse: sse, threshold: (x[order[k]][f] + x[order[k+1]][f]) / 2, ok: true}
+		}
+	}
+	return best
+}
+
 // bestSplit scans every feature and threshold for the split that
-// minimizes the summed child SSE, using sorted prefix sums.
-func bestSplit(x [][]float64, y []float64, idx []int, parentSSE float64, minLeaf int) (feature int, threshold, gain float64, ok bool) {
+// minimizes the summed child SSE. On large nodes the per-feature scans
+// fan out across workers; merging their results in ascending feature
+// order (strictly-lower SSE wins) reproduces the sequential pass
+// exactly, ties and all.
+func bestSplit(x [][]float64, y []float64, idx []int, parentSSE float64, minLeaf, workers int) (feature int, threshold, gain float64, ok bool) {
 	n := len(idx)
 	d := len(x[idx[0]])
-	order := make([]int, n)
-	bestSSE := math.Inf(1)
-	for f := 0; f < d; f++ {
-		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
-		// Prefix scan: left side accumulates sum and sum of squares.
-		var lSum, lSq float64
-		var tSum, tSq float64
-		for _, i := range order {
-			tSum += y[i]
-			tSq += y[i] * y[i]
+	var splits []featureSplit
+	if workers > 1 && n*d >= splitParallelMin {
+		splits = parallel.Map(workers, d, func(f int) featureSplit {
+			return scanFeature(x, y, idx, f, minLeaf, make([]int, n))
+		})
+	} else {
+		order := make([]int, n)
+		splits = make([]featureSplit, d)
+		for f := 0; f < d; f++ {
+			splits[f] = scanFeature(x, y, idx, f, minLeaf, order)
 		}
-		for k := 0; k < n-1; k++ {
-			yi := y[order[k]]
-			lSum += yi
-			lSq += yi * yi
-			// Can't split between equal feature values.
-			if x[order[k]][f] == x[order[k+1]][f] {
-				continue
-			}
-			nl, nr := k+1, n-k-1
-			if nl < minLeaf || nr < minLeaf {
-				continue
-			}
-			rSum := tSum - lSum
-			rSq := tSq - lSq
-			sse := (lSq - lSum*lSum/float64(nl)) + (rSq - rSum*rSum/float64(nr))
-			if sse < bestSSE {
-				bestSSE = sse
-				feature = f
-				threshold = (x[order[k]][f] + x[order[k+1]][f]) / 2
-				ok = true
-			}
+	}
+	bestSSE := math.Inf(1)
+	for f, s := range splits {
+		if s.ok && s.sse < bestSSE {
+			bestSSE = s.sse
+			feature = f
+			threshold = s.threshold
+			ok = true
 		}
 	}
 	if !ok {

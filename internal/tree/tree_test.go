@@ -245,3 +245,39 @@ func TestDeepFitImprovesOverStump(t *testing.T) {
 		t.Errorf("deep RMSE %v should be well below shallow %v", rmse(deep), rmse(shallow))
 	}
 }
+
+func TestTrainWorkerEquivalence(t *testing.T) {
+	// Large enough to cross both the parallel split-scan and the
+	// concurrent-subtree thresholds.
+	rng := rand.New(rand.NewSource(9))
+	n, d := 6000, 4
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = 3*row[0] - 2*row[2] + rng.NormFloat64()*0.1
+	}
+	base, err := Train(x, y, Config{MaxDepth: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		tr, err := Train(x, y, Config{MaxDepth: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Depth() != base.Depth() || tr.Leaves() != base.Leaves() {
+			t.Fatalf("workers=%d: shape %d/%d, want %d/%d",
+				workers, tr.Depth(), tr.Leaves(), base.Depth(), base.Leaves())
+		}
+		for i := range x {
+			if tr.Predict(x[i]) != base.Predict(x[i]) {
+				t.Fatalf("workers=%d: prediction differs at sample %d", workers, i)
+			}
+		}
+	}
+}
