@@ -18,6 +18,7 @@ import (
 
 	"disksig/internal/dataset"
 	"disksig/internal/experiments"
+	"disksig/internal/quality"
 	"disksig/internal/synth"
 )
 
@@ -33,6 +34,8 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "print only artifact headers and metrics")
 		metrics   = flag.String("metrics", "", "also write all headline metrics as CSV to this file")
 		workers   = flag.Int("workers", 0, "parallelism bound for generation and analysis; 0 means all CPUs (output is identical at any value)")
+		qpolicy   = flag.String("quality", "lenient", "defective-telemetry policy: lenient (quarantine and continue), strict (first defect is fatal) or repair (clamp/carry forward)")
+		maxBad    = flag.Int("max-bad-rows", 0, "abort once more than this many rows are quarantined; 0 means unlimited")
 	)
 	flag.Parse()
 
@@ -40,6 +43,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	policy, err := quality.ParsePolicy(*qpolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qcfg := quality.Config{Policy: policy, MaxBadRows: *maxBad}
 	cfg := synth.DefaultConfig(scale)
 	cfg.Seed = *seed
 	cfg.Workers = *workers
@@ -47,11 +55,15 @@ func main() {
 	var ds *dataset.Dataset
 	start := time.Now()
 	if *in != "" {
-		ds, err = dataset.LoadFile(*in)
+		var rep *quality.Report
+		ds, rep, err = dataset.LoadFileQ(*in, qcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("loaded %s in %v\n", *in, time.Since(start).Round(time.Millisecond))
+		if !rep.Clean() {
+			fmt.Println(rep.Summary())
+		}
 	} else {
 		ds, err = synth.Generate(cfg)
 		if err != nil {
@@ -64,11 +76,15 @@ func main() {
 		c.FailedDrives, c.GoodDrives, c.FailedRecords, c.GoodRecords, 100*ds.FailureRate())
 
 	start = time.Now()
-	ctx, err := experiments.NewContextFromDataset(ds, *seed, cfg)
+	ctx, err := experiments.NewContextFromDatasetQuality(ds, *seed, cfg, qcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("characterization pipeline completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("characterization pipeline completed in %v\n", time.Since(start).Round(time.Millisecond))
+	if q := ctx.Char.Quarantine; q != nil && !q.Clean() {
+		fmt.Println(q.Summary())
+	}
+	fmt.Println()
 
 	results, err := ctx.All()
 	if err != nil {

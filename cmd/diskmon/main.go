@@ -17,7 +17,11 @@ import (
 	"time"
 
 	"disksig/internal/core"
+	"disksig/internal/faultinject"
 	"disksig/internal/monitor"
+	"disksig/internal/parallel"
+	"disksig/internal/quality"
+	"disksig/internal/smart"
 	"disksig/internal/stats"
 	"disksig/internal/synth"
 )
@@ -33,6 +37,9 @@ func main() {
 		replayGood   = flag.Int("replay-good", 50, "good drives to replay from the held-out fleet")
 		verbose      = flag.Bool("v", false, "print every alert")
 		jsonOut      = flag.String("json", "", "write the final fleet snapshot as JSON to this file ('-' for stdout)")
+		qpolicy      = flag.String("quality", "lenient", "defective-telemetry policy for training: lenient, strict or repair")
+		maxBad       = flag.Int("max-bad-rows", 0, "abort training once more than this many rows are quarantined; 0 means unlimited")
+		corrupt      = flag.Float64("corrupt", 0, "inject faults into this fraction of replayed records (garbled values, duplicates, reorders) to exercise the monitor's quarantine")
 	)
 	flag.Parse()
 
@@ -40,6 +47,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	policy, err := quality.ParsePolicy(*qpolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qcfg := quality.Config{Policy: policy, MaxBadRows: *maxBad}
 
 	// Train on fleet A.
 	trainCfg := synth.DefaultConfig(scale)
@@ -49,11 +61,14 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	ch, err := core.Characterize(trainDS, core.Config{Seed: *seed})
+	ch, err := core.Characterize(trainDS, core.Config{Seed: *seed, Quality: qcfg})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained on fleet seed %d in %v\n", *seed, time.Since(start).Round(time.Millisecond))
+	if q := ch.Quarantine; q != nil && !q.Clean() {
+		fmt.Println(q.Summary())
+	}
 
 	mon, err := monitor.FromCharacterization(ch, monitor.Config{})
 	if err != nil {
@@ -68,6 +83,21 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Optional fault injection: corrupt the replay stream deterministically
+	// (seeded per drive) so the monitor's quarantine path is exercised.
+	stream := func(p *smart.Profile) []smart.Record {
+		if *corrupt <= 0 {
+			return p.Records
+		}
+		recs, _ := faultinject.CorruptRecords(p.Records, faultinject.Config{
+			Seed:          parallel.DeriveSeed(*seed, int64(p.DriveID)),
+			GarbleRate:    *corrupt,
+			DuplicateRate: *corrupt,
+			ReorderRate:   *corrupt,
+		})
+		return recs
+	}
+
 	var leadTimes []float64
 	var missed, alerts int
 	replayed := 0
@@ -77,7 +107,7 @@ func main() {
 		}
 		replayed++
 		firstWarn := -1
-		for _, rec := range p.Records {
+		for _, rec := range stream(p) {
 			if a := mon.Ingest(p.DriveID, rec); a != nil {
 				alerts++
 				if *verbose {
@@ -102,7 +132,7 @@ func main() {
 		}
 		goodReplayed++
 		flagged := false
-		for _, rec := range p.Records {
+		for _, rec := range stream(p) {
 			if a := mon.Ingest(p.DriveID+1_000_000, rec); a != nil && a.Severity >= monitor.Warning {
 				flagged = true
 			}
@@ -120,6 +150,9 @@ func main() {
 	}
 	fmt.Printf("failed drives warned: %d/%d  |  good drives falsely warned: %d/%d\n",
 		replayed-missed, replayed, falseAlarms, goodReplayed)
+	if q := mon.Quality(); !q.Clean() {
+		fmt.Println(q.Summary())
+	}
 
 	if *jsonOut != "" {
 		w := os.Stdout

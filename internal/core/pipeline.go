@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"disksig/internal/dataset"
 	"disksig/internal/parallel"
 	"disksig/internal/predict"
+	"disksig/internal/quality"
 	"disksig/internal/signature"
 	"disksig/internal/smart"
 	"disksig/internal/tree"
@@ -37,6 +39,12 @@ type Config struct {
 	// Seed at any worker count: Workers is a resource bound, never a
 	// result knob, and Workers: 1 runs the same algorithms serially.
 	Workers int
+	// Quality selects how defective telemetry (NaN/Inf or out-of-range
+	// values, non-monotone or duplicate hours, too-short profiles) is
+	// handled before analysis: quarantined (Lenient, the zero value),
+	// repaired, or fatal (Strict). The outcome is accounted in
+	// Characterization.Quarantine.
+	Quality quality.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -81,17 +89,38 @@ type Characterization struct {
 	// GoodSample is the normalized good-record sample shared by the
 	// prediction stage and decile reports.
 	GoodSample []smart.Values
+	// Quarantine accounts for every record and drive the pre-analysis
+	// quality pass rejected, repaired or dropped (per Config.Quality).
+	Quarantine *quality.Report
 }
 
 // Characterize runs the complete pipeline of the paper on a dataset:
-// categorize failures, derive degradation signatures, quantify attribute
-// influence, compute environmental z-scores, and train degradation
-// predictors.
+// sanitize the telemetry per Config.Quality, categorize failures, derive
+// degradation signatures, quantify attribute influence, compute
+// environmental z-scores, and train degradation predictors.
 func Characterize(ds *dataset.Dataset, cfg Config) (*Characterization, error) {
+	return CharacterizeCtx(context.Background(), ds, cfg)
+}
+
+// CharacterizeCtx is Characterize with cancellation: once ctx is done,
+// no further pipeline stage or per-group work item starts (in-flight
+// items finish) and the error is ctx.Err(). A worker panic anywhere in
+// the fan-out surfaces as a *parallel.PanicError, not a process crash.
+func CharacterizeCtx(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Characterization, error) {
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ds, qrep, err := sanitizeDataset(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
 	ds.SetWorkers(cfg.Workers)
 	cat, err := Categorize(ds, cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	ch := &Characterization{
@@ -99,6 +128,7 @@ func Characterize(ds *dataset.Dataset, cfg Config) (*Characterization, error) {
 		Config:         cfg,
 		Categorization: cat,
 		GoodSample:     ds.NormalizedGoodSample(cfg.GoodSample, cfg.Seed),
+		Quarantine:     qrep,
 	}
 	failed := ds.NormalizedFailed()
 
@@ -114,10 +144,10 @@ func Characterize(ds *dataset.Dataset, cfg Config) (*Characterization, error) {
 		}
 	}
 	ch.Results = make([]*GroupResult, len(cat.Groups))
-	var fan parallel.Group
+	fan := parallel.GroupWithContext(ctx)
 	fan.Go(func() error {
-		return parallel.ForEachErr(cfg.Workers, len(cat.Groups), func(i int) error {
-			gr, err := characterizeGroup(ds, cfg, cat.Groups[i], failed, ch.GoodSample)
+		return parallel.ForEachErrCtx(ctx, cfg.Workers, len(cat.Groups), func(i int) error {
+			gr, err := characterizeGroup(ctx, ds, cfg, cat.Groups[i], failed, ch.GoodSample)
 			if err != nil {
 				return err
 			}
@@ -126,11 +156,17 @@ func Characterize(ds *dataset.Dataset, cfg Config) (*Characterization, error) {
 		})
 	})
 	fan.Go(func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tc, err := TemporalZScores(ds, cat.Groups, smart.TC, maxHours-1, 8)
 		ch.TCZScores = tc
 		return err
 	})
 	fan.Go(func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		poh, err := TemporalZScores(ds, cat.Groups, smart.POH, maxHours-1, 8)
 		ch.POHZScores = poh
 		return err
@@ -138,12 +174,37 @@ func Characterize(ds *dataset.Dataset, cfg Config) (*Characterization, error) {
 	if err := fan.Wait(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return ch, nil
 }
 
+// sanitizeDataset applies cfg.Quality to the dataset's profiles. A clean
+// fleet (the common case) is returned as-is; a dirty one is rebuilt from
+// the surviving profiles so the Eq. (1) normalizer refits on clean
+// records only.
+func sanitizeDataset(ds *dataset.Dataset, cfg Config) (*dataset.Dataset, *quality.Report, error) {
+	rep := &quality.Report{}
+	failed, err := quality.SanitizeProfiles(ds.Failed, cfg.Quality, rep)
+	if err != nil {
+		return nil, rep, fmt.Errorf("core: sanitizing failed profiles: %w", err)
+	}
+	good, err := quality.SanitizeProfiles(ds.Good, cfg.Quality, rep)
+	if err != nil {
+		return nil, rep, fmt.Errorf("core: sanitizing good profiles: %w", err)
+	}
+	if rep.Clean() {
+		return ds, rep, nil
+	}
+	return dataset.New(failed, good), rep, nil
+}
+
 // characterizeGroup derives one group's signature, summary, influence
-// analysis and (unless skipped) degradation predictor.
-func characterizeGroup(ds *dataset.Dataset, cfg Config, g *Group, failed []*smart.Profile, goodSample []smart.Values) (*GroupResult, error) {
+// analysis and (unless skipped) degradation predictor. ctx is checked
+// between the stages so a cancelled pipeline stops without starting the
+// expensive prediction training.
+func characterizeGroup(ctx context.Context, ds *dataset.Dataset, cfg Config, g *Group, failed []*smart.Profile, goodSample []smart.Values) (*GroupResult, error) {
 	gr := &GroupResult{Group: g}
 
 	centroid := failed[g.CentroidDrive]
@@ -165,6 +226,9 @@ func characterizeGroup(ds *dataset.Dataset, cfg Config, g *Group, failed []*smar
 	}
 	gr.Influence = inf
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !cfg.SkipPrediction {
 		pred, err := predict.TrainDegradation(GroupProfiles(ds, g), goodSample, predict.DegradationConfig{
 			Form:    summary.MajorityForm,

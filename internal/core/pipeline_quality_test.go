@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"disksig/internal/dataset"
+	"disksig/internal/quality"
+	"disksig/internal/smart"
+)
+
+// dirtyFleet deep-copies the shared small fleet and injects defects: a
+// NaN field mid-profile on one failed drive, a duplicated hour on
+// another, and a one-record good drive that must be dropped.
+func dirtyFleet(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	src := fleet(t)
+	cp := func(ps []*smart.Profile) []*smart.Profile {
+		out := make([]*smart.Profile, len(ps))
+		for i, p := range ps {
+			c := *p
+			c.Records = append([]smart.Record(nil), p.Records...)
+			out[i] = &c
+		}
+		return out
+	}
+	failed, good := cp(src.Failed), cp(src.Good)
+	failed[0].Records[1].Values[smart.RRER] = math.NaN()
+	failed[1].Records = append(failed[1].Records, failed[1].Records[len(failed[1].Records)-1])
+	short := *good[0]
+	short.DriveID = 1_000_000
+	short.Records = good[0].Records[:1]
+	good = append(good, &short)
+	return dataset.New(failed, good)
+}
+
+func TestCharacterizeSurfacesQuarantine(t *testing.T) {
+	ds := dirtyFleet(t)
+	ch, err := Characterize(ds, Config{Seed: 1, SkipPrediction: true, GoodSample: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ch.Quarantine
+	if q == nil {
+		t.Fatal("Characterization.Quarantine is nil")
+	}
+	if q.Count(quality.NonFinite) == 0 {
+		t.Error("NaN field not counted")
+	}
+	if q.Count(quality.DuplicateTimestamp) == 0 {
+		t.Error("duplicated hour not counted")
+	}
+	if q.Count(quality.ShortProfile) == 0 || q.DrivesDropped() != 1 {
+		t.Errorf("short drive not dropped: %d short, %d dropped", q.Count(quality.ShortProfile), q.DrivesDropped())
+	}
+	if q.RowsRead != q.RowsKept()+q.RowsQuarantined+q.RowsDropped {
+		t.Errorf("accounting: read %d != kept %d + quarantined %d + dropped %d",
+			q.RowsRead, q.RowsKept(), q.RowsQuarantined, q.RowsDropped)
+	}
+	// The quarantined records must not reach the analysis: the sanitized
+	// dataset the pipeline worked on is the one in the result.
+	for _, p := range ch.Dataset.Failed {
+		for _, r := range p.Records {
+			for a := 0; a < int(smart.NumAttrs); a++ {
+				if math.IsNaN(r.Values[a]) || math.IsInf(r.Values[a], 0) {
+					t.Fatalf("drive %d kept a non-finite value", p.DriveID)
+				}
+			}
+		}
+	}
+	if len(ch.Results) == 0 {
+		t.Error("dirty fleet produced no groups")
+	}
+}
+
+func TestCharacterizeStrictQualityFails(t *testing.T) {
+	ds := dirtyFleet(t)
+	_, err := Characterize(ds, Config{
+		Seed: 1, SkipPrediction: true, GoodSample: 1000,
+		Quality: quality.Config{Policy: quality.Strict},
+	})
+	var iss quality.Issue
+	if !errors.As(err, &iss) {
+		t.Fatalf("strict policy error = %v, want a quality.Issue", err)
+	}
+}
+
+func TestCharacterizeCleanFleetSharesDataset(t *testing.T) {
+	ds := fleet(t)
+	ch, err := Characterize(ds, Config{Seed: 1, SkipPrediction: true, GoodSample: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Dataset != ds {
+		t.Error("clean fleet should not be rebuilt")
+	}
+	if q := ch.Quarantine; q == nil || !q.Clean() {
+		t.Errorf("clean fleet quarantine = %+v", q)
+	}
+}
+
+func TestCharacterizeCtxCancelled(t *testing.T) {
+	ds := fleet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CharacterizeCtx(ctx, ds, Config{Seed: 1, SkipPrediction: true, GoodSample: 1000}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled pipeline error = %v, want context.Canceled", err)
+	}
+
+	// Cancelling mid-run returns promptly with ctx.Err(): the deadline is
+	// far shorter than the full prediction stage takes.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err := CharacterizeCtx(ctx2, ds, Config{Seed: 1, GoodSample: 20000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("mid-run cancel error = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Errorf("cancelled pipeline took %v to return", el)
+	}
+}

@@ -2,12 +2,15 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"time"
 
+	"disksig/internal/quality"
 	"disksig/internal/smart"
 )
 
@@ -47,12 +50,45 @@ var backblazeColumns = []struct {
 //
 // Rows missing a mapped column inherit the drive's previous value (or the
 // healthy default 100 / raw 0 for the first row).
+//
+// ReadBackblazeCSV runs with the default Lenient quality policy: rows
+// with unparseable dates, failure flags outside {0, 1}, garbled or
+// out-of-range attribute values, and truncated lines are quarantined
+// (not treated as healthy data, not fatal), duplicate dates keep the
+// latest row, out-of-order dates are re-sorted, and drives left with
+// fewer than two records are dropped. Use ReadBackblazeCSVQ to choose
+// the policy and inspect the quarantine ledger.
 func ReadBackblazeCSV(r io.Reader) (*Dataset, error) {
+	ds, _, err := ReadBackblazeCSVQ(r, quality.Config{})
+	return ds, err
+}
+
+// bbRow is one parsed Backblaze row before per-drive assembly: only the
+// explicitly present attribute fields are set (mask), so inheritance can
+// be applied in date order even when the file is out of order.
+type bbRow struct {
+	date    time.Time
+	vals    smart.Values
+	present [smart.NumAttrs]bool
+	failed  bool
+}
+
+// ReadBackblazeCSVQ is ReadBackblazeCSV under an explicit quality
+// policy. It returns the dataset, the quarantine report accounting for
+// every row and drive that was rejected, repaired or dropped, and an
+// error under Strict (first defect), when cfg.MaxBadRows is exceeded,
+// or when no usable drive rows remain.
+func ReadBackblazeCSVQ(r io.Reader, cfg quality.Config) (*Dataset, *quality.Report, error) {
+	cfg = cfg.WithDefaults()
+	rep := &quality.Report{}
+	strict := cfg.Policy == quality.Strict
+
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading Backblaze header: %w", err)
+		return nil, rep, fmt.Errorf("dataset: reading Backblaze header: %w", err)
 	}
 	col := map[string]int{}
 	for i, h := range header {
@@ -60,84 +96,251 @@ func ReadBackblazeCSV(r io.Reader) (*Dataset, error) {
 	}
 	for _, required := range []string{"date", "serial_number", "failure"} {
 		if _, ok := col[required]; !ok {
-			return nil, fmt.Errorf("dataset: Backblaze CSV missing column %q", required)
+			return nil, rep, fmt.Errorf("dataset: Backblaze CSV missing column %q", required)
 		}
 	}
 
-	mappings := backblazeColumns
-
-	type driveAcc struct {
-		firstSeen int
-		rows      []smart.Record
-		failed    bool
-		last      smart.Values
-		hasLast   bool
-	}
-	drives := map[string]*driveAcc{}
+	drives := map[string][]bbRow{}
 	var serials []string
 
+	// quarantineRow accounts for one rejected row; under Strict the
+	// issue itself aborts the read.
+	quarantineRow := func(iss quality.Issue) error {
+		if strict {
+			return iss
+		}
+		rep.Note(iss, cfg)
+		rep.AddRows(1, 1, 0)
+		return rep.CheckBudget(cfg)
+	}
+
 	line := 1
+rows:
 	for {
 		row, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading Backblaze CSV: %w", err)
+			var pe *csv.ParseError
+			if errors.As(err, &pe) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				// The CSV layer resynchronizes at the next line, so a
+				// malformed row costs one row, not the stream.
+				line++
+				if qerr := quarantineRow(quality.Issue{
+					Kind: quality.MalformedRow, Line: pe.Line, Detail: err.Error(),
+				}); qerr != nil {
+					return nil, rep, qerr
+				}
+				continue
+			}
+			// Mid-stream EOF or an unrecoverable reader error: keep the
+			// rows parsed so far.
+			iss := quality.Issue{Kind: quality.TruncatedInput, Line: line, Detail: err.Error()}
+			if strict {
+				return nil, rep, iss
+			}
+			rep.Note(iss, cfg)
+			break
 		}
 		line++
-		serial := row[col["serial_number"]]
-		acc, ok := drives[serial]
-		if !ok {
-			acc = &driveAcc{}
-			drives[serial] = acc
-			serials = append(serials, serial)
-		}
-		var vals smart.Values
-		if acc.hasLast {
-			vals = acc.last
-		} else {
-			// Healthy defaults: full health values, zero raw counters.
-			for a := 0; a < int(smart.NumAttrs); a++ {
-				if smart.InfoOf(smart.Attr(a)).ValueKind == smart.HealthValue {
-					vals[a] = 100
+
+		// Required fields must be inside the row even when truncated.
+		for _, required := range []string{"date", "serial_number", "failure"} {
+			if col[required] >= len(row) {
+				if err := quarantineRow(quality.Issue{
+					Kind: quality.ShortRow, Line: line, Field: required,
+					Detail: fmt.Sprintf("row has %d fields, want %d", len(row), len(header)),
+				}); err != nil {
+					return nil, rep, err
 				}
+				continue rows
 			}
 		}
-		for _, m := range mappings {
+		shortRow := len(row) != len(header)
+		if shortRow && cfg.Policy != quality.Repair {
+			// A truncated row may carry a silently cut numeric value
+			// ("85.3" -> "85"), so Lenient rejects the whole row; Repair
+			// keeps the intact fields and lets the rest inherit.
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.ShortRow, Line: line,
+				Detail: fmt.Sprintf("row has %d fields, want %d", len(row), len(header)),
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+
+		serial := row[col["serial_number"]]
+		if serial == "" {
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.BadField, Line: line, Field: "serial_number", Detail: "empty serial",
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+		date, err := time.Parse("2006-01-02", row[col["date"]])
+		if err != nil {
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.BadDate, Line: line, Drive: serial, Field: "date",
+				Detail: fmt.Sprintf("%q", row[col["date"]]),
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+		var rowFailed bool
+		switch row[col["failure"]] {
+		case "0":
+		case "1":
+			rowFailed = true
+		default:
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.BadFailureFlag, Line: line, Drive: serial, Field: "failure",
+				Detail: fmt.Sprintf("%q is neither 0 nor 1", row[col["failure"]]),
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+
+		br := bbRow{date: date, failed: rowFailed}
+		repairedFields := 0
+		for _, m := range backblazeColumns {
 			idx, ok := col[m.column]
 			if !ok || idx >= len(row) || row[idx] == "" {
 				continue
 			}
-			v, err := strconv.ParseFloat(row[idx], 64)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: bad value %q in %s", line, row[idx], m.column)
+			v, perr := strconv.ParseFloat(row[idx], 64)
+			var iss quality.Issue
+			switch {
+			case perr != nil:
+				iss = quality.Issue{Kind: quality.BadField, Line: line, Drive: serial,
+					Field: m.column, Detail: fmt.Sprintf("%q", row[idx])}
+			case math.IsNaN(v) || math.IsInf(v, 0):
+				iss = quality.Issue{Kind: quality.NonFinite, Line: line, Drive: serial,
+					Field: m.column, Detail: fmt.Sprintf("value %v", v)}
+			case !smart.InBounds(m.attr, v):
+				iss = quality.Issue{Kind: quality.OutOfRange, Line: line, Drive: serial,
+					Field: m.column, Detail: fmt.Sprintf("value %g", v)}
+			default:
+				br.vals[m.attr] = v
+				br.present[m.attr] = true
+				continue
 			}
-			vals[m.attr] = v
+			if cfg.Policy == quality.Repair {
+				// Treat the defective field as absent: the value
+				// inherits from the previous record in date order.
+				rep.Note(iss, cfg)
+				repairedFields++
+				continue
+			}
+			if err := quarantineRow(iss); err != nil {
+				return nil, rep, err
+			}
+			continue rows
 		}
-		acc.last = vals
-		acc.hasLast = true
-		acc.rows = append(acc.rows, smart.Record{Hour: len(acc.rows), Values: vals})
-		if f := row[col["failure"]]; f == "1" {
-			acc.failed = true
+		if shortRow {
+			rep.Note(quality.Issue{
+				Kind: quality.ShortRow, Line: line,
+				Detail: fmt.Sprintf("row has %d fields, want %d", len(row), len(header)),
+			}, cfg)
 		}
+		rep.AddRows(1, 0, repairedFields)
+		if _, ok := drives[serial]; !ok {
+			serials = append(serials, serial)
+		}
+		drives[serial] = append(drives[serial], br)
 	}
-	if len(drives) == 0 {
-		return nil, fmt.Errorf("dataset: Backblaze CSV contains no drive rows")
+
+	// Per-drive assembly in deterministic serial order: order rows by
+	// date (keep-latest on duplicates), then apply inheritance and the
+	// days-since-first-seen Hour scale.
+	sort.Strings(serials)
+	rep.AddDrives(len(serials))
+	type driveAcc struct {
+		records []smart.Record
+		failed  bool
+	}
+	accs := map[string]*driveAcc{}
+	for _, serial := range serials {
+		rows := drives[serial]
+		outOfOrder := 0
+		for i := 1; i < len(rows); i++ {
+			if rows[i].date.Before(rows[i-1].date) {
+				outOfOrder++
+			}
+		}
+		if outOfOrder > 0 {
+			iss := quality.Issue{Kind: quality.OutOfOrderTimestamp, Drive: serial,
+				Detail: fmt.Sprintf("%d rows out of date order", outOfOrder)}
+			if strict {
+				return nil, rep, iss
+			}
+			rep.Note(iss, cfg)
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].date.Before(rows[j].date) })
+
+		acc := &driveAcc{}
+		prev := quality.HealthyDefaults()
+		for i, br := range rows {
+			if i+1 < len(rows) && rows[i+1].date.Equal(br.date) {
+				// Keep-latest: a later row for the same date supersedes
+				// this one.
+				iss := quality.Issue{Kind: quality.DuplicateTimestamp, Drive: serial,
+					Detail: fmt.Sprintf("date %s repeated", br.date.Format("2006-01-02"))}
+				if strict {
+					return nil, rep, iss
+				}
+				rep.Note(iss, cfg)
+				rep.AddRows(0, 1, 0)
+				if err := rep.CheckBudget(cfg); err != nil {
+					return nil, rep, err
+				}
+				continue
+			}
+			vals := prev
+			for a := 0; a < int(smart.NumAttrs); a++ {
+				if br.present[a] {
+					vals[a] = br.vals[a]
+				}
+			}
+			hour := int(br.date.Sub(rows[0].date).Hours()) / 24
+			acc.records = append(acc.records, smart.Record{Hour: hour, Values: vals})
+			acc.failed = acc.failed || br.failed
+			prev = vals
+		}
+		if len(acc.records) < cfg.MinRecords {
+			iss := quality.Issue{Kind: quality.ShortProfile, Drive: serial,
+				Detail: fmt.Sprintf("%d records, need >= %d", len(acc.records), cfg.MinRecords)}
+			if strict {
+				return nil, rep, iss
+			}
+			rep.Note(iss, cfg)
+			rep.DropDrive(serial, len(rows), len(acc.records),
+				fmt.Sprintf("%d clean records, need >= %d", len(acc.records), cfg.MinRecords))
+			continue
+		}
+		accs[serial] = acc
+	}
+
+	if len(accs) == 0 {
+		return nil, rep, fmt.Errorf("dataset: Backblaze CSV contains no drive rows (%d rows read, %d quarantined)",
+			rep.RowsRead, rep.RowsQuarantined)
 	}
 
 	// Deterministic drive IDs: failed drives first, then good, both in
 	// serial order.
-	sort.Strings(serials)
 	var failed, good []*smart.Profile
 	id := 0
 	for _, pass := range []bool{true, false} {
 		for _, serial := range serials {
-			acc := drives[serial]
-			if acc.failed != pass {
+			acc, ok := accs[serial]
+			if !ok || acc.failed != pass {
 				continue
 			}
-			p := &smart.Profile{DriveID: id, Failed: acc.failed, Records: acc.rows}
+			p := &smart.Profile{DriveID: id, Failed: acc.failed, Records: acc.records}
 			id++
 			if acc.failed {
 				failed = append(failed, p)
@@ -146,7 +349,7 @@ func ReadBackblazeCSV(r io.Reader) (*Dataset, error) {
 			}
 		}
 	}
-	return New(failed, good), nil
+	return New(failed, good), rep, nil
 }
 
 // WriteBackblazeCSV exports the dataset in the Backblaze daily-dump

@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"disksig/internal/quality"
+	"disksig/internal/smart"
+)
+
+// assertSanitized checks the guarantees every Lenient Q-reader makes on
+// success: the accounting invariant holds, and no record bypassed
+// quarantine (all values finite and in bounds, hours strictly
+// increasing, profiles at least MinRecords long).
+func assertSanitized(t *testing.T, ds *Dataset, rep *quality.Report) {
+	t.Helper()
+	if rep.RowsRead != rep.RowsKept()+rep.RowsQuarantined+rep.RowsDropped {
+		t.Fatalf("accounting: read %d != kept %d + quarantined %d + dropped %d",
+			rep.RowsRead, rep.RowsKept(), rep.RowsQuarantined, rep.RowsDropped)
+	}
+	min := quality.Config{}.WithDefaults().MinRecords
+	for _, p := range append(append([]*smart.Profile{}, ds.Failed...), ds.Good...) {
+		if len(p.Records) < min {
+			t.Fatalf("drive %d kept with %d records, min is %d", p.DriveID, len(p.Records), min)
+		}
+		last := p.Records[0].Hour - 1
+		for _, r := range p.Records {
+			if r.Hour <= last {
+				t.Fatalf("drive %d hours not strictly increasing: %d after %d", p.DriveID, r.Hour, last)
+			}
+			last = r.Hour
+			if issues := quality.CheckValues(r.Values); len(issues) > 0 {
+				t.Fatalf("drive %d kept defective values: %v", p.DriveID, issues)
+			}
+		}
+	}
+}
+
+func FuzzReadBackblazeCSV(f *testing.F) {
+	f.Add(backblazeFixture())
+	f.Add("date,serial_number,model,capacity_bytes,failure,smart_1_normalized\n" +
+		"2026-07-01,S1,M,1,0,100\n2026-07-02,S1,M,1,0,99\n")
+	f.Add("date,serial_number,model,capacity_bytes,failure\nnot-a-date,S1,M,1,2\n")
+	f.Add("date,serial_number,model,capacity_bytes,failure,smart_9_normalized\n" +
+		"2026-07-01,S1,M,1,0,NaN\n2026-07-01,S1,M,1,0,1e99\n\"unterminated")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, rep, err := ReadBackblazeCSVQ(strings.NewReader(input), quality.Config{Policy: quality.Lenient})
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		assertSanitized(t, ds, rep)
+	})
+}
+
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := testDataset().WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	buf.Reset()
+	if err := nonFiniteDataset().WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("drive_id,failed,true_group,hour\n0,true,1,0\n0,true,1,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, policy := range []quality.Policy{quality.Lenient, quality.Repair} {
+			ds, rep, err := ReadCSVQ(strings.NewReader(input), quality.Config{Policy: policy})
+			if err != nil {
+				continue
+			}
+			assertSanitized(t, ds, rep)
+		}
+		// The strict path must never panic either.
+		_, _ = ReadCSV(strings.NewReader(input))
+	})
+}

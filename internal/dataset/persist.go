@@ -4,11 +4,14 @@ import (
 	"bufio"
 	"encoding/csv"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 
+	"disksig/internal/quality"
 	"disksig/internal/smart"
 )
 
@@ -62,22 +65,49 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 
 // ReadCSV parses a dataset previously written by WriteCSV. Records of the
 // same drive must be contiguous and in chronological order (WriteCSV
-// guarantees this).
+// guarantees this). The native schema is machine-written, so ReadCSV
+// runs under the Strict policy: the first defect (unparseable field,
+// NaN/Inf or out-of-range value, non-monotone hours) is an error. Use
+// ReadCSVQ with a Lenient or Repair policy to salvage a damaged file.
 func ReadCSV(r io.Reader) (*Dataset, error) {
+	ds, _, err := ReadCSVQ(r, quality.Config{Policy: quality.Strict})
+	return ds, err
+}
+
+// ReadCSVQ is ReadCSV under an explicit quality policy: defective rows
+// are quarantined (Lenient), repaired where mechanically possible
+// (Repair — an unparseable attribute value inherits the previous
+// record's value), or fatal (Strict). The report accounts for every
+// rejected row and dropped drive.
+func ReadCSVQ(r io.Reader, cfg quality.Config) (*Dataset, *quality.Report, error) {
+	cfg = cfg.WithDefaults()
+	rep := &quality.Report{}
+	strict := cfg.Policy == quality.Strict
+
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return nil, rep, fmt.Errorf("dataset: reading CSV header: %w", err)
 	}
 	want := csvHeader()
 	if len(header) != len(want) {
-		return nil, fmt.Errorf("dataset: CSV has %d columns, want %d", len(header), len(want))
+		return nil, rep, fmt.Errorf("dataset: CSV has %d columns, want %d", len(header), len(want))
 	}
 	for i, h := range header {
 		if h != want[i] {
-			return nil, fmt.Errorf("dataset: CSV column %d is %q, want %q", i, h, want[i])
+			return nil, rep, fmt.Errorf("dataset: CSV column %d is %q, want %q", i, h, want[i])
 		}
+	}
+
+	quarantineRow := func(iss quality.Issue) error {
+		if strict {
+			return iss
+		}
+		rep.Note(iss, cfg)
+		rep.AddRows(1, 1, 0)
+		return rep.CheckBudget(cfg)
 	}
 
 	var failed, good []*smart.Profile
@@ -100,33 +130,99 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+			var pe *csv.ParseError
+			if errors.As(err, &pe) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				line++
+				if qerr := quarantineRow(quality.Issue{
+					Kind: quality.MalformedRow, Line: pe.Line, Detail: err.Error(),
+				}); qerr != nil {
+					return nil, rep, qerr
+				}
+				continue
+			}
+			iss := quality.Issue{Kind: quality.TruncatedInput, Line: line, Detail: err.Error()}
+			if strict {
+				return nil, rep, fmt.Errorf("dataset: reading CSV: %w", err)
+			}
+			rep.Note(iss, cfg)
+			break
 		}
 		line++
+		if len(row) != len(want) {
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.ShortRow, Line: line,
+				Detail: fmt.Sprintf("row has %d fields, want %d", len(row), len(want)),
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
 		id, err := strconv.Atoi(row[0])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad drive_id %q", line, row[0])
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.BadField, Line: line, Field: "drive_id",
+				Detail: fmt.Sprintf("%q", row[0]),
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		isFailed, err := strconv.ParseBool(row[1])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad failed flag %q", line, row[1])
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.BadFailureFlag, Line: line, Field: "failed",
+				Detail: fmt.Sprintf("%q", row[1]),
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		group, err := strconv.Atoi(row[2])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad true_group %q", line, row[2])
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.BadField, Line: line, Field: "true_group",
+				Detail: fmt.Sprintf("%q", row[2]),
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		hour, err := strconv.Atoi(row[3])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad hour %q", line, row[3])
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.BadField, Line: line, Field: "hour",
+				Detail: fmt.Sprintf("%q", row[3]),
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		var vals smart.Values
+		badValue := false
 		for a := 0; a < int(smart.NumAttrs); a++ {
 			v, err := strconv.ParseFloat(row[4+a], 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: bad value %q for %s", line, row[4+a], smart.Attr(a))
+				iss := quality.Issue{Kind: quality.BadField, Line: line,
+					Field: smart.Attr(a).String(), Detail: fmt.Sprintf("%q", row[4+a])}
+				if cfg.Policy == quality.Repair {
+					// NaN sentinel: the profile-level sanitizer carries
+					// the previous record's value forward.
+					rep.Note(iss, cfg)
+					v = math.NaN()
+				} else {
+					if err := quarantineRow(iss); err != nil {
+						return nil, rep, err
+					}
+					badValue = true
+					break
+				}
 			}
 			vals[a] = v
 		}
+		if badValue {
+			continue
+		}
+		rep.AddRows(1, 0, 0)
 		if cur == nil || cur.DriveID != id {
 			flush()
 			cur = &smart.Profile{DriveID: id, Failed: isFailed, TrueGroup: group}
@@ -134,7 +230,31 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		cur.Records = append(cur.Records, smart.Record{Hour: hour, Values: vals})
 	}
 	flush()
-	return New(failed, good), nil
+
+	// Profile-level pass: value sanity (NaN/Inf, bounds), hour
+	// monotonicity and duplicates, minimum length.
+	sanRep := &quality.Report{}
+	failed, err = quality.SanitizeProfiles(failed, cfg, sanRep)
+	if err != nil {
+		return nil, rep, err
+	}
+	good, err = quality.SanitizeProfiles(good, cfg, sanRep)
+	if err != nil {
+		return nil, rep, err
+	}
+	// The sanitizer re-reads rows this reader already counted; fold in
+	// only its verdicts (quarantines, repairs, drops), not RowsRead.
+	sanRep.RowsRead = 0
+	sanRep.DrivesRead = 0
+	rep.Merge(sanRep)
+	if err := rep.CheckBudget(cfg); err != nil {
+		return nil, rep, err
+	}
+	if len(failed)+len(good) == 0 && rep.RowsRead > 0 {
+		return nil, rep, fmt.Errorf("dataset: CSV contains no usable rows (%d read, %d quarantined)",
+			rep.RowsRead, rep.RowsQuarantined)
+	}
+	return New(failed, good), rep, nil
 }
 
 // gobDataset is the gob wire form of a Dataset (profiles only; the
@@ -153,13 +273,37 @@ func (d *Dataset) WriteGob(w io.Writer) error {
 	return nil
 }
 
-// ReadGob parses a dataset previously written by WriteGob.
+// ReadGob parses a dataset previously written by WriteGob. The decode is
+// raw — profiles round-trip bit-for-bit, including NaN/Inf values; use
+// ReadGobQ to validate and sanitize the decoded fleet.
 func ReadGob(r io.Reader) (*Dataset, error) {
 	var g gobDataset
 	if err := gob.NewDecoder(r).Decode(&g); err != nil {
 		return nil, fmt.Errorf("dataset: decoding gob: %w", err)
 	}
 	return New(g.Failed, g.Good), nil
+}
+
+// ReadGobQ is ReadGob followed by a profile-level quality pass: value
+// sanity (NaN/Inf, vendor bounds), hour monotonicity and duplicates,
+// and the minimum-records threshold, handled per cfg.Policy and
+// accounted in the returned report.
+func ReadGobQ(r io.Reader, cfg quality.Config) (*Dataset, *quality.Report, error) {
+	cfg = cfg.WithDefaults()
+	rep := &quality.Report{}
+	var g gobDataset
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, rep, fmt.Errorf("dataset: decoding gob: %w", err)
+	}
+	failed, err := quality.SanitizeProfiles(g.Failed, cfg, rep)
+	if err != nil {
+		return nil, rep, err
+	}
+	good, err := quality.SanitizeProfiles(g.Good, cfg, rep)
+	if err != nil {
+		return nil, rep, err
+	}
+	return New(failed, good), rep, nil
 }
 
 // SaveFile writes the dataset to path, choosing the format by extension:
@@ -210,6 +354,27 @@ func LoadFile(path string) (*Dataset, error) {
 		return ReadGob(br)
 	}
 	return nil, fmt.Errorf("dataset: unknown extension in %q (want .csv, .bbcsv or .gob)", path)
+}
+
+// LoadFileQ is LoadFile under an explicit quality policy: every format
+// goes through its quality-aware reader and returns the quarantine
+// report alongside the dataset.
+func LoadFileQ(path string, cfg quality.Config) (*Dataset, *quality.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	switch ext(path) {
+	case ".bbcsv":
+		return ReadBackblazeCSVQ(br, cfg)
+	case ".csv":
+		return ReadCSVQ(br, cfg)
+	case ".gob":
+		return ReadGobQ(br, cfg)
+	}
+	return nil, nil, fmt.Errorf("dataset: unknown extension in %q (want .csv, .bbcsv or .gob)", path)
 }
 
 func ext(path string) string {

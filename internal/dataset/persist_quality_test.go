@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"disksig/internal/quality"
+	"disksig/internal/smart"
+)
+
+// nonFiniteDataset is testDataset with a NaN and an Inf planted in one
+// failed drive.
+func nonFiniteDataset() *Dataset {
+	d := testDataset()
+	d.Failed[0].Records[1].Values[smart.RRER] = math.NaN()
+	d.Failed[0].Records[2].Values[smart.POH] = math.Inf(1)
+	return d
+}
+
+func TestGobRoundTripPreservesNonFinite(t *testing.T) {
+	d := nonFiniteDataset()
+	var buf bytes.Buffer
+	if err := d.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Raw gob decode is bit-for-bit: the defects survive untouched.
+	back, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.Failed[0].Records[1].Values[smart.RRER]) {
+		t.Error("NaN lost in gob round-trip")
+	}
+	if !math.IsInf(back.Failed[0].Records[2].Values[smart.POH], 1) {
+		t.Error("+Inf lost in gob round-trip")
+	}
+}
+
+func TestReadGobQQuarantinesNonFinite(t *testing.T) {
+	d := nonFiniteDataset()
+	var buf bytes.Buffer
+	if err := d.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, rep, err := ReadGobQ(&buf, quality.Config{Policy: quality.Lenient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(quality.NonFinite) != 2 || rep.RowsQuarantined != 2 {
+		t.Errorf("report = %s", rep)
+	}
+	if got := len(back.Failed[0].Records); got != 3 {
+		t.Errorf("failed[0] kept %d records, want 3", got)
+	}
+	if rep.RowsRead != rep.RowsKept()+rep.RowsQuarantined+rep.RowsDropped {
+		t.Error("accounting broken")
+	}
+}
+
+func TestReadGobQRepairsNonFinite(t *testing.T) {
+	d := nonFiniteDataset()
+	var buf bytes.Buffer
+	if err := d.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, rep, err := ReadGobQ(&buf, quality.Config{Policy: quality.Repair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FieldsRepaired != 2 || rep.RowsQuarantined != 0 {
+		t.Errorf("report = %s", rep)
+	}
+	if got := len(back.Failed[0].Records); got != 5 {
+		t.Errorf("repair kept %d records, want 5", got)
+	}
+	// Carried forward from the previous record.
+	if got := back.Failed[0].Records[1].Values[smart.RRER]; got != back.Failed[0].Records[0].Values[smart.RRER] {
+		t.Errorf("NaN repaired to %v", got)
+	}
+}
+
+func TestCSVRoundTripNonFinite(t *testing.T) {
+	d := nonFiniteDataset()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csvBytes := buf.Bytes()
+
+	// The native schema is machine-written, so the legacy strict reader
+	// refuses NaN.
+	if _, err := ReadCSV(bytes.NewReader(csvBytes)); err == nil {
+		t.Error("strict ReadCSV accepted a NaN field")
+	}
+
+	back, rep, err := ReadCSVQ(bytes.NewReader(csvBytes), quality.Config{Policy: quality.Lenient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(quality.NonFinite) == 0 {
+		t.Errorf("NaN/Inf not counted: %s", rep)
+	}
+	if rep.RowsRead != rep.RowsKept()+rep.RowsQuarantined+rep.RowsDropped {
+		t.Error("accounting broken")
+	}
+	for _, p := range append(append([]*smart.Profile{}, back.Failed...), back.Good...) {
+		for _, r := range p.Records {
+			for a := 0; a < int(smart.NumAttrs); a++ {
+				if math.IsNaN(r.Values[a]) || math.IsInf(r.Values[a], 0) {
+					t.Fatalf("drive %d kept a non-finite value", p.DriveID)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadFileQRoutesByExtension(t *testing.T) {
+	d := nonFiniteDataset()
+	dir := t.TempDir()
+	for _, name := range []string{"fleet.gob", "fleet.csv"} {
+		path := dir + "/" + name
+		if err := d.SaveFile(path); err != nil {
+			t.Fatalf("saving %s: %v", name, err)
+		}
+		back, rep, err := LoadFileQ(path, quality.Config{Policy: quality.Lenient})
+		if err != nil {
+			t.Fatalf("loading %s: %v", name, err)
+		}
+		if rep.RowsQuarantined == 0 {
+			t.Errorf("%s: defects not quarantined: %s", name, rep)
+		}
+		if len(back.Failed) != 2 || len(back.Good) != 2 {
+			t.Errorf("%s: population = %d/%d", name, len(back.Failed), len(back.Good))
+		}
+	}
+	if _, _, err := LoadFileQ(dir+"/fleet.xyz", quality.Config{}); err == nil {
+		t.Error("unknown extension should error")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"disksig/internal/core"
 	"disksig/internal/dataset"
 	"disksig/internal/parallel"
+	"disksig/internal/quality"
 	"disksig/internal/synth"
 )
 
@@ -64,9 +65,17 @@ func NewContextWithConfig(cfg synth.Config) (*Context, error) {
 // NewContextFromDataset characterizes an existing dataset (e.g. one loaded
 // from disk by cmd/diskchar). cfg.Workers bounds the pipeline's
 // parallelism; the characterization is deterministic in seed at any
-// worker count.
+// worker count. Defective telemetry is quarantined per the default
+// (Lenient) quality policy; use NewContextFromDatasetQuality to select
+// another.
 func NewContextFromDataset(ds *dataset.Dataset, seed int64, cfg synth.Config) (*Context, error) {
-	ch, err := core.Characterize(ds, core.Config{Seed: seed, Workers: cfg.Workers})
+	return NewContextFromDatasetQuality(ds, seed, cfg, quality.Config{})
+}
+
+// NewContextFromDatasetQuality is NewContextFromDataset with an explicit
+// data-quality policy for the pipeline's pre-analysis sanitization pass.
+func NewContextFromDatasetQuality(ds *dataset.Dataset, seed int64, cfg synth.Config, qcfg quality.Config) (*Context, error) {
+	ch, err := core.Characterize(ds, core.Config{Seed: seed, Workers: cfg.Workers, Quality: qcfg})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: characterizing fleet: %w", err)
 	}

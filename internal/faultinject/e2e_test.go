@@ -1,0 +1,119 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"disksig/internal/core"
+	"disksig/internal/dataset"
+	"disksig/internal/faultinject"
+	"disksig/internal/quality"
+	"disksig/internal/synth"
+)
+
+// TestPipelineSurvivesCorruption is the end-to-end fault-injection
+// check: a synthetic fleet is serialized to Backblaze CSV, ~5% of the
+// rows are corrupted (garbled fields, truncation, duplication,
+// reordering), and the Lenient ingestion + characterization pipeline
+// must still recover the three failure groups with valid signatures
+// while accounting for every rejected row and drive.
+func TestPipelineSurvivesCorruption(t *testing.T) {
+	ds, err := synth.Generate(synth.DefaultConfig(synth.ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteBackblazeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Len()
+
+	fr := faultinject.NewReader(bytes.NewReader(buf.Bytes()), faultinject.Config{
+		Seed:          11,
+		ProtectLines:  1, // header
+		GarbleRate:    0.02,
+		TruncateRate:  0.01,
+		DuplicateRate: 0.01,
+		ReorderRate:   0.01,
+	})
+	dirty, rep, err := dataset.ReadBackblazeCSVQ(fr, quality.Config{Policy: quality.Lenient})
+	if err != nil {
+		t.Fatalf("ingesting corrupted CSV: %v", err)
+	}
+	stats := fr.Stats()
+	if stats.Garbled == 0 || stats.Truncated == 0 || stats.Duplicated == 0 || stats.Reordered == 0 {
+		t.Fatalf("corruption did not exercise every kind: %v", stats)
+	}
+	t.Logf("%v over %d clean bytes", stats, clean)
+	t.Logf("ingest: %s", rep.Summary())
+
+	if rep.RowsQuarantined == 0 {
+		t.Error("no rows quarantined despite corruption")
+	}
+	if rep.RowsRead != rep.RowsKept()+rep.RowsQuarantined+rep.RowsDropped {
+		t.Errorf("accounting: read %d != kept %d + quarantined %d + dropped %d",
+			rep.RowsRead, rep.RowsKept(), rep.RowsQuarantined, rep.RowsDropped)
+	}
+
+	ch, err := core.CharacterizeCtx(context.Background(), dirty, core.Config{
+		Seed: 1, SkipPrediction: true, GoodSample: 2000,
+	})
+	if err != nil {
+		t.Fatalf("characterizing corrupted fleet: %v", err)
+	}
+	if got := len(ch.Results); got != 3 {
+		t.Fatalf("recovered %d groups from corrupted fleet, want 3", got)
+	}
+	for _, gr := range ch.Results {
+		if gr.Signature == nil || gr.Summary == nil || gr.Influence == nil {
+			t.Fatalf("group %d has incomplete results", gr.Group.Number)
+		}
+		if gr.Signature.Window.D <= 0 {
+			t.Errorf("group %d signature window d = %d", gr.Group.Number, gr.Signature.Window.D)
+		}
+		for _, d := range gr.Signature.Degradation {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				t.Fatalf("group %d signature has non-finite degradation", gr.Group.Number)
+			}
+		}
+	}
+	// The pipeline's own quality pass also accounts cleanly.
+	if q := ch.Quarantine; q.RowsRead != q.RowsKept()+q.RowsQuarantined+q.RowsDropped {
+		t.Errorf("pipeline accounting: read %d != kept %d + quarantined %d + dropped %d",
+			q.RowsRead, q.RowsKept(), q.RowsQuarantined, q.RowsDropped)
+	}
+}
+
+// TestPipelineSurvivesTruncatedStream checks the mid-stream EOF path:
+// rows parsed before the cut are kept and the loss is accounted.
+func TestPipelineSurvivesTruncatedStream(t *testing.T) {
+	ds, err := synth.Generate(synth.DefaultConfig(synth.ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteBackblazeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fr := faultinject.NewReader(bytes.NewReader(buf.Bytes()), faultinject.Config{
+		Seed:         21,
+		ProtectLines: 1,
+		EOFRate:      0.00005, // expect a cut somewhere late in the stream
+	})
+	dirty, rep, err := dataset.ReadBackblazeCSVQ(fr, quality.Config{Policy: quality.Lenient})
+	if !fr.Stats().EOFCut {
+		t.Skip("no EOF cut at this seed/rate; nothing to test")
+	}
+	if err != nil {
+		t.Fatalf("truncated stream should not be fatal under Lenient: %v", err)
+	}
+	if len(dirty.Failed)+len(dirty.Good) == 0 {
+		t.Fatal("no drives survived the truncated stream")
+	}
+	if rep.RowsRead != rep.RowsKept()+rep.RowsQuarantined+rep.RowsDropped {
+		t.Errorf("accounting: read %d != kept %d + quarantined %d + dropped %d",
+			rep.RowsRead, rep.RowsKept(), rep.RowsQuarantined, rep.RowsDropped)
+	}
+}

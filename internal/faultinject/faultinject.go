@@ -1,0 +1,183 @@
+// Package faultinject is a deterministic fault-injection harness for
+// the ingestion path: it wraps an io.Reader of line-oriented input
+// (CSV) and corrupts it with field garbling, row truncation,
+// duplication, reordering and mid-stream EOF at configurable rates.
+// Every decision is a pure function of (Config.Seed, line index) via
+// parallel.DeriveSeed, so a corruption run reproduces bit-for-bit — a
+// failing e2e test names a seed, not a flake.
+package faultinject
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"disksig/internal/parallel"
+)
+
+// Config sets the per-line corruption rates. Each rate is a probability
+// in [0, 1]; at most one corruption applies per line (tried in the
+// order EOF, truncate, garble, duplicate, reorder).
+type Config struct {
+	// Seed drives every corruption decision. The zero seed is valid and
+	// distinct from seed 1.
+	Seed int64
+	// ProtectLines exempts the first n lines (headers) from corruption.
+	ProtectLines int
+	// EOFRate is the chance a line starts a mid-stream EOF: the line is
+	// cut partway and the stream ends.
+	EOFRate float64
+	// TruncateRate is the chance a line is cut at a random byte.
+	TruncateRate float64
+	// GarbleRate is the chance one random field of a line is replaced
+	// with garbage (non-numeric text, NaN, an overflow literal, or
+	// nothing).
+	GarbleRate float64
+	// DuplicateRate is the chance a line is emitted twice.
+	DuplicateRate float64
+	// ReorderRate is the chance a line is held back and emitted after
+	// the following line (swapping two adjacent rows).
+	ReorderRate float64
+}
+
+// Stats counts the corruptions actually applied.
+type Stats struct {
+	Lines      int // lines read from the source
+	Garbled    int
+	Truncated  int
+	Duplicated int
+	Reordered  int
+	EOFCut     bool // the stream ended early
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("faultinject: %d lines, %d garbled, %d truncated, %d duplicated, %d reordered, early EOF %v",
+		s.Lines, s.Garbled, s.Truncated, s.Duplicated, s.Reordered, s.EOFCut)
+}
+
+// garbage is the menu of field replacements: unparseable text, empty,
+// NaN/Inf spellings the CSV layer parses but the quality layer must
+// catch, and an overflow literal strconv rejects.
+var garbage = []string{"garbage", "", "NaN", "nan", "+Inf", "-1e309", "9e99", "??", "-1"}
+
+// Reader corrupts a line-oriented stream. It implements io.Reader.
+type Reader struct {
+	cfg   Config
+	src   *bufio.Scanner
+	buf   bytes.Buffer // corrupted output not yet consumed
+	held  []byte       // line held back by a reorder, pending emit
+	line  int          // next source line index (0-based)
+	done  bool
+	err   error
+	stats Stats
+}
+
+// NewReader wraps r. The input is consumed line by line; lines longer
+// than 1 MiB fail the scan.
+func NewReader(r io.Reader, cfg Config) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{cfg: cfg, src: sc}
+}
+
+// Stats reports the corruptions applied so far. Final only after Read
+// returned io.EOF.
+func (fr *Reader) Stats() Stats { return fr.stats }
+
+// Read implements io.Reader.
+func (fr *Reader) Read(p []byte) (int, error) {
+	for fr.buf.Len() == 0 {
+		if fr.done {
+			if fr.err != nil {
+				return 0, fr.err
+			}
+			return 0, io.EOF
+		}
+		fr.fill()
+	}
+	return fr.buf.Read(p)
+}
+
+// fill consumes one source line, applies at most one corruption, and
+// appends the result (possibly nothing, for a fully truncated line) to
+// the output buffer.
+func (fr *Reader) fill() {
+	if !fr.src.Scan() {
+		fr.done = true
+		fr.err = fr.src.Err()
+		fr.flushHeld()
+		return
+	}
+	line := fr.src.Bytes()
+	i := fr.line
+	fr.line++
+	fr.stats.Lines++
+
+	if i < fr.cfg.ProtectLines {
+		fr.emit(line)
+		fr.flushHeld()
+		return
+	}
+	rng := rand.New(rand.NewSource(parallel.DeriveSeed(fr.cfg.Seed, int64(i))))
+	switch {
+	case rng.Float64() < fr.cfg.EOFRate:
+		// Mid-stream EOF: cut the line partway and end the stream.
+		cut := line
+		if len(line) > 0 {
+			cut = line[:rng.Intn(len(line))]
+		}
+		fr.buf.Write(cut)
+		fr.stats.EOFCut = true
+		fr.done = true
+		fr.held = nil
+		return
+	case rng.Float64() < fr.cfg.TruncateRate:
+		cut := line
+		if len(line) > 0 {
+			cut = line[:rng.Intn(len(line))]
+		}
+		fr.emit(cut)
+		fr.stats.Truncated++
+	case rng.Float64() < fr.cfg.GarbleRate:
+		fr.emit([]byte(garbleField(string(line), rng)))
+		fr.stats.Garbled++
+	case rng.Float64() < fr.cfg.DuplicateRate:
+		fr.emit(line)
+		fr.emit(line)
+		fr.stats.Duplicated++
+	case rng.Float64() < fr.cfg.ReorderRate && fr.held == nil:
+		// Hold this line; it is emitted after the next one.
+		fr.held = append([]byte(nil), line...)
+		fr.stats.Reordered++
+		return
+	default:
+		fr.emit(line)
+	}
+	fr.flushHeld()
+}
+
+// emit writes one output line.
+func (fr *Reader) emit(line []byte) {
+	fr.buf.Write(line)
+	fr.buf.WriteByte('\n')
+}
+
+// flushHeld emits a reorder-held line after its successor.
+func (fr *Reader) flushHeld() {
+	if fr.held != nil {
+		fr.emit(fr.held)
+		fr.held = nil
+	}
+}
+
+// garbleField replaces one random comma-separated field of line with a
+// garbage value.
+func garbleField(line string, rng *rand.Rand) string {
+	fields := strings.Split(line, ",")
+	fields[rng.Intn(len(fields))] = garbage[rng.Intn(len(garbage))]
+	return strings.Join(fields, ",")
+}

@@ -1,0 +1,179 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"disksig/internal/smart"
+)
+
+func srcLines(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString("2024-01-01,SER")
+		b.WriteByte(byte('A' + i%26))
+		b.WriteString(",m,1000,0,100,5\n")
+	}
+	return b.String()
+}
+
+func readAll(t *testing.T, src string, cfg Config) (string, Stats) {
+	t.Helper()
+	fr := NewReader(strings.NewReader(src), cfg)
+	out, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return string(out), fr.Stats()
+}
+
+func TestReaderPassthrough(t *testing.T) {
+	src := srcLines(50)
+	out, stats := readAll(t, src, Config{Seed: 1})
+	if out != src {
+		t.Error("zero rates must pass the input through unchanged")
+	}
+	if stats.Lines != 50 || stats.Garbled+stats.Truncated+stats.Duplicated+stats.Reordered != 0 || stats.EOFCut {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestReaderDeterministic(t *testing.T) {
+	src := srcLines(200)
+	cfg := Config{Seed: 7, ProtectLines: 1, GarbleRate: 0.1, TruncateRate: 0.05, DuplicateRate: 0.05, ReorderRate: 0.05}
+	a, sa := readAll(t, src, cfg)
+	b, sb := readAll(t, src, cfg)
+	if a != b || sa != sb {
+		t.Error("same seed must corrupt identically")
+	}
+	cfg.Seed = 8
+	c, _ := readAll(t, src, cfg)
+	if a == c {
+		t.Error("different seeds should corrupt differently")
+	}
+	if sa.Garbled == 0 || sa.Truncated == 0 || sa.Duplicated == 0 || sa.Reordered == 0 {
+		t.Errorf("expected every corruption kind at these rates: %v", sa)
+	}
+}
+
+func TestReaderProtectsHeader(t *testing.T) {
+	header := "date,serial_number,model\n"
+	src := header + srcLines(100)
+	out, _ := readAll(t, src, Config{Seed: 3, ProtectLines: 1, GarbleRate: 1})
+	lines := strings.SplitN(out, "\n", 2)
+	if lines[0]+"\n" != header {
+		t.Errorf("header corrupted: %q", lines[0])
+	}
+}
+
+func TestReaderEOFCut(t *testing.T) {
+	src := srcLines(100)
+	out, stats := readAll(t, src, Config{Seed: 5, EOFRate: 0.2})
+	if !stats.EOFCut {
+		t.Fatal("expected an early EOF at rate 0.2 over 100 lines")
+	}
+	if len(out) >= len(src) {
+		t.Error("early EOF should shorten the stream")
+	}
+	if stats.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestReaderReorderSwapsAdjacent(t *testing.T) {
+	// With reorder certain on the first unprotected line, lines 0 and 1
+	// swap and nothing is lost.
+	src := "a,1\nb,2\nc,3\n"
+	out, stats := readAll(t, src, Config{Seed: 1, ReorderRate: 1})
+	for _, want := range []string{"a,1", "b,2", "c,3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("line %q lost by reordering; out = %q", want, out)
+		}
+	}
+	if stats.Reordered == 0 {
+		t.Error("no reorders recorded")
+	}
+	if out == src {
+		t.Error("reorder rate 1 left the order unchanged")
+	}
+}
+
+func TestReaderHeldLineFlushedAtEOF(t *testing.T) {
+	// A reorder on the final line must still be emitted.
+	out, _ := readAll(t, "a,1\n", Config{Seed: 1, ReorderRate: 1})
+	if !strings.Contains(out, "a,1") {
+		t.Errorf("final held line lost: %q", out)
+	}
+}
+
+func TestGarbleFieldReplacesOneField(t *testing.T) {
+	out, stats := readAll(t, srcLines(20), Config{Seed: 2, GarbleRate: 1})
+	if stats.Garbled != 20 {
+		t.Fatalf("garbled = %d", stats.Garbled)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if got := len(strings.Split(line, ",")); got != 7 {
+			t.Errorf("garbled line has %d fields, want 7: %q", got, line)
+		}
+	}
+}
+
+func TestCorruptRecordsDeterministic(t *testing.T) {
+	recs := make([]smart.Record, 100)
+	for i := range recs {
+		recs[i] = smart.Record{Hour: i}
+	}
+	cfg := Config{Seed: 9, GarbleRate: 0.1, TruncateRate: 0.05, DuplicateRate: 0.05, ReorderRate: 0.05}
+	a, sa := CorruptRecords(recs, cfg)
+	b, sb := CorruptRecords(recs, cfg)
+	if sa != sb || len(a) != len(b) {
+		t.Fatal("same seed must corrupt identically")
+	}
+	for i := range a {
+		if a[i].Hour != b[i].Hour {
+			t.Fatal("same seed must corrupt identically")
+		}
+	}
+	if sa.Garbled == 0 {
+		t.Error("no garbles at rate 0.1 over 100 records")
+	}
+	garbled := 0
+	for _, r := range a {
+		for a := 0; a < int(smart.NumAttrs); a++ {
+			if math.IsNaN(r.Values[a]) || math.IsInf(r.Values[a], 0) {
+				garbled++
+				break
+			}
+		}
+	}
+	if garbled == 0 {
+		t.Error("garbling never produced a non-finite value")
+	}
+	// The input is untouched.
+	for i, r := range recs {
+		if r.Hour != i || r.Values != (smart.Values{}) {
+			t.Fatal("input slice modified")
+		}
+	}
+}
+
+func TestCorruptRecordsEOF(t *testing.T) {
+	recs := make([]smart.Record, 50)
+	out, stats := CorruptRecords(recs, Config{Seed: 4, EOFRate: 0.3})
+	if !stats.EOFCut || len(out) >= len(recs) {
+		t.Errorf("EOF cut = %v, len = %d", stats.EOFCut, len(out))
+	}
+}
+
+func TestReaderLongLine(t *testing.T) {
+	// Lines beyond the scanner budget surface as a read error, not a
+	// silent truncation.
+	long := bytes.Repeat([]byte("x"), 2<<20)
+	fr := NewReader(bytes.NewReader(long), Config{})
+	if _, err := io.ReadAll(fr); err == nil {
+		t.Error("expected an error for a 2 MiB line")
+	}
+}

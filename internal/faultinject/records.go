@@ -1,0 +1,61 @@
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+
+	"disksig/internal/parallel"
+	"disksig/internal/smart"
+)
+
+// CorruptRecords applies the corruption taxonomy to an in-memory record
+// stream — the monitor-side counterpart of Reader. Garbling sets one
+// attribute to NaN/Inf/overflow, truncation drops the record, a
+// duplicate repeats it (same Hour), a reorder swaps it with its
+// successor, and EOF cuts the stream. The input is not modified; the
+// same (Seed, index) decisions as Reader make runs reproducible.
+func CorruptRecords(recs []smart.Record, cfg Config) ([]smart.Record, Stats) {
+	var stats Stats
+	out := make([]smart.Record, 0, len(recs))
+	var held *smart.Record
+	flush := func() {
+		if held != nil {
+			out = append(out, *held)
+			held = nil
+		}
+	}
+	for i, r := range recs {
+		stats.Lines++
+		if i < cfg.ProtectLines {
+			out = append(out, r)
+			flush()
+			continue
+		}
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, int64(i))))
+		switch {
+		case rng.Float64() < cfg.EOFRate:
+			stats.EOFCut = true
+			return out, stats
+		case rng.Float64() < cfg.TruncateRate:
+			stats.Truncated++
+		case rng.Float64() < cfg.GarbleRate:
+			bad := [...]float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300, -1}
+			r.Values[rng.Intn(int(smart.NumAttrs))] = bad[rng.Intn(len(bad))]
+			out = append(out, r)
+			stats.Garbled++
+		case rng.Float64() < cfg.DuplicateRate:
+			out = append(out, r, r)
+			stats.Duplicated++
+		case rng.Float64() < cfg.ReorderRate && held == nil:
+			h := r
+			held = &h
+			stats.Reordered++
+			continue
+		default:
+			out = append(out, r)
+		}
+		flush()
+	}
+	flush()
+	return out, stats
+}

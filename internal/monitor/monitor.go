@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"disksig/internal/core"
+	"disksig/internal/quality"
 	"disksig/internal/regression"
 	"disksig/internal/smart"
 )
@@ -138,6 +139,7 @@ type DriveStatus struct {
 
 type driveState struct {
 	lastHour int
+	seen     bool
 	severity Severity
 	// recent holds the last Smoothing raw scores per group model.
 	recent [][]float64
@@ -145,10 +147,11 @@ type driveState struct {
 
 // Monitor scores streaming SMART records.
 type Monitor struct {
-	cfg    Config
-	models []GroupModel
-	norm   *smart.Normalizer
-	drives map[int]*driveState
+	cfg     Config
+	models  []GroupModel
+	norm    *smart.Normalizer
+	drives  map[int]*driveState
+	quality quality.Report
 }
 
 // New builds a monitor from trained group models and the fleet
@@ -197,17 +200,71 @@ func FromCharacterization(ch *core.Characterization, cfg Config) (*Monitor, erro
 
 // Ingest scores one raw (vendor health-value) record of a drive. It
 // returns a non-nil alert when the drive's severity escalates.
+//
+// Dirty telemetry never corrupts the smoothed-median window: a record
+// with NaN/Inf or out-of-range values is quarantined, a record older
+// than the drive's latest hour is dropped (keep-latest), and a repeated
+// hour replaces the previous sample instead of widening the window.
+// Every such event is counted in Quality.
 func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
+	drive := fmt.Sprintf("%d", driveID)
+	// Only non-finite values poison the window: finite out-of-range
+	// values are clamped by the normalizer and score fine.
+	var nonFinite []quality.Issue
+	for _, iss := range quality.CheckValues(rec.Values) {
+		if iss.Kind == quality.NonFinite {
+			iss.Drive = drive
+			nonFinite = append(nonFinite, iss)
+		}
+	}
+	if len(nonFinite) > 0 {
+		for _, iss := range nonFinite {
+			m.quality.Note(iss, quality.Config{})
+		}
+		m.quality.AddRows(1, 1, 0)
+		return nil
+	}
+
 	st, ok := m.drives[driveID]
 	if !ok {
 		st = &driveState{recent: make([][]float64, len(m.models))}
 		m.drives[driveID] = st
 	}
+	replace := false
+	if st.seen {
+		switch {
+		case rec.Hour < st.lastHour:
+			// Stale sample: the drive already reported a later state.
+			m.quality.Note(quality.Issue{
+				Kind: quality.OutOfOrderTimestamp, Drive: drive,
+				Detail: fmt.Sprintf("hour %d after hour %d", rec.Hour, st.lastHour),
+			}, quality.Config{})
+			m.quality.AddRows(1, 1, 0)
+			return nil
+		case rec.Hour == st.lastHour:
+			// Keep-latest: the repeat supersedes the previous sample.
+			m.quality.Note(quality.Issue{
+				Kind: quality.DuplicateTimestamp, Drive: drive,
+				Detail: fmt.Sprintf("hour %d repeated", rec.Hour),
+			}, quality.Config{})
+			m.quality.AddRows(1, 1, 0)
+			replace = true
+		default:
+			m.quality.AddRows(1, 0, 0)
+		}
+	} else {
+		m.quality.AddRows(1, 0, 0)
+	}
+	st.seen = true
 	st.lastHour = rec.Hour
 
 	normalized := m.norm.Normalize(rec.Values).Slice()
 	for gi, gm := range m.models {
 		score := gm.Predictor.Predict(normalized)
+		if replace && len(st.recent[gi]) > 0 {
+			st.recent[gi][len(st.recent[gi])-1] = score
+			continue
+		}
 		st.recent[gi] = append(st.recent[gi], score)
 		if len(st.recent[gi]) > m.cfg.Smoothing {
 			st.recent[gi] = st.recent[gi][1:]
@@ -308,6 +365,10 @@ func (m *Monitor) Status(driveID int) (DriveStatus, bool) {
 
 // Tracked returns the number of drives the monitor has seen.
 func (m *Monitor) Tracked() int { return len(m.drives) }
+
+// Quality reports how many ingested records were clean, quarantined
+// (non-finite values, stale hours) or superseded by a duplicate hour.
+func (m *Monitor) Quality() *quality.Report { return &m.quality }
 
 // Snapshot returns the current status of every tracked drive, ordered by
 // ascending degradation (most at-risk first, ties by drive ID). It is the

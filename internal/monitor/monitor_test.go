@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"disksig/internal/core"
+	"disksig/internal/quality"
 	"disksig/internal/regression"
 	"disksig/internal/smart"
 )
@@ -235,5 +236,84 @@ func TestSnapshotAndJSON(t *testing.T) {
 	// Critical drive has a finite ETA.
 	if parsed[0]["hours_to_failure"] == nil {
 		t.Error("critical drive should have a finite ETA")
+	}
+}
+
+func TestIngestQuarantinesNonFinite(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest(7, record(0, 0.9))
+	// A NaN record must be quarantined, not scored: the drive's state and
+	// smoothing window stay untouched.
+	if a := m.Ingest(7, record(1, math.NaN())); a != nil {
+		t.Errorf("NaN record alerted: %v", a)
+	}
+	st, _ := m.Status(7)
+	if st.LastHour != 0 {
+		t.Errorf("NaN record advanced LastHour to %d", st.LastHour)
+	}
+	q := m.Quality()
+	if q.Count(quality.NonFinite) == 0 {
+		t.Error("NaN record not counted as non-finite")
+	}
+	if q.RowsRead != 2 || q.RowsQuarantined != 1 {
+		t.Errorf("quality accounting = %d read / %d quarantined", q.RowsRead, q.RowsQuarantined)
+	}
+	// An Inf record likewise.
+	if a := m.Ingest(7, record(1, math.Inf(-1))); a != nil {
+		t.Errorf("Inf record alerted: %v", a)
+	}
+	if q.RowsQuarantined != 2 {
+		t.Errorf("quarantined = %d after Inf record", q.RowsQuarantined)
+	}
+	// The drive still degrades normally afterwards.
+	if a := m.Ingest(7, record(1, -0.8)); a == nil || a.Severity != Critical {
+		t.Fatalf("post-quarantine degradation alert = %v", a)
+	}
+}
+
+func TestIngestOutOfOrderDropped(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest(8, record(5, 0.9))
+	// A stale record (earlier hour) is dropped: severity stays healthy
+	// even though the stale score is critical.
+	if a := m.Ingest(8, record(3, -0.9)); a != nil {
+		t.Errorf("stale record alerted: %v", a)
+	}
+	st, _ := m.Status(8)
+	if st.LastHour != 5 || st.Severity != Healthy {
+		t.Errorf("state after stale record = hour %d severity %v", st.LastHour, st.Severity)
+	}
+	if m.Quality().Count(quality.OutOfOrderTimestamp) != 1 {
+		t.Error("stale record not counted as out-of-order")
+	}
+}
+
+func TestIngestDuplicateHourKeepsLatest(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest(9, record(0, 0.9))
+	m.Ingest(9, record(1, 0.9))
+	m.Ingest(9, record(2, -0.9))
+	// Repeating hour 2 with a healthy score replaces the bad sample
+	// instead of widening the window: the median stays healthy when the
+	// next bad sample arrives (it would flip with {0.9, -0.9, -0.9}).
+	m.Ingest(9, record(2, 0.9))
+	if a := m.Ingest(9, record(3, -0.9)); a != nil {
+		t.Errorf("alert after superseded spike: %v", a)
+	}
+	if m.Quality().Count(quality.DuplicateTimestamp) != 1 {
+		t.Error("duplicate hour not counted")
+	}
+	// The duplicate counts as quarantined (the superseded sample).
+	if q := m.Quality(); q.RowsRead != 5 || q.RowsQuarantined != 1 {
+		t.Errorf("quality accounting = %d read / %d quarantined", q.RowsRead, q.RowsQuarantined)
 	}
 }

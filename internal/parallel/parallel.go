@@ -14,10 +14,36 @@
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a worker panic converted into an error: the recovered
+// value, the index of the work item (or -1 for a Group task), and the
+// stack of the panicking goroutine at recovery time. Converting panics
+// to errors keeps one poisoned record or model from crashing a whole
+// characterization run.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Index is the ForEach work index, or -1 for a Group task.
+	Index int
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the recovered value and the captured stack.
+func (e *PanicError) Error() string {
+	where := "task"
+	if e.Index >= 0 {
+		where = fmt.Sprintf("index %d", e.Index)
+	}
+	return fmt.Sprintf("parallel: panic at %s: %v\n%s", where, e.Value, e.Stack)
+}
 
 // Workers resolves a configured worker count: values > 0 are used as
 // given, anything else means runtime.GOMAXPROCS(0).
@@ -33,9 +59,63 @@ func Workers(n int) int {
 // dynamically, so callers must not depend on execution order; for
 // deterministic results fn(i) should write only to slot i of shared
 // state. With one worker (or n <= 1) it degenerates to a plain loop.
+//
+// A panic in fn does not crash the process the way an uncaught panic on
+// a worker goroutine would: every index still runs, and the panic of the
+// lowest panicking index is re-raised on the calling goroutine as a
+// *PanicError carrying the recovered value and the worker's stack, where
+// the caller can recover it.
 func ForEach(workers, n int, fn func(i int)) {
+	if pe, _ := forEach(nil, workers, n, fn); pe != nil {
+		panic(pe)
+	}
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no new
+// index is dispatched (in-flight calls finish) and ctx.Err() is
+// returned. Panics in fn are returned as a *PanicError instead of being
+// re-raised. Without cancellation or panics it returns nil.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	pe, err := forEach(ctx, workers, n, fn)
+	if err != nil {
+		return err
+	}
+	if pe != nil {
+		return pe
+	}
+	return nil
+}
+
+// forEach is the shared pool loop: it runs fn over [0, n) honoring an
+// optional context and captures worker panics, returning the panic of
+// the lowest panicking index (every other index still runs) and the
+// context error if cancellation stopped dispatch early. The guarded
+// call and the lowest-index rule make the outcome independent of the
+// worker count: one worker hits the same lowest panicking index a
+// worker fleet reports.
+func forEach(ctx context.Context, workers, n int, fn func(i int)) (*PanicError, error) {
 	if n <= 0 {
-		return
+		return nil, nil
+	}
+	var (
+		mu     sync.Mutex
+		lowest *PanicError
+	)
+	guarded := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				pe := &PanicError{Value: v, Index: i, Stack: debug.Stack()}
+				mu.Lock()
+				if lowest == nil || pe.Index < lowest.Index {
+					lowest = pe
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+	cancelled := func() bool {
+		return ctx != nil && ctx.Err() != nil
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -43,9 +123,12 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if cancelled() {
+				return lowest, ctx.Err()
+			}
+			guarded(i)
 		}
-		return
+		return lowest, nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -54,26 +137,49 @@ func ForEach(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancelled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				guarded(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if cancelled() {
+		return lowest, ctx.Err()
+	}
+	return lowest, nil
 }
 
 // ForEachErr is ForEach for fallible work: it runs every index to
 // completion (no early abort) and returns the error of the lowest
 // failing index, so the reported error is independent of scheduling.
+// A panic in fn counts as that index failing with a *PanicError.
 func ForEachErr(workers, n int, fn func(i int) error) error {
+	return ForEachErrCtx(nil, workers, n, fn)
+}
+
+// ForEachErrCtx is ForEachErr with cancellation: once ctx is done, no
+// new index is dispatched (in-flight calls finish) and ctx.Err() is
+// returned — cancellation takes precedence over per-index errors, since
+// the set of indices that ran under cancellation is schedule-dependent.
+// A nil ctx means no cancellation.
+func ForEachErrCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	errs := make([]error, n)
-	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	pe, ctxErr := forEach(ctx, workers, n, func(i int) { errs[i] = fn(i) })
+	if ctxErr != nil {
+		return ctxErr
+	}
+	if pe != nil {
+		errs[pe.Index] = pe
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -131,11 +237,24 @@ func MapShards[T any](workers int, shards []Shard, fn func(s Shard) T) []T {
 
 // Group runs heterogeneous tasks concurrently, errgroup-style. Errors
 // are collected per task and Wait returns the error of the earliest
-// submitted task that failed, independent of completion order.
+// submitted task that failed, independent of completion order. A panic
+// in a task is captured as that task failing with a *PanicError rather
+// than crashing the process. The zero Group is ready to use;
+// GroupWithContext builds one that stops admitting tasks on
+// cancellation.
 type Group struct {
 	wg   sync.WaitGroup
 	mu   sync.Mutex
 	errs []error
+	ctx  context.Context
+}
+
+// GroupWithContext returns a Group bound to ctx: a task submitted after
+// ctx is done is not started — its slot records ctx.Err() instead — so
+// a cancelled pipeline stops fanning out promptly. Tasks already
+// running are not interrupted; they observe ctx themselves.
+func GroupWithContext(ctx context.Context) *Group {
+	return &Group{ctx: ctx}
 }
 
 // Go submits one task.
@@ -144,10 +263,23 @@ func (g *Group) Go(fn func() error) {
 	slot := len(g.errs)
 	g.errs = append(g.errs, nil)
 	g.mu.Unlock()
+	if g.ctx != nil && g.ctx.Err() != nil {
+		g.mu.Lock()
+		g.errs[slot] = g.ctx.Err()
+		g.mu.Unlock()
+		return
+	}
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
-		err := fn()
+		err := func() (err error) {
+			defer func() {
+				if v := recover(); v != nil {
+					err = &PanicError{Value: v, Index: -1, Stack: debug.Stack()}
+				}
+			}()
+			return fn()
+		}()
 		g.mu.Lock()
 		g.errs[slot] = err
 		g.mu.Unlock()

@@ -1,10 +1,13 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -113,6 +116,144 @@ func TestGroupReturnsEarliestSubmittedError(t *testing.T) {
 	ok.Go(func() error { return nil })
 	if err := ok.Wait(); err != nil {
 		t.Errorf("unexpected error %v", err)
+	}
+}
+
+func TestForEachErrCapturesPanicAsError(t *testing.T) {
+	// The same lowest panicking index must be reported at any worker
+	// count, as a *PanicError carrying the recovered value and a stack.
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int32
+		err := ForEachErr(workers, 40, func(i int) error {
+			ran.Add(1)
+			if i == 31 || i == 12 {
+				panic(fmt.Sprintf("boom at %d", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 12 || pe.Value != "boom at 12" {
+			t.Errorf("workers=%d: panic = index %d value %v, want lowest index 12", workers, pe.Index, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "boom at 12") {
+			t.Errorf("workers=%d: PanicError missing stack or value: %v", workers, err)
+		}
+		if got := ran.Load(); got != 40 {
+			t.Errorf("workers=%d: only %d/40 indices ran after panic", workers, got)
+		}
+	}
+}
+
+func TestForEachErrPanicVsErrorLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := ForEachErr(workers, 20, func(i int) error {
+			if i == 9 {
+				panic("later panic")
+			}
+			if i == 4 {
+				return errors.New("earlier error")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "earlier error" {
+			t.Errorf("workers=%d: err = %v, want the lower-index plain error", workers, err)
+		}
+	}
+}
+
+func TestForEachRepanicsOnCaller(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				v := recover()
+				pe, ok := v.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %v, want *PanicError", workers, v)
+				}
+				if pe.Index != 3 {
+					t.Errorf("workers=%d: panic index = %d, want lowest 3", workers, pe.Index)
+				}
+			}()
+			ForEach(workers, 10, func(i int) {
+				if i == 3 || i == 7 {
+					panic(i)
+				}
+			})
+			t.Fatalf("workers=%d: ForEach did not re-panic", workers)
+		}()
+	}
+}
+
+func TestForEachErrCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		start := time.Now()
+		err := ForEachErrCtx(ctx, workers, 1_000_000, func(i int) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			time.Sleep(10 * time.Microsecond)
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() > 10_000 {
+			t.Errorf("workers=%d: %d indices ran after cancellation", workers, ran.Load())
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Errorf("workers=%d: cancellation not prompt", workers)
+		}
+	}
+}
+
+func TestForEachErrCtxNilAndDone(t *testing.T) {
+	if err := ForEachErrCtx(nil, 4, 10, func(int) error { return nil }); err != nil {
+		t.Errorf("nil ctx: err = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEachErrCtx(ctx, 4, 10, func(int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("done ctx: err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("done ctx: %d indices ran", ran.Load())
+	}
+}
+
+func TestGroupCapturesPanic(t *testing.T) {
+	var g Group
+	g.Go(func() error { return nil })
+	g.Go(func() error { panic("task exploded") })
+	err := g.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "task exploded" || pe.Index != -1 {
+		t.Errorf("panic = %v at index %d", pe.Value, pe.Index)
+	}
+}
+
+func TestGroupWithContextSkipsAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := GroupWithContext(ctx)
+	g.Go(func() error { return nil })
+	cancel()
+	ran := false
+	g.Go(func() error { ran = true; return nil })
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("task started after cancellation")
 	}
 }
 

@@ -1,0 +1,376 @@
+// Package quality is the data-quality layer of the pipeline: a typed
+// taxonomy of telemetry defects (NaN/Inf fields, out-of-range values,
+// non-monotone or duplicate timestamps, truncated rows, too-short
+// profiles), three handling policies (Strict, Lenient, Repair), and a
+// QuarantineReport that accounts for every row and drive the pipeline
+// refused or fixed. Production disk telemetry is dirty — Backblaze-style
+// dumps routinely contain garbage fields and truncated drives — so the
+// ingestion path quarantines and counts bad data instead of aborting.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"disksig/internal/smart"
+)
+
+// Policy selects how detected defects are handled.
+type Policy int
+
+const (
+	// Lenient (the default) quarantines defective rows and drives,
+	// counts them in the report, and keeps going with the clean rest.
+	Lenient Policy = iota
+	// Strict turns the first defect into an error; nothing is dropped
+	// silently. Use it when the input is supposed to be pristine.
+	Strict
+	// Repair fixes what is mechanically fixable — clamps out-of-range
+	// values, carries the previous value forward over NaN/Inf, sorts
+	// out-of-order timestamps, keeps the latest duplicate — and
+	// quarantines only what cannot be repaired.
+	Repair
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Lenient:
+		return "lenient"
+	case Strict:
+		return "strict"
+	case Repair:
+		return "repair"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy name as accepted by the -quality CLI flag.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "lenient":
+		return Lenient, nil
+	case "strict":
+		return Strict, nil
+	case "repair":
+		return Repair, nil
+	}
+	return 0, fmt.Errorf("quality: unknown policy %q (want strict, lenient or repair)", s)
+}
+
+// Kind classifies one defect in the taxonomy.
+type Kind int
+
+const (
+	// BadField is an unparseable (non-numeric) field.
+	BadField Kind = iota
+	// NonFinite is a NaN or infinite attribute value.
+	NonFinite
+	// OutOfRange is a finite value outside the attribute's plausible
+	// vendor-space bounds (smart.Bounds) — it would corrupt the Eq. (1)
+	// normalization extrema.
+	OutOfRange
+	// BadDate is a row whose date field fails to parse.
+	BadDate
+	// BadFailureFlag is a failure field that is neither 0 nor 1.
+	BadFailureFlag
+	// ShortRow is a row with fewer fields than the header promises.
+	ShortRow
+	// MalformedRow is a row the CSV layer could not parse at all.
+	MalformedRow
+	// DuplicateTimestamp is a second record for an hour/date the drive
+	// already reported.
+	DuplicateTimestamp
+	// OutOfOrderTimestamp is a record older than the drive's latest.
+	OutOfOrderTimestamp
+	// ShortProfile is a drive with fewer records than MinRecords.
+	ShortProfile
+	// TruncatedInput is a mid-stream EOF or unrecoverable read error;
+	// rows already parsed are kept.
+	TruncatedInput
+
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case BadField:
+		return "bad-field"
+	case NonFinite:
+		return "non-finite"
+	case OutOfRange:
+		return "out-of-range"
+	case BadDate:
+		return "bad-date"
+	case BadFailureFlag:
+		return "bad-failure-flag"
+	case ShortRow:
+		return "short-row"
+	case MalformedRow:
+		return "malformed-row"
+	case DuplicateTimestamp:
+		return "duplicate-timestamp"
+	case OutOfOrderTimestamp:
+		return "out-of-order-timestamp"
+	case ShortProfile:
+		return "short-profile"
+	case TruncatedInput:
+		return "truncated-input"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Issue is one detected defect. It implements error so Strict mode can
+// surface it directly.
+type Issue struct {
+	Kind Kind
+	// Drive identifies the affected drive (serial or "drive <id>"),
+	// empty for input-level issues.
+	Drive string
+	// Line is the 1-based input line, 0 when not applicable.
+	Line int
+	// Field is the affected column or attribute name, empty when the
+	// issue concerns a whole row or drive.
+	Field string
+	// Detail is a human-readable specific, e.g. the offending value.
+	Detail string
+}
+
+// Error renders the issue.
+func (i Issue) Error() string {
+	var b strings.Builder
+	b.WriteString("quality: ")
+	b.WriteString(i.Kind.String())
+	if i.Line > 0 {
+		fmt.Fprintf(&b, " at line %d", i.Line)
+	}
+	if i.Drive != "" {
+		fmt.Fprintf(&b, " (drive %s)", i.Drive)
+	}
+	if i.Field != "" {
+		fmt.Fprintf(&b, " in %s", i.Field)
+	}
+	if i.Detail != "" {
+		b.WriteString(": ")
+		b.WriteString(i.Detail)
+	}
+	return b.String()
+}
+
+// Config parameterizes defect handling.
+type Config struct {
+	// Policy selects Strict, Lenient (zero value) or Repair.
+	Policy Policy
+	// MinRecords is the minimum profile length; shorter drives are
+	// dropped with a recorded reason. <= 0 means 2 (a degradation
+	// window needs at least two samples).
+	MinRecords int
+	// MaxBadRows aborts ingestion with an error once more than this
+	// many rows have been quarantined — the input is too dirty to
+	// trust. <= 0 means unlimited.
+	MaxBadRows int
+	// MaxExamples caps the verbatim issues retained in the report
+	// (counters are always exact). <= 0 means 20.
+	MaxExamples int
+}
+
+// WithDefaults resolves the zero values.
+func (c Config) WithDefaults() Config {
+	if c.MinRecords <= 0 {
+		c.MinRecords = 2
+	}
+	if c.MaxExamples <= 0 {
+		c.MaxExamples = 20
+	}
+	return c
+}
+
+// CheckValues returns the per-attribute defects of one record's values:
+// NonFinite for NaN/Inf, OutOfRange for finite values outside
+// smart.Bounds. A nil result means the values are clean.
+func CheckValues(v smart.Values) []Issue {
+	var issues []Issue
+	for a := 0; a < int(smart.NumAttrs); a++ {
+		x := v[a]
+		switch {
+		case math.IsNaN(x) || math.IsInf(x, 0):
+			issues = append(issues, Issue{
+				Kind:   NonFinite,
+				Field:  smart.Attr(a).String(),
+				Detail: fmt.Sprintf("value %v", x),
+			})
+		case !smart.InBounds(smart.Attr(a), x):
+			lo, hi := smart.Bounds(smart.Attr(a))
+			issues = append(issues, Issue{
+				Kind:   OutOfRange,
+				Field:  smart.Attr(a).String(),
+				Detail: fmt.Sprintf("value %g outside [%g, %g]", x, lo, hi),
+			})
+		}
+	}
+	return issues
+}
+
+// RepairValues clamps out-of-range values into smart.Bounds and replaces
+// non-finite values with the corresponding value of prev (the previous
+// clean record, or the healthy default for the drive's first record). It
+// returns the repaired values and the number of fields touched.
+func RepairValues(v, prev smart.Values) (smart.Values, int) {
+	repaired := 0
+	for a := 0; a < int(smart.NumAttrs); a++ {
+		x := v[a]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			v[a] = prev[a]
+			repaired++
+			continue
+		}
+		lo, hi := smart.Bounds(smart.Attr(a))
+		if x < lo {
+			v[a] = lo
+			repaired++
+		} else if x > hi {
+			v[a] = hi
+			repaired++
+		}
+	}
+	return v, repaired
+}
+
+// HealthyDefaults returns the values RepairValues falls back to when a
+// drive's first record is defective: full vendor health, zero raw
+// counters.
+func HealthyDefaults() smart.Values {
+	var v smart.Values
+	for a := 0; a < int(smart.NumAttrs); a++ {
+		if smart.InfoOf(smart.Attr(a)).ValueKind == smart.HealthValue {
+			v[a] = 100
+		}
+	}
+	return v
+}
+
+// CheckProfile returns the defects of one profile without modifying it:
+// value defects per record, duplicate and out-of-order hours, and a too
+// short profile. The profile's DriveID labels the issues.
+func CheckProfile(p *smart.Profile, cfg Config) []Issue {
+	cfg = cfg.WithDefaults()
+	drive := fmt.Sprintf("%d", p.DriveID)
+	var issues []Issue
+	lastHour := math.MinInt
+	for _, r := range p.Records {
+		for _, iss := range CheckValues(r.Values) {
+			iss.Drive = drive
+			issues = append(issues, iss)
+		}
+		switch {
+		case r.Hour == lastHour:
+			issues = append(issues, Issue{
+				Kind: DuplicateTimestamp, Drive: drive,
+				Detail: fmt.Sprintf("hour %d repeated", r.Hour),
+			})
+		case r.Hour < lastHour:
+			issues = append(issues, Issue{
+				Kind: OutOfOrderTimestamp, Drive: drive,
+				Detail: fmt.Sprintf("hour %d after hour %d", r.Hour, lastHour),
+			})
+		}
+		if r.Hour > lastHour {
+			lastHour = r.Hour
+		}
+	}
+	if len(p.Records) < cfg.MinRecords {
+		issues = append(issues, Issue{
+			Kind: ShortProfile, Drive: drive,
+			Detail: fmt.Sprintf("%d records, need >= %d", len(p.Records), cfg.MinRecords),
+		})
+	}
+	return issues
+}
+
+// SanitizeProfile applies the policy to one profile and accounts for
+// every change in rep. It returns the cleaned profile, or nil when the
+// drive is dropped (too short after cleaning). A clean profile is
+// returned unmodified (same pointer, no copy). Under Strict the first
+// defect is returned as an error.
+func SanitizeProfile(p *smart.Profile, cfg Config, rep *Report) (*smart.Profile, error) {
+	cfg = cfg.WithDefaults()
+	rep.AddDrives(1)
+	issues := CheckProfile(p, cfg)
+	if len(issues) == 0 {
+		rep.AddRows(len(p.Records), 0, 0)
+		return p, nil
+	}
+	if cfg.Policy == Strict {
+		return nil, issues[0]
+	}
+	for _, iss := range issues {
+		rep.Note(iss, cfg)
+	}
+
+	// Order records chronologically (stable, so the latest duplicate of
+	// an hour stays last), then walk them once: dedup keep-latest and
+	// either repair or quarantine defective values.
+	recs := make([]smart.Record, len(p.Records))
+	copy(recs, p.Records)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Hour < recs[j].Hour })
+
+	prev := HealthyDefaults()
+	clean := recs[:0]
+	quarantined, repaired := 0, 0
+	for _, r := range recs {
+		if n := len(clean); n > 0 && clean[n-1].Hour == r.Hour {
+			// Keep-latest: the newer sample replaces the older one, so
+			// the earlier record is the quarantined duplicate.
+			clean = clean[:n-1]
+			quarantined++
+		}
+		if bad := CheckValues(r.Values); len(bad) > 0 {
+			if cfg.Policy == Repair {
+				var n int
+				r.Values, n = RepairValues(r.Values, prev)
+				repaired += n
+			} else {
+				quarantined++
+				continue
+			}
+		}
+		prev = r.Values
+		clean = append(clean, r)
+	}
+	rep.AddRows(len(p.Records), quarantined, repaired)
+
+	if len(clean) < cfg.MinRecords {
+		rep.DropDrive(fmt.Sprintf("%d", p.DriveID), len(p.Records), len(clean),
+			fmt.Sprintf("%d clean records, need >= %d", len(clean), cfg.MinRecords))
+		return nil, nil
+	}
+	c := *p
+	c.Records = clean
+	return &c, nil
+}
+
+// SanitizeProfiles sanitizes a slice of profiles in order, dropping nil
+// results. The input slice is not modified; clean profiles are shared,
+// not copied. Errors (Strict policy, MaxBadRows exceeded) abort.
+func SanitizeProfiles(profiles []*smart.Profile, cfg Config, rep *Report) ([]*smart.Profile, error) {
+	cfg = cfg.WithDefaults()
+	out := make([]*smart.Profile, 0, len(profiles))
+	for _, p := range profiles {
+		c, err := SanitizeProfile(p, cfg, rep)
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.CheckBudget(cfg); err != nil {
+			return nil, err
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package quality
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"disksig/internal/smart"
+)
+
+func cleanValues() smart.Values {
+	var v smart.Values
+	for a := 0; a < int(smart.NumAttrs); a++ {
+		if smart.InfoOf(smart.Attr(a)).ValueKind == smart.HealthValue {
+			v[a] = 100
+		} else {
+			v[a] = 5
+		}
+	}
+	return v
+}
+
+func profile(hours ...int) *smart.Profile {
+	p := &smart.Profile{DriveID: 42}
+	for _, h := range hours {
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: cleanValues()})
+	}
+	return p
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, want := range []Policy{Strict, Lenient, Repair} {
+		got, err := ParsePolicy(want.String())
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", want.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("yolo"); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if Policy(99).String() == "" {
+		t.Error("unknown policy should render")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d unnamed: %q", int(k), s)
+		}
+	}
+}
+
+func TestCheckValues(t *testing.T) {
+	if got := CheckValues(cleanValues()); got != nil {
+		t.Errorf("clean values flagged: %v", got)
+	}
+	v := cleanValues()
+	v[smart.RRER] = math.NaN()
+	v[smart.POH] = math.Inf(1)
+	v[smart.TC] = -3
+	issues := CheckValues(v)
+	if len(issues) != 3 {
+		t.Fatalf("issues = %v", issues)
+	}
+	kinds := map[Kind]int{}
+	for _, iss := range issues {
+		kinds[iss.Kind]++
+		if iss.Error() == "" {
+			t.Error("empty issue rendering")
+		}
+	}
+	if kinds[NonFinite] != 2 || kinds[OutOfRange] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestRepairValues(t *testing.T) {
+	prev := cleanValues()
+	v := cleanValues()
+	v[smart.RRER] = math.NaN()
+	v[smart.TC] = 1000 // health-value attr: clamps to 255
+	v[smart.RSC] = -7
+	repaired, n := RepairValues(v, prev)
+	if n != 3 {
+		t.Errorf("repaired %d fields, want 3", n)
+	}
+	if repaired[smart.RRER] != prev[smart.RRER] {
+		t.Error("NaN not carried forward")
+	}
+	if _, hi := smart.Bounds(smart.TC); repaired[smart.TC] != hi {
+		t.Errorf("over-range not clamped: %v", repaired[smart.TC])
+	}
+	if lo, _ := smart.Bounds(smart.RSC); repaired[smart.RSC] != lo {
+		t.Errorf("under-range not clamped: %v", repaired[smart.RSC])
+	}
+	if got := CheckValues(repaired); got != nil {
+		t.Errorf("repair left defects: %v", got)
+	}
+}
+
+func TestCheckProfileTimestamps(t *testing.T) {
+	if got := CheckProfile(profile(0, 1, 2), Config{}); got != nil {
+		t.Errorf("clean profile flagged: %v", got)
+	}
+	issues := CheckProfile(profile(0, 2, 2, 1), Config{})
+	kinds := map[Kind]int{}
+	for _, iss := range issues {
+		kinds[iss.Kind]++
+		if iss.Drive != "42" {
+			t.Errorf("issue not labeled with drive: %+v", iss)
+		}
+	}
+	if kinds[DuplicateTimestamp] != 1 || kinds[OutOfOrderTimestamp] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	short := CheckProfile(profile(0), Config{})
+	if len(short) != 1 || short[0].Kind != ShortProfile {
+		t.Errorf("short profile issues = %v", short)
+	}
+}
+
+func TestSanitizeProfileCleanIsShared(t *testing.T) {
+	p := profile(0, 1, 2)
+	var rep Report
+	c, err := SanitizeProfile(p, Config{}, &rep)
+	if err != nil || c != p {
+		t.Errorf("clean profile copied or errored: %v %v", c == p, err)
+	}
+	if rep.RowsRead != 3 || rep.RowsQuarantined != 0 || rep.DrivesRead != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSanitizeProfileLenient(t *testing.T) {
+	p := profile(0, 3, 1, 1, 2)
+	p.Records[1].Values[smart.RRER] = math.NaN() // hour 3, defective
+	var rep Report
+	c, err := SanitizeProfile(p, Config{}, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hours sort to 0,1,1,2,3; the first hour-1 duplicate is superseded
+	// and the NaN record quarantined: hours 0,1,2 remain.
+	want := []int{0, 1, 2}
+	if len(c.Records) != len(want) {
+		t.Fatalf("kept %d records, want %d", len(c.Records), len(want))
+	}
+	for i, r := range c.Records {
+		if r.Hour != want[i] {
+			t.Errorf("record %d hour = %d, want %d", i, r.Hour, want[i])
+		}
+	}
+	if rep.RowsQuarantined != 2 || rep.RowsRead != 5 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.RowsRead != rep.RowsKept()+rep.RowsQuarantined+rep.RowsDropped {
+		t.Error("accounting broken")
+	}
+	// The input profile is untouched.
+	if len(p.Records) != 5 || !math.IsNaN(p.Records[1].Values[smart.RRER]) {
+		t.Error("input profile modified")
+	}
+}
+
+func TestSanitizeProfileRepair(t *testing.T) {
+	p := profile(0, 1, 2)
+	p.Records[1].Values[smart.RRER] = math.NaN()
+	var rep Report
+	c, err := SanitizeProfile(p, Config{Policy: Repair}, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Records) != 3 {
+		t.Fatalf("repair dropped records: %d", len(c.Records))
+	}
+	// Carried forward from hour 0.
+	if got := c.Records[1].Values[smart.RRER]; got != p.Records[0].Values[smart.RRER] {
+		t.Errorf("NaN repaired to %v", got)
+	}
+	if rep.FieldsRepaired != 1 || rep.RowsQuarantined != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSanitizeProfileStrict(t *testing.T) {
+	p := profile(0, 1, 2)
+	p.Records[2].Values[smart.POH] = math.Inf(-1)
+	var rep Report
+	_, err := SanitizeProfile(p, Config{Policy: Strict}, &rep)
+	var iss Issue
+	if !errors.As(err, &iss) || iss.Kind != NonFinite {
+		t.Errorf("strict error = %v", err)
+	}
+}
+
+func TestSanitizeProfileDropsShort(t *testing.T) {
+	p := profile(0, 1)
+	p.Records[1].Values[smart.RRER] = math.NaN()
+	var rep Report
+	c, err := SanitizeProfile(p, Config{}, &rep)
+	if err != nil || c != nil {
+		t.Fatalf("short drive survived: %v %v", c, err)
+	}
+	if rep.DrivesDropped() != 1 || len(rep.Dropped) != 1 || rep.Dropped[0].Drive != "42" {
+		t.Errorf("dropped = %+v", rep.Dropped)
+	}
+	if rep.RowsRead != rep.RowsKept()+rep.RowsQuarantined+rep.RowsDropped {
+		t.Errorf("accounting: %+v", rep)
+	}
+}
+
+func TestSanitizeProfilesBudget(t *testing.T) {
+	var ps []*smart.Profile
+	for i := 0; i < 10; i++ {
+		p := profile(0, 1, 2)
+		p.Records[0].Values[smart.RRER] = math.NaN()
+		ps = append(ps, p)
+	}
+	var rep Report
+	_, err := SanitizeProfiles(ps, Config{MaxBadRows: 3}, &rep)
+	if err == nil {
+		t.Fatal("budget of 3 bad rows not enforced over 10 defects")
+	}
+	if !strings.Contains(err.Error(), "max-bad-rows") {
+		t.Errorf("budget error = %v", err)
+	}
+}
+
+func TestReportMergeAndSummary(t *testing.T) {
+	var a, b Report
+	a.Note(Issue{Kind: NonFinite, Field: "x"}, Config{})
+	a.AddRows(10, 1, 0)
+	a.AddDrives(2)
+	b.Note(Issue{Kind: BadDate}, Config{})
+	b.AddRows(5, 1, 2)
+	b.DropDrive("d", 3, 1, "too short")
+	a.Merge(&b)
+	if a.RowsRead != 15 || a.RowsQuarantined != 2 || a.FieldsRepaired != 2 || a.RowsDropped != 1 {
+		t.Errorf("merged = %+v", a)
+	}
+	if a.Count(NonFinite) != 1 || a.Count(BadDate) != 1 {
+		t.Error("kind counters not merged")
+	}
+	if a.Clean() {
+		t.Error("dirty report claims clean")
+	}
+	s := a.Summary()
+	for _, want := range []string{"non-finite", "bad-date", "dropped"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	var empty Report
+	if !empty.Clean() {
+		t.Error("empty report not clean")
+	}
+	if empty.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestReportExampleCap(t *testing.T) {
+	var rep Report
+	cfg := Config{MaxExamples: 2}.WithDefaults()
+	for i := 0; i < 5; i++ {
+		rep.Note(Issue{Kind: BadField, Line: i + 1}, cfg)
+	}
+	if len(rep.Examples) != 2 {
+		t.Errorf("examples = %d, want 2", len(rep.Examples))
+	}
+	if rep.Count(BadField) != 5 {
+		t.Error("counter must stay exact past the example cap")
+	}
+	if !strings.Contains(rep.Summary(), "more issues") {
+		t.Errorf("summary should note truncation:\n%s", rep.Summary())
+	}
+}

@@ -1,0 +1,220 @@
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DroppedDrive records one drive removed from the dataset and why.
+type DroppedDrive struct {
+	// Drive is the serial number or numeric drive ID.
+	Drive string
+	// Records is the drive's original record count.
+	Records int
+	// Reason explains the drop, e.g. "1 clean records, need >= 2".
+	Reason string
+}
+
+// Report is the quarantine ledger of one ingestion or sanitization pass.
+// Counters are exact; Examples retains the first Config.MaxExamples
+// issues verbatim for diagnosis. The accounting invariant is
+//
+//	RowsRead = RowsKept() + RowsQuarantined + RowsDropped,
+//
+// where RowsDropped counts the clean rows lost because their drive was
+// dropped. A zero Report is ready to use.
+type Report struct {
+	// RowsRead is the number of data rows (records) examined.
+	RowsRead int
+	// RowsQuarantined is the number of rows rejected for defects.
+	RowsQuarantined int
+	// RowsDropped is the number of otherwise-clean rows discarded
+	// because their drive fell below MinRecords.
+	RowsDropped int
+	// FieldsRepaired is the number of individual field values fixed
+	// under the Repair policy (clamped or carried forward).
+	FieldsRepaired int
+	// DrivesRead is the number of distinct drives examined (set by
+	// readers; profile-level sanitization counts one per profile).
+	DrivesRead int
+	// ByKind counts issues per taxonomy kind.
+	ByKind [numKinds]int
+	// ByField counts issues per column/attribute name.
+	ByField map[string]int
+	// Dropped lists every dropped drive with its reason.
+	Dropped []DroppedDrive
+	// Examples holds the first few issues verbatim.
+	Examples []Issue
+
+	truncatedExamples int
+}
+
+// RowsKept returns the number of rows that survived into the dataset.
+func (r *Report) RowsKept() int { return r.RowsRead - r.RowsQuarantined - r.RowsDropped }
+
+// DrivesDropped returns the number of dropped drives.
+func (r *Report) DrivesDropped() int { return len(r.Dropped) }
+
+// Clean reports whether the pass found no defects at all.
+func (r *Report) Clean() bool {
+	if r.RowsQuarantined != 0 || r.RowsDropped != 0 || r.FieldsRepaired != 0 || len(r.Dropped) != 0 {
+		return false
+	}
+	for _, n := range r.ByKind {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of issues of one kind.
+func (r *Report) Count(k Kind) int {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return r.ByKind[k]
+}
+
+// Note records one issue in the counters and, capacity permitting, the
+// examples.
+func (r *Report) Note(iss Issue, cfg Config) {
+	r.ByKind[iss.Kind]++
+	if iss.Field != "" {
+		if r.ByField == nil {
+			r.ByField = map[string]int{}
+		}
+		r.ByField[iss.Field]++
+	}
+	if len(r.Examples) < cfg.WithDefaults().MaxExamples {
+		r.Examples = append(r.Examples, iss)
+	} else {
+		r.truncatedExamples++
+	}
+}
+
+// AddRows accounts for one batch of examined rows.
+func (r *Report) AddRows(read, quarantined, repairedFields int) {
+	r.RowsRead += read
+	r.RowsQuarantined += quarantined
+	r.FieldsRepaired += repairedFields
+}
+
+// AddDrives accounts for examined drives.
+func (r *Report) AddDrives(n int) { r.DrivesRead += n }
+
+// DropDrive records a dropped drive. records is the drive's original
+// record count; surviving is how many of its rows were still clean when
+// the drive was dropped (they move from kept to dropped — the
+// quarantined share was already accounted by addRows).
+func (r *Report) DropDrive(drive string, records, surviving int, reason string) {
+	r.RowsDropped += surviving
+	r.Dropped = append(r.Dropped, DroppedDrive{Drive: drive, Records: records, Reason: reason})
+}
+
+// CheckBudget returns an error once the quarantined-row count exceeds
+// cfg.MaxBadRows (> 0), signaling that the input is too dirty to trust.
+func (r *Report) CheckBudget(cfg Config) error {
+	if cfg.MaxBadRows > 0 && r.RowsQuarantined > cfg.MaxBadRows {
+		return fmt.Errorf("quality: %d rows quarantined, exceeding the -max-bad-rows budget of %d: input too dirty",
+			r.RowsQuarantined, cfg.MaxBadRows)
+	}
+	return nil
+}
+
+// Merge folds another report into r (counters add, examples concatenate
+// up to the default cap).
+func (r *Report) Merge(other *Report) {
+	if other == nil {
+		return
+	}
+	r.RowsRead += other.RowsRead
+	r.RowsQuarantined += other.RowsQuarantined
+	r.RowsDropped += other.RowsDropped
+	r.FieldsRepaired += other.FieldsRepaired
+	r.DrivesRead += other.DrivesRead
+	for k, n := range other.ByKind {
+		r.ByKind[k] += n
+	}
+	for f, n := range other.ByField {
+		if r.ByField == nil {
+			r.ByField = map[string]int{}
+		}
+		r.ByField[f] += n
+	}
+	r.Dropped = append(r.Dropped, other.Dropped...)
+	cap := Config{}.WithDefaults().MaxExamples
+	for _, e := range other.Examples {
+		if len(r.Examples) < cap {
+			r.Examples = append(r.Examples, e)
+		} else {
+			r.truncatedExamples++
+		}
+	}
+	r.truncatedExamples += other.truncatedExamples
+}
+
+// Summary renders the report for CLI output. A clean report is a single
+// line; a dirty one lists per-kind counts, the worst fields, and dropped
+// drives.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "quality: %d rows read, %d kept, %d quarantined, %d dropped with drives",
+		r.RowsRead, r.RowsKept(), r.RowsQuarantined, r.RowsDropped)
+	if r.FieldsRepaired > 0 {
+		fmt.Fprintf(&b, ", %d fields repaired", r.FieldsRepaired)
+	}
+	if len(r.Dropped) > 0 {
+		fmt.Fprintf(&b, "; %d drives dropped", len(r.Dropped))
+	}
+	if r.Clean() {
+		b.WriteString(" (clean)")
+		return b.String()
+	}
+	var kinds []string
+	for k, n := range r.ByKind {
+		if n > 0 {
+			kinds = append(kinds, fmt.Sprintf("%s=%d", Kind(k), n))
+		}
+	}
+	if len(kinds) > 0 {
+		b.WriteString("\n  issues: ")
+		b.WriteString(strings.Join(kinds, " "))
+	}
+	if len(r.ByField) > 0 {
+		fields := make([]string, 0, len(r.ByField))
+		for f := range r.ByField {
+			fields = append(fields, f)
+		}
+		sort.Slice(fields, func(i, j int) bool {
+			if r.ByField[fields[i]] != r.ByField[fields[j]] {
+				return r.ByField[fields[i]] > r.ByField[fields[j]]
+			}
+			return fields[i] < fields[j]
+		})
+		if len(fields) > 5 {
+			fields = fields[:5]
+		}
+		parts := make([]string, len(fields))
+		for i, f := range fields {
+			parts[i] = fmt.Sprintf("%s=%d", f, r.ByField[f])
+		}
+		b.WriteString("\n  worst fields: ")
+		b.WriteString(strings.Join(parts, " "))
+	}
+	for i, d := range r.Dropped {
+		if i >= 5 {
+			fmt.Fprintf(&b, "\n  ... and %d more dropped drives", len(r.Dropped)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  dropped drive %s (%d records): %s", d.Drive, d.Records, d.Reason)
+	}
+	if r.truncatedExamples > 0 {
+		fmt.Fprintf(&b, "\n  ... and %d more issues beyond the example cap (counters are exact)", r.truncatedExamples)
+	}
+	return b.String()
+}
+
+// String is Summary.
+func (r *Report) String() string { return r.Summary() }

@@ -1,0 +1,23 @@
+package smart
+
+// Bounds returns the plausible vendor-space range [lo, hi] of attribute a.
+// Vendor health values are one-byte relative health scores, so anything
+// outside [0, 255] is telemetry corruption rather than degradation; raw
+// counters are non-negative and bounded far above any count a six-byte
+// SMART field can report. These bounds are the admission check applied
+// before the Eq. (1) normalization fit: a corrupt extremum that slipped
+// into the fit would stretch the min-max span and crush every legitimate
+// value toward the middle of [-1, 1].
+func Bounds(a Attr) (lo, hi float64) {
+	if InfoOf(a).ValueKind == HealthValue {
+		return 0, 255
+	}
+	return 0, 1e15
+}
+
+// InBounds reports whether x is a plausible vendor-space value for a.
+// NaN and infinities are never in bounds.
+func InBounds(a Attr, x float64) bool {
+	lo, hi := Bounds(a)
+	return x >= lo && x <= hi // NaN fails both comparisons
+}
