@@ -1,0 +1,154 @@
+// Command diskserve is the fleet health service: it trains the
+// characterization pipeline at startup (on a synthetic fleet or a saved
+// dataset), then serves SMART telemetry ingestion and fleet health
+// queries over a JSON HTTP API backed by the sharded fleet store.
+//
+// Usage:
+//
+//	diskserve -scale small -addr :8080 -shards 16
+//	diskserve -data fleet.gob -addr :8080
+//	diskserve -selftest -scale small
+//
+// API:
+//
+//	POST /v1/ingest            batch SMART records
+//	GET  /v1/drives/{serial}   one drive's health
+//	GET  /v1/fleet/summary     fleet-wide roll-up
+//	GET  /healthz              liveness
+//	GET  /metrics              expvar-style counters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"disksig/internal/core"
+	"disksig/internal/dataset"
+	"disksig/internal/fleet"
+	"disksig/internal/monitor"
+	"disksig/internal/quality"
+	"disksig/internal/server"
+	"disksig/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diskserve: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		scaleFlag = flag.String("scale", "small", "training fleet scale preset (when -data is not set)")
+		seed      = flag.Int64("seed", 1, "training fleet seed")
+		data      = flag.String("data", "", "train on a saved dataset (.csv, .bbcsv or .gob) instead of a synthetic fleet")
+		shards    = flag.Int("shards", 16, "fleet store shards (rounded up to a power of two)")
+		ttl       = flag.Int("ttl", 0, "evict drives whose last sample is this many hours behind the fleet's newest; 0 disables")
+		workers   = flag.Int("workers", 0, "parallelism bound for training and batch ingestion; 0 means GOMAXPROCS")
+		qpolicy   = flag.String("quality", "lenient", "defective-telemetry policy for training: lenient, strict or repair")
+		maxBad    = flag.Int("max-bad-rows", 0, "abort training once more than this many rows are quarantined; 0 means unlimited")
+		inflight  = flag.Int("max-inflight", 64, "concurrently served API requests before shedding with 429")
+		maxBody   = flag.Int64("max-body", 8<<20, "ingest request body cap in bytes (413 beyond)")
+		queueWait = flag.Duration("queue-wait", 0, "how long a request may wait for an in-flight slot before 429")
+		selftest  = flag.Bool("selftest", false, "replay a synthetic held-out fleet through the HTTP layer end-to-end, verify against an in-process replay, and exit")
+	)
+	flag.Parse()
+
+	scale, err := synth.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := quality.ParsePolicy(*qpolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qcfg := quality.Config{Policy: policy, MaxBadRows: *maxBad}
+
+	ds, err := loadOrGenerate(*data, scale, *seed, qcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	ch, err := core.Characterize(ds, core.Config{Seed: *seed, Workers: *workers, Quality: qcfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained %d group models in %v (%d failed / %d good drives)",
+		len(ch.Results), time.Since(start).Round(time.Millisecond), len(ds.Failed), len(ds.Good))
+	if q := ch.Quarantine; q != nil && !q.Clean() {
+		log.Print(q.Summary())
+	}
+
+	store, err := fleet.FromCharacterization(ch, fleet.Config{
+		Shards:   *shards,
+		TTLHours: *ttl,
+		Workers:  *workers,
+		Monitor:  monitor.Config{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scfg := server.Config{
+		MaxBodyBytes: *maxBody,
+		MaxInFlight:  *inflight,
+		QueueWait:    *queueWait,
+		Log:          log.New(os.Stderr, "diskserve: ", 0),
+	}
+	if *selftest {
+		// The selftest replays thousands of requests; per-request access
+		// logs would drown its verdict.
+		scfg.Log = nil
+	}
+	srv := server.New(store, scfg)
+
+	if *selftest {
+		if err := runSelftest(ch, store, srv, scale, *seed); err != nil {
+			log.Fatalf("selftest FAILED: %v", err)
+		}
+		log.Print("selftest passed")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving fleet health API on %s (%d shards)", l.Addr(), store.Shards())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("signal received, draining in-flight requests")
+	shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Print("drained, bye")
+}
+
+func loadOrGenerate(path string, scale synth.Scale, seed int64, qcfg quality.Config) (*dataset.Dataset, error) {
+	if path != "" {
+		ds, qrep, err := dataset.LoadFileQ(path, qcfg)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		if !qrep.Clean() {
+			log.Print(qrep.Summary())
+		}
+		return ds, nil
+	}
+	cfg := synth.DefaultConfig(scale)
+	cfg.Seed = seed
+	return synth.Generate(cfg)
+}

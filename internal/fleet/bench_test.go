@@ -1,0 +1,34 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFleetIngest measures batched ingestion throughput across the
+// shard × worker grid, the serving path's headline number (records/op is
+// fixed at drives × hours, so ns/op divides straight into records/s).
+func BenchmarkFleetIngest(b *testing.B) {
+	const drives, hours = 256, 24
+	obs := buildStream(drives, hours)
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ReportMetric(float64(len(obs)), "recs/op")
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					s, err := New(testModels(), testNormalizer(), Config{Shards: shards, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					res := s.IngestBatch(obs)
+					if res.Ingested != len(obs) {
+						b.Fatalf("ingested %d, want %d", res.Ingested, len(obs))
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package fleet is the fleet-state layer of the serving subsystem: a
+// sharded, lock-striped store that owns one monitor-backed drive state
+// per serial number. Serials hash onto a power-of-two number of shards
+// with FNV-1a; each shard guards its own monitor.Monitor with its own
+// mutex, so concurrent ingestion and queries for different drives
+// contend only when they land on the same shard. Batched ingestion fans
+// out across shards via internal/parallel while preserving per-drive
+// arrival order, which keeps the per-drive alert stream identical to a
+// sequential replay at any shard and worker count.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"disksig/internal/core"
+	"disksig/internal/monitor"
+	"disksig/internal/parallel"
+	"disksig/internal/quality"
+	"disksig/internal/smart"
+)
+
+// Config parameterizes the store.
+type Config struct {
+	// Shards is the number of lock stripes, rounded up to the next power
+	// of two; <= 0 means 8.
+	Shards int
+	// Monitor configures every shard's monitor identically (thresholds,
+	// smoothing).
+	Monitor monitor.Config
+	// TTLHours makes EvictStale discard drives whose last sample is more
+	// than this many hours behind the fleet's newest sample; <= 0
+	// disables TTL eviction.
+	TTLHours int
+	// Workers bounds the shard fan-out of IngestBatch; <= 0 means
+	// GOMAXPROCS. Like everywhere else in the pipeline it is a resource
+	// bound, never a result knob.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	c.Shards = nextPowerOfTwo(c.Shards)
+	return c
+}
+
+func nextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Observation is one serial-identified SMART sample, the unit of
+// ingestion.
+type Observation struct {
+	Serial string
+	Record smart.Record
+}
+
+// Alert is a monitor alert tagged with the drive's serial number (the
+// embedded Alert.DriveID is the store's internal per-shard ID and is not
+// meaningful to callers).
+type Alert struct {
+	Serial string
+	monitor.Alert
+}
+
+// DriveHealth is the store's current view of one drive, the /v1/drives
+// query result.
+type DriveHealth struct {
+	Serial string
+	monitor.DriveStatus
+}
+
+// BatchResult accounts for one IngestBatch call.
+type BatchResult struct {
+	// Ingested is the number of observations submitted.
+	Ingested int
+	// Alerts holds the escalations raised by this batch, in submission
+	// order (deterministic at any worker count).
+	Alerts []Alert
+	// Quality is this batch's quarantine ledger delta: RowsRead equals
+	// Ingested, and RowsRead = RowsKept() + RowsQuarantined.
+	Quality quality.Report
+}
+
+// shard is one lock stripe: a monitor plus the serial <-> local-ID
+// mapping. Local IDs are dense per shard and never reused, so a drive
+// that is evicted and reports again restarts with fresh state.
+type shard struct {
+	mu      sync.Mutex
+	mon     *monitor.Monitor
+	ids     map[string]int
+	serials []string
+	maxHour int
+}
+
+// Store is the sharded fleet-state store.
+type Store struct {
+	cfg    Config
+	shards []*shard
+	mask   uint64
+}
+
+// New builds a store whose shards each score drives with the given group
+// models and normalizer (shared read-only across shards; predictors must
+// be safe for concurrent Predict calls, which trees and forests are).
+func New(models []monitor.GroupModel, norm *smart.Normalizer, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	shards := make([]*shard, cfg.Shards)
+	for i := range shards {
+		mon, err := monitor.New(models, norm, cfg.Monitor)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: building shard %d: %w", i, err)
+		}
+		shards[i] = &shard{mon: mon, ids: map[string]int{}, maxHour: math.MinInt}
+	}
+	return &Store{cfg: cfg, shards: shards, mask: uint64(cfg.Shards - 1)}, nil
+}
+
+// FromCharacterization builds a store directly from a pipeline run that
+// included the prediction stage.
+func FromCharacterization(ch *core.Characterization, cfg Config) (*Store, error) {
+	models, err := monitor.ModelsFromCharacterization(ch)
+	if err != nil {
+		return nil, err
+	}
+	return New(models, ch.Dataset.Norm, cfg)
+}
+
+// fnv1a is the 64-bit FNV-1a hash of the serial, the shard-selection
+// function.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (s *Store) shardIndex(serial string) int { return int(fnv1a(serial) & s.mask) }
+
+// Shards returns the shard count (always a power of two).
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Ingest scores one observation, returning a non-nil alert when the
+// drive's severity escalates. Defective telemetry is quarantined by the
+// shard monitor and accounted in Quality.
+func (s *Store) Ingest(serial string, rec smart.Record) *Alert {
+	sh := s.shards[s.shardIndex(serial)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ingestLocked(serial, rec)
+}
+
+func (sh *shard) ingestLocked(serial string, rec smart.Record) *Alert {
+	id, ok := sh.ids[serial]
+	if !ok {
+		id = len(sh.serials)
+		sh.ids[serial] = id
+		sh.serials = append(sh.serials, serial)
+	}
+	if rec.Hour > sh.maxHour {
+		sh.maxHour = rec.Hour
+	}
+	if a := sh.mon.Ingest(id, rec); a != nil {
+		return &Alert{Serial: serial, Alert: *a}
+	}
+	return nil
+}
+
+// IngestBatch scores a batch of observations concurrently, one worker
+// per occupied shard (bounded by Config.Workers). Observations of the
+// same drive are applied in submission order, and the returned alerts
+// are in submission order, so the result is identical to calling Ingest
+// sequentially — sharding and workers change only the wall clock.
+func (s *Store) IngestBatch(obs []Observation) BatchResult {
+	res := BatchResult{Ingested: len(obs)}
+	if len(obs) == 0 {
+		return res
+	}
+	perShard := make([][]int, len(s.shards))
+	for i, o := range obs {
+		si := s.shardIndex(o.Serial)
+		perShard[si] = append(perShard[si], i)
+	}
+	type indexedAlert struct {
+		idx   int
+		alert Alert
+	}
+	shardAlerts := make([][]indexedAlert, len(s.shards))
+	shardQuality := make([]quality.Report, len(s.shards))
+	parallel.ForEach(s.cfg.Workers, len(s.shards), func(si int) {
+		idxs := perShard[si]
+		if len(idxs) == 0 {
+			return
+		}
+		sh := s.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		before := snapshotCounters(sh.mon.Quality())
+		for _, i := range idxs {
+			if a := sh.ingestLocked(obs[i].Serial, obs[i].Record); a != nil {
+				shardAlerts[si] = append(shardAlerts[si], indexedAlert{idx: i, alert: *a})
+			}
+		}
+		shardQuality[si] = deltaReport(before, sh.mon.Quality())
+	})
+	var merged []indexedAlert
+	for _, as := range shardAlerts {
+		merged = append(merged, as...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].idx < merged[j].idx })
+	res.Alerts = make([]Alert, len(merged))
+	for i, ia := range merged {
+		res.Alerts[i] = ia.alert
+	}
+	for si := range shardQuality {
+		res.Quality.Merge(&shardQuality[si])
+	}
+	return res
+}
+
+// qualityCounters is the subtractable part of a quality.Report, used to
+// compute per-batch ledger deltas from the shards' cumulative ledgers.
+type qualityCounters struct {
+	rowsRead, rowsQuarantined int
+	byKind                    map[quality.Kind]int
+}
+
+func snapshotCounters(r *quality.Report) qualityCounters {
+	c := qualityCounters{
+		rowsRead:        r.RowsRead,
+		rowsQuarantined: r.RowsQuarantined,
+		byKind:          map[quality.Kind]int{},
+	}
+	for k := range r.ByKind {
+		if r.ByKind[k] != 0 {
+			c.byKind[quality.Kind(k)] = r.ByKind[k]
+		}
+	}
+	return c
+}
+
+func deltaReport(before qualityCounters, after *quality.Report) quality.Report {
+	var d quality.Report
+	d.RowsRead = after.RowsRead - before.rowsRead
+	d.RowsQuarantined = after.RowsQuarantined - before.rowsQuarantined
+	for k := range after.ByKind {
+		d.ByKind[k] = after.ByKind[k] - before.byKind[quality.Kind(k)]
+	}
+	return d
+}
+
+// Drive returns the current health of one drive.
+func (s *Store) Drive(serial string) (DriveHealth, bool) {
+	sh := s.shards[s.shardIndex(serial)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	id, ok := sh.ids[serial]
+	if !ok {
+		return DriveHealth{}, false
+	}
+	st, ok := sh.mon.Status(id)
+	if !ok {
+		return DriveHealth{}, false
+	}
+	return DriveHealth{Serial: serial, DriveStatus: st}, true
+}
+
+// Remove discards a decommissioned drive's state, reporting whether the
+// drive was tracked.
+func (s *Store) Remove(serial string) bool {
+	sh := s.shards[s.shardIndex(serial)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	id, ok := sh.ids[serial]
+	if !ok {
+		return false
+	}
+	delete(sh.ids, serial)
+	return sh.mon.Forget(id)
+}
+
+// Tracked returns the number of drives currently tracked across all
+// shards.
+func (s *Store) Tracked() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.mon.Tracked()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// MaxHour returns the newest sample hour seen fleet-wide, or false when
+// nothing has been ingested.
+func (s *Store) MaxHour() (int, bool) {
+	max, any := math.MinInt, false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.mon.Tracked() > 0 || sh.maxHour > math.MinInt {
+			any = true
+			if sh.maxHour > max {
+				max = sh.maxHour
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return max, any
+}
+
+// EvictStale discards drives whose last sample is more than
+// Config.TTLHours behind the fleet's newest sample, returning how many
+// were evicted. With TTLHours <= 0 it is a no-op. Time is telemetry
+// time, not wall clock, so replayed fleets age deterministically.
+func (s *Store) EvictStale() int {
+	if s.cfg.TTLHours <= 0 {
+		return 0
+	}
+	max, ok := s.MaxHour()
+	if !ok {
+		return 0
+	}
+	cutoff := max - s.cfg.TTLHours
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, st := range sh.mon.Snapshot() {
+			if st.LastHour < cutoff {
+				sh.mon.Forget(st.DriveID)
+				delete(sh.ids, sh.serials[st.DriveID])
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Quality returns the merged quarantine ledger of every shard monitor.
+func (s *Store) Quality() quality.Report {
+	var rep quality.Report
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		rep.Merge(sh.mon.Quality())
+		sh.mu.Unlock()
+	}
+	return rep
+}

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"sort"
+
+	"disksig/internal/monitor"
+)
+
+// ShardStats is one shard's occupancy, the load-balance view of the
+// FNV-1a serial hashing.
+type ShardStats struct {
+	Shard  int
+	Drives int
+}
+
+// Summary is the fleet-wide roll-up served by /v1/fleet/summary.
+type Summary struct {
+	// Drives is the number of tracked drives.
+	Drives int
+	// MaxHour is the newest sample hour seen (telemetry time); -1 before
+	// any ingest.
+	MaxHour int
+	// BySeverity counts tracked drives per severity name.
+	BySeverity map[string]int
+	// ByType counts drives at Watch or worse per failure-type name of
+	// their most pessimistic group model — the alert roll-up that tells
+	// an operator which failure mode is trending.
+	ByType map[string]int
+	// Shards is the per-shard occupancy.
+	Shards []ShardStats
+	// AtRisk lists the most degraded drives, ascending by degradation
+	// (worst first, ties by serial), capped by the Summary call's topN.
+	AtRisk []DriveHealth
+}
+
+// Summary computes the fleet-wide roll-up. topN caps the AtRisk list;
+// <= 0 means no at-risk list. Shards are snapshotted one at a time, so
+// the summary is per-shard consistent but not a global atomic cut —
+// the right trade for a dashboard read that must not stall ingestion.
+func (s *Store) Summary(topN int) Summary {
+	sum := Summary{
+		MaxHour:    -1,
+		BySeverity: map[string]int{},
+		ByType:     map[string]int{},
+		Shards:     make([]ShardStats, len(s.shards)),
+	}
+	var all []DriveHealth
+	for si, sh := range s.shards {
+		sh.mu.Lock()
+		snap := sh.mon.Snapshot()
+		sum.Shards[si] = ShardStats{Shard: si, Drives: sh.mon.Tracked()}
+		if sh.mon.Tracked() > 0 && sh.maxHour > sum.MaxHour {
+			sum.MaxHour = sh.maxHour
+		}
+		for _, st := range snap {
+			sum.Drives++
+			sum.BySeverity[st.Severity.String()]++
+			if st.Severity >= monitor.Watch {
+				sum.ByType[st.Type.String()]++
+			}
+			if topN > 0 {
+				all = append(all, DriveHealth{Serial: sh.serials[st.DriveID], DriveStatus: st})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if topN > 0 {
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Degradation != all[j].Degradation {
+				return all[i].Degradation < all[j].Degradation
+			}
+			return all[i].Serial < all[j].Serial
+		})
+		if len(all) > topN {
+			all = all[:topN]
+		}
+		sum.AtRisk = all
+	}
+	return sum
+}

@@ -179,9 +179,11 @@ func New(models []GroupModel, norm *smart.Normalizer, cfg Config) (*Monitor, err
 	}, nil
 }
 
-// FromCharacterization builds a monitor directly from a pipeline run that
-// included the prediction stage.
-func FromCharacterization(ch *core.Characterization, cfg Config) (*Monitor, error) {
+// ModelsFromCharacterization extracts the per-group scoring models of a
+// pipeline run that included the prediction stage. It is the hook the
+// fleet store uses to build many monitors (one per shard) from a single
+// training run.
+func ModelsFromCharacterization(ch *core.Characterization) ([]GroupModel, error) {
 	var models []GroupModel
 	for _, gr := range ch.Results {
 		if gr.Prediction == nil {
@@ -194,6 +196,16 @@ func FromCharacterization(ch *core.Characterization, cfg Config) (*Monitor, erro
 			WindowD:   float64(gr.Summary.MedianD),
 			Predictor: gr.Prediction.Tree,
 		})
+	}
+	return models, nil
+}
+
+// FromCharacterization builds a monitor directly from a pipeline run that
+// included the prediction stage.
+func FromCharacterization(ch *core.Characterization, cfg Config) (*Monitor, error) {
+	models, err := ModelsFromCharacterization(ch)
+	if err != nil {
+		return nil, err
 	}
 	return New(models, ch.Dataset.Norm, cfg)
 }
@@ -365,6 +377,18 @@ func (m *Monitor) Status(driveID int) (DriveStatus, bool) {
 
 // Tracked returns the number of drives the monitor has seen.
 func (m *Monitor) Tracked() int { return len(m.drives) }
+
+// Forget discards a drive's state, reporting whether the drive was
+// tracked. It is the eviction hook for decommissioned or long-silent
+// drives; if the drive reports again it restarts with a fresh smoothing
+// window. The quality ledger keeps the drive's past accounting.
+func (m *Monitor) Forget(driveID int) bool {
+	if _, ok := m.drives[driveID]; !ok {
+		return false
+	}
+	delete(m.drives, driveID)
+	return true
+}
 
 // Quality reports how many ingested records were clean, quarantined
 // (non-finite values, stale hours) or superseded by a duplicate hour.

@@ -317,3 +317,34 @@ func TestIngestDuplicateHourKeepsLatest(t *testing.T) {
 		t.Errorf("quality accounting = %d read / %d quarantined", q.RowsRead, q.RowsQuarantined)
 	}
 }
+
+func TestForget(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest(1, record(0, -0.9))
+	if m.Tracked() != 1 {
+		t.Fatalf("Tracked = %d, want 1", m.Tracked())
+	}
+	if !m.Forget(1) {
+		t.Fatal("Forget(1) = false for a tracked drive")
+	}
+	if m.Forget(1) || m.Forget(2) {
+		t.Fatal("Forget of an untracked drive returned true")
+	}
+	if m.Tracked() != 0 {
+		t.Fatalf("Tracked = %d after Forget, want 0", m.Tracked())
+	}
+	if _, ok := m.Status(1); ok {
+		t.Fatal("Status succeeded for a forgotten drive")
+	}
+	// A forgotten drive that reports again starts fresh: its first
+	// record may be any hour, and escalation restarts from Healthy.
+	if a := m.Ingest(1, record(0, 0.9)); a != nil {
+		t.Errorf("fresh record after Forget alerted: %v", a)
+	}
+	if q := m.Quality(); q.Count(quality.OutOfOrderTimestamp) != 0 {
+		t.Error("record after Forget counted as out-of-order")
+	}
+}

@@ -1,0 +1,142 @@
+package parallel
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Semaphore is a weighted counting semaphore with context-aware blocking
+// acquisition, in the style of x/sync/semaphore but dependency-free.
+// Grants are FIFO: a waiter never overtakes an earlier one, so a heavy
+// acquisition cannot be starved by a stream of light ones. The serving
+// layer's concurrency-limit middleware uses TryAcquire to shed load
+// instead of queueing unboundedly.
+type Semaphore struct {
+	size    int64
+	mu      sync.Mutex
+	cur     int64
+	waiters list.List
+}
+
+type semWaiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+// NewSemaphore returns a semaphore with the given capacity. It panics if
+// size is not positive.
+func NewSemaphore(size int64) *Semaphore {
+	if size <= 0 {
+		panic(fmt.Sprintf("parallel: semaphore capacity %d, want > 0", size))
+	}
+	return &Semaphore{size: size}
+}
+
+// Acquire obtains n units of capacity, blocking until they are available
+// or ctx is done, in which case it returns ctx.Err() and leaves the
+// semaphore unchanged. Requesting more than the total capacity is an
+// immediate error rather than a guaranteed deadlock. A nil ctx never
+// cancels.
+func (s *Semaphore) Acquire(ctx context.Context, n int64) error {
+	if n < 0 {
+		panic(fmt.Sprintf("parallel: semaphore acquire %d, want >= 0", n))
+	}
+	if n > s.size {
+		return fmt.Errorf("parallel: semaphore acquire %d exceeds capacity %d", n, s.size)
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done = ctx.Done()
+	}
+	s.mu.Lock()
+	// Fast path: capacity available and nobody queued ahead.
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := semWaiter{n: n, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-done:
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation and won: the units are
+			// ours, so the acquisition succeeds.
+			s.mu.Unlock()
+			return nil
+		default:
+		}
+		front := s.waiters.Front() == elem
+		s.waiters.Remove(elem)
+		if front {
+			// Removing the blocked head may unblock smaller waiters
+			// queued behind it.
+			s.grantLocked()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// TryAcquire obtains n units of capacity without blocking, reporting
+// whether it succeeded. It fails when waiters are queued even if raw
+// capacity is available, preserving FIFO order.
+func (s *Semaphore) TryAcquire(n int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units of capacity and wakes queued waiters in FIFO
+// order. Releasing more than is held panics: it indicates a bookkeeping
+// bug that would silently raise the capacity.
+func (s *Semaphore) Release(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur -= n
+	if s.cur < 0 {
+		panic("parallel: semaphore released more capacity than held")
+	}
+	s.grantLocked()
+}
+
+// InFlight returns the capacity currently held.
+func (s *Semaphore) InFlight() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// grantLocked hands capacity to queued waiters front-to-back, stopping
+// at the first one that does not fit so later (smaller) waiters cannot
+// starve it.
+func (s *Semaphore) grantLocked() {
+	for {
+		front := s.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(semWaiter)
+		if s.cur+w.n > s.size {
+			return
+		}
+		s.cur += w.n
+		s.waiters.Remove(front)
+		close(w.ready)
+	}
+}

@@ -1,0 +1,166 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	s := NewSemaphore(2)
+	if !s.TryAcquire(1) || !s.TryAcquire(1) {
+		t.Fatal("TryAcquire failed with capacity available")
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire succeeded beyond capacity")
+	}
+	if got := s.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	s.Release(1)
+	if !s.TryAcquire(1) {
+		t.Fatal("TryAcquire failed after Release")
+	}
+	s.Release(2)
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+}
+
+func TestSemaphoreWeighted(t *testing.T) {
+	s := NewSemaphore(4)
+	if err := s.Acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) succeeded with only 1 unit free")
+	}
+	if !s.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) failed with 1 unit free")
+	}
+	s.Release(4)
+}
+
+func TestSemaphoreAcquireOverCapacity(t *testing.T) {
+	s := NewSemaphore(2)
+	if err := s.Acquire(context.Background(), 3); err == nil {
+		t.Fatal("Acquire beyond total capacity should error, not deadlock")
+	}
+}
+
+func TestSemaphoreCancelWhileWaiting(t *testing.T) {
+	s := NewSemaphore(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(ctx, 1) }()
+	// Let the goroutine reach the wait queue, then cancel it.
+	for {
+		s.mu.Lock()
+		queued := s.waiters.Len() == 1
+		s.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Acquire returned %v, want context.Canceled", err)
+	}
+	// The cancelled waiter must not have consumed capacity.
+	s.Release(1)
+	if !s.TryAcquire(1) {
+		t.Fatal("capacity leaked by cancelled waiter")
+	}
+	s.Release(1)
+}
+
+func TestSemaphoreCancelUnblocksSmallerWaiters(t *testing.T) {
+	s := NewSemaphore(2)
+	if err := s.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Queue a heavy waiter, then a light one behind it.
+	heavyCtx, cancelHeavy := context.WithCancel(context.Background())
+	heavyErr := make(chan error, 1)
+	go func() { heavyErr <- s.Acquire(heavyCtx, 2) }()
+	waitQueued(t, s, 1)
+	lightErr := make(chan error, 1)
+	go func() { lightErr <- s.Acquire(context.Background(), 1) }()
+	waitQueued(t, s, 2)
+
+	// FIFO: one free unit must not let the light waiter overtake.
+	s.Release(1)
+	select {
+	case err := <-lightErr:
+		t.Fatalf("light waiter overtook queued heavy waiter (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Cancelling the blocked head must hand the free unit onward.
+	cancelHeavy()
+	if err := <-heavyErr; err != context.Canceled {
+		t.Fatalf("heavy waiter returned %v, want context.Canceled", err)
+	}
+	if err := <-lightErr; err != nil {
+		t.Fatalf("light waiter returned %v after head cancelled", err)
+	}
+	s.Release(2)
+}
+
+func TestSemaphoreConcurrentStress(t *testing.T) {
+	s := NewSemaphore(3)
+	var (
+		mu      sync.Mutex
+		cur, mx int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background(), 1); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > mx {
+				mx = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Microsecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			s.Release(1)
+		}()
+	}
+	wg.Wait()
+	if mx > 3 {
+		t.Fatalf("max concurrency %d exceeded capacity 3", mx)
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after all releases, want 0", got)
+	}
+}
+
+func waitQueued(t *testing.T, s *Semaphore, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		queued := s.waiters.Len()
+		s.mu.Unlock()
+		if queued == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d queued waiters (have %d)", n, queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

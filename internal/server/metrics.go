@@ -1,0 +1,101 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsMs are the upper bounds (milliseconds) of the request
+// latency histogram buckets; the last bucket is open-ended.
+var latencyBoundsMs = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 1000}
+
+// metrics is the server's expvar-style counter set. Everything is an
+// atomic so the hot path never takes a lock; /metrics renders a
+// consistent-enough snapshot for dashboards.
+type metrics struct {
+	requests     atomic.Int64
+	requestsShed atomic.Int64
+	byStatus     [6]atomic.Int64 // index status/100 (1xx..5xx; 0 unused)
+
+	rowsIngested    atomic.Int64
+	rowsKept        atomic.Int64
+	rowsQuarantined atomic.Int64
+
+	alertsBySeverity [4]atomic.Int64 // indexed by monitor.Severity
+
+	latencyBuckets [len(latencyBoundsMs) + 1]atomic.Int64
+	latencyCount   atomic.Int64
+	latencySumUs   atomic.Int64
+}
+
+func (m *metrics) observeRequest(status int, elapsed time.Duration) {
+	m.requests.Add(1)
+	if c := status / 100; c >= 1 && c < len(m.byStatus) {
+		m.byStatus[c].Add(1)
+	}
+	ms := float64(elapsed) / float64(time.Millisecond)
+	bucket := len(latencyBoundsMs)
+	for i, hi := range latencyBoundsMs {
+		if ms <= hi {
+			bucket = i
+			break
+		}
+	}
+	m.latencyBuckets[bucket].Add(1)
+	m.latencyCount.Add(1)
+	m.latencySumUs.Add(elapsed.Microseconds())
+}
+
+// snapshot renders the counters as the /metrics JSON document. The
+// fleet-level fields (drives, shard occupancy, cumulative quarantine
+// ledger) are added by the handler, which owns the store.
+func (m *metrics) snapshot() map[string]any {
+	byStatus := map[string]int64{}
+	for c := 1; c < len(m.byStatus); c++ {
+		if n := m.byStatus[c].Load(); n > 0 {
+			byStatus[statusClass(c)] = n
+		}
+	}
+	buckets := map[string]int64{}
+	for i := range m.latencyBuckets {
+		label := "+inf"
+		if i < len(latencyBoundsMs) {
+			label = formatMs(latencyBoundsMs[i])
+		}
+		buckets["le_"+label] = m.latencyBuckets[i].Load()
+	}
+	latency := map[string]any{
+		"count":      m.latencyCount.Load(),
+		"buckets_ms": buckets,
+	}
+	if n := m.latencyCount.Load(); n > 0 {
+		latency["mean_us"] = m.latencySumUs.Load() / n
+	}
+	return map[string]any{
+		"requests": map[string]any{
+			"total":     m.requests.Load(),
+			"shed":      m.requestsShed.Load(),
+			"by_status": byStatus,
+		},
+		"ingest": map[string]int64{
+			"rows_ingested":    m.rowsIngested.Load(),
+			"rows_kept":        m.rowsKept.Load(),
+			"rows_quarantined": m.rowsQuarantined.Load(),
+		},
+		"alerts": map[string]int64{
+			"watch":    m.alertsBySeverity[1].Load(),
+			"warning":  m.alertsBySeverity[2].Load(),
+			"critical": m.alertsBySeverity[3].Load(),
+		},
+		"latency": latency,
+	}
+}
+
+func statusClass(c int) string {
+	return string(rune('0'+c)) + "xx"
+}
+
+func formatMs(ms float64) string {
+	return strconv.FormatFloat(ms, 'g', -1, 64) + "ms"
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the status code and body size for access logs
+// and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with metrics and structured access logging.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.m.observeRequest(sw.status, elapsed)
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("method=%s path=%s status=%d bytes=%d dur=%s remote=%s",
+				r.Method, r.URL.Path, sw.status, sw.bytes, elapsed.Round(time.Microsecond), r.RemoteAddr)
+		}
+	})
+}
+
+// limitConcurrency is the load-shedding middleware: each request must
+// hold one unit of the in-flight semaphore. A request that cannot get a
+// slot immediately waits up to Config.QueueWait (bounded additionally by
+// its own context) and is then shed with 429 instead of queueing
+// unboundedly — bounded queues are what keep tail latency finite under
+// overload.
+func (s *Server) limitConcurrency(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.sem.TryAcquire(1) {
+			acquired := false
+			if s.cfg.QueueWait > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueWait)
+				acquired = s.sem.Acquire(ctx, 1) == nil
+				cancel()
+			}
+			if !acquired {
+				s.m.requestsShed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, map[string]any{
+					"error": "server at concurrency limit, retry later",
+				})
+				return
+			}
+		}
+		defer s.sem.Release(1)
+		next.ServeHTTP(w, r)
+	})
+}

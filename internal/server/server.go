@@ -1,0 +1,370 @@
+// Package server is the network surface of the fleet health service: a
+// net/http JSON API over the sharded fleet store. It ingests batched
+// SMART telemetry (POST /v1/ingest), serves per-drive health and
+// fleet-wide roll-ups (GET /v1/drives/{serial}, GET /v1/fleet/summary),
+// and exposes liveness and expvar-style counters (GET /healthz,
+// GET /metrics). The request path is defended the way a production
+// ingest tier has to be: request bodies are size-capped (413), in-flight
+// requests are bounded by a semaphore that sheds overload with 429,
+// defective records are quarantined per-record with a quality ledger in
+// the response instead of failing the batch, and shutdown drains
+// in-flight requests before returning.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"disksig/internal/fleet"
+	"disksig/internal/monitor"
+	"disksig/internal/parallel"
+	"disksig/internal/quality"
+	"disksig/internal/smart"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// MaxBodyBytes caps the POST /v1/ingest request body; larger bodies
+	// get 413. <= 0 means 8 MiB.
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently served requests (healthz and
+	// metrics are exempt: observability must work during overload).
+	// <= 0 means 64.
+	MaxInFlight int
+	// QueueWait is how long a request may wait for an in-flight slot
+	// before being shed with 429; 0 sheds immediately.
+	QueueWait time.Duration
+	// SummaryTopN caps the at_risk list of /v1/fleet/summary (the "top"
+	// query parameter can lower it per request). <= 0 means 10.
+	SummaryTopN int
+	// Log receives structured access logs and server errors; nil
+	// disables logging.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.SummaryTopN <= 0 {
+		c.SummaryTopN = 10
+	}
+	return c
+}
+
+// Server serves the fleet health API.
+type Server struct {
+	store *fleet.Store
+	cfg   Config
+	m     metrics
+	sem   *parallel.Semaphore
+
+	mu   sync.Mutex
+	http *http.Server
+
+	// testHoldIngest, when set, is called by the ingest handler after
+	// decoding and before responding — the shutdown-drain test uses it
+	// to keep a request in flight deterministically.
+	testHoldIngest func()
+}
+
+// New builds a server over a fleet store.
+func New(store *fleet.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		store: store,
+		cfg:   cfg,
+		sem:   parallel.NewSemaphore(int64(cfg.MaxInFlight)),
+	}
+}
+
+// Handler returns the fully middleware-wrapped API handler.
+func (s *Server) Handler() http.Handler {
+	limited := http.NewServeMux()
+	limited.HandleFunc("POST /v1/ingest", s.handleIngest)
+	limited.HandleFunc("GET /v1/drives/{serial}", s.handleDrive)
+	limited.HandleFunc("GET /v1/fleet/summary", s.handleSummary)
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", s.limitConcurrency(limited))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.http == nil {
+		s.http = &http.Server{
+			Handler:           s.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+	}
+	srv := s.http
+	s.mu.Unlock()
+	return srv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the server: listeners close immediately, and
+// it blocks until every in-flight request has drained or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.http
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// ingestRecord is the wire form of one observation. Values must have
+// exactly smart.NumAttrs entries in Table I order; a null entry means
+// the field was missing at the source and is treated as NaN, which the
+// store quarantines (or repairs, per its monitor policy) — JSON cannot
+// carry NaN directly.
+type ingestRecord struct {
+	Serial string     `json:"serial"`
+	Hour   int        `json:"hour"`
+	Values []*float64 `json:"values"`
+}
+
+type ingestRequest struct {
+	Records []ingestRecord `json:"records"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	var req ingestRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error": fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+			})
+			return
+		}
+		// Malformed JSON: nothing was ingested; the ledger names the
+		// defect so clients can account for the lost batch.
+		var rep quality.Report
+		rep.Note(quality.Issue{Kind: quality.MalformedRow, Detail: err.Error()}, quality.Config{})
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":   fmt.Sprintf("malformed request body: %v", err),
+			"quality": ledgerJSON(&rep),
+		})
+		return
+	}
+
+	// Per-record validation: structurally defective records are
+	// quarantined here (they cannot be scored at all); value-level
+	// defects are the store's quarantine to judge.
+	var rep quality.Report
+	obs := make([]fleet.Observation, 0, len(req.Records))
+	for i, rec := range req.Records {
+		switch {
+		case rec.Serial == "":
+			rep.Note(quality.Issue{
+				Kind: quality.BadField, Field: "serial",
+				Detail: fmt.Sprintf("record %d has no serial", i),
+			}, quality.Config{})
+			rep.AddRows(1, 1, 0)
+		case len(rec.Values) != int(smart.NumAttrs):
+			rep.Note(quality.Issue{
+				Kind: quality.ShortRow, Drive: rec.Serial,
+				Detail: fmt.Sprintf("record %d has %d values, want %d", i, len(rec.Values), smart.NumAttrs),
+			}, quality.Config{})
+			rep.AddRows(1, 1, 0)
+		default:
+			var v smart.Values
+			for a, p := range rec.Values {
+				if p == nil {
+					v[a] = math.NaN()
+				} else {
+					v[a] = *p
+				}
+			}
+			obs = append(obs, fleet.Observation{
+				Serial: rec.Serial,
+				Record: smart.Record{Hour: rec.Hour, Values: v},
+			})
+		}
+	}
+
+	if s.testHoldIngest != nil {
+		s.testHoldIngest()
+	}
+	res := s.store.IngestBatch(obs)
+	rep.Merge(&res.Quality)
+
+	s.m.rowsIngested.Add(int64(len(req.Records)))
+	s.m.rowsKept.Add(int64(rep.RowsKept()))
+	s.m.rowsQuarantined.Add(int64(rep.RowsQuarantined))
+	alerts := make([]map[string]any, len(res.Alerts))
+	for i, a := range res.Alerts {
+		s.m.alertsBySeverity[int(a.Severity)].Add(1)
+		alerts[i] = alertJSON(a)
+	}
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":    len(req.Records),
+		"kept":        rep.RowsKept(),
+		"quarantined": rep.RowsQuarantined,
+		"alerts":      alerts,
+		"quality":     ledgerJSON(&rep),
+	})
+}
+
+func (s *Server) handleDrive(w http.ResponseWriter, r *http.Request) {
+	serial := r.PathValue("serial")
+	dh, ok := s.store.Drive(serial)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": fmt.Sprintf("unknown drive %q", serial),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, driveJSON(dh))
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	topN := s.cfg.SummaryTopN
+	if v := r.URL.Query().Get("top"); v != "" {
+		n := 0
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": fmt.Sprintf("bad top parameter %q", v),
+			})
+			return
+		}
+		topN = n
+	}
+	evicted := s.store.EvictStale()
+	sum := s.store.Summary(topN)
+	atRisk := make([]map[string]any, len(sum.AtRisk))
+	for i, dh := range sum.AtRisk {
+		atRisk[i] = driveJSON(dh)
+	}
+	shards := make([]map[string]int, len(sum.Shards))
+	for i, ss := range sum.Shards {
+		shards[i] = map[string]int{"shard": ss.Shard, "drives": ss.Drives}
+	}
+	q := s.store.Quality()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"drives":           sum.Drives,
+		"max_hour":         sum.MaxHour,
+		"by_severity":      sum.BySeverity,
+		"alerting_by_type": sum.ByType,
+		"at_risk":          atRisk,
+		"shards":           shards,
+		"evicted_now":      evicted,
+		"quality":          ledgerJSON(&q),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"drives": s.store.Tracked(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	doc := s.m.snapshot()
+	sum := s.store.Summary(0)
+	shards := make([]map[string]int, len(sum.Shards))
+	for i, ss := range sum.Shards {
+		shards[i] = map[string]int{"shard": ss.Shard, "drives": ss.Drives}
+	}
+	doc["fleet"] = map[string]any{
+		"drives":   sum.Drives,
+		"max_hour": sum.MaxHour,
+		"shards":   shards,
+	}
+	doc["in_flight"] = s.sem.InFlight()
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// driveJSON renders a drive health snapshot; +Inf hours-to-failure
+// becomes null (JSON has no Inf).
+func driveJSON(dh fleet.DriveHealth) map[string]any {
+	out := map[string]any{
+		"serial":      dh.Serial,
+		"last_hour":   dh.LastHour,
+		"severity":    dh.Severity.String(),
+		"group":       dh.Group,
+		"type":        dh.Type.String(),
+		"degradation": dh.Degradation,
+	}
+	out["hours_to_failure"] = finiteOrNil(dh.HoursToFailure)
+	return out
+}
+
+func alertJSON(a fleet.Alert) map[string]any {
+	return map[string]any{
+		"serial":           a.Serial,
+		"hour":             a.Hour,
+		"severity":         a.Severity.String(),
+		"group":            a.Group,
+		"type":             a.Type.String(),
+		"degradation":      a.Degradation,
+		"hours_to_failure": finiteOrNil(a.HoursToFailure),
+	}
+}
+
+func finiteOrNil(v float64) any {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return v
+}
+
+// ledgerJSON renders a quality report as the API's quarantine ledger:
+// exact counters plus per-kind counts.
+func ledgerJSON(rep *quality.Report) map[string]any {
+	byKind := map[string]int{}
+	for k := range rep.ByKind {
+		if rep.ByKind[k] != 0 {
+			byKind[quality.Kind(k).String()] = rep.ByKind[k]
+		}
+	}
+	return map[string]any{
+		"rows_read":        rep.RowsRead,
+		"rows_kept":        rep.RowsKept(),
+		"rows_quarantined": rep.RowsQuarantined,
+		"by_kind":          byKind,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Severity index sanity: the alerts metric array is indexed by
+// monitor.Severity, which must stay 4 values wide.
+var _ = [4]struct{}{}[monitor.Critical]
