@@ -3,10 +3,16 @@
 // dataset), then serves SMART telemetry ingestion and fleet health
 // queries over a JSON HTTP API backed by the sharded fleet store.
 //
+// With -state-dir the store is durable: every ingested batch is
+// write-ahead logged before it is applied, snapshots are taken
+// periodically (and on drain), and a restart restores the fleet from
+// snapshot + WAL instead of retraining — a warm restart.
+//
 // Usage:
 //
 //	diskserve -scale small -addr :8080 -shards 16
 //	diskserve -data fleet.gob -addr :8080
+//	diskserve -scale small -state-dir /var/lib/diskserve
 //	diskserve -selftest -scale small
 //
 // API:
@@ -14,6 +20,7 @@
 //	POST /v1/ingest            batch SMART records
 //	GET  /v1/drives/{serial}   one drive's health
 //	GET  /v1/fleet/summary     fleet-wide roll-up
+//	POST /v1/admin/snapshot    force a snapshot (with -state-dir)
 //	GET  /healthz              liveness
 //	GET  /metrics              expvar-style counters
 package main
@@ -33,6 +40,7 @@ import (
 	"disksig/internal/dataset"
 	"disksig/internal/fleet"
 	"disksig/internal/monitor"
+	"disksig/internal/persist"
 	"disksig/internal/quality"
 	"disksig/internal/server"
 	"disksig/internal/synth"
@@ -55,7 +63,9 @@ func main() {
 		inflight  = flag.Int("max-inflight", 64, "concurrently served API requests before shedding with 429")
 		maxBody   = flag.Int64("max-body", 8<<20, "ingest request body cap in bytes (413 beyond)")
 		queueWait = flag.Duration("queue-wait", 0, "how long a request may wait for an in-flight slot before 429")
-		selftest  = flag.Bool("selftest", false, "replay a synthetic held-out fleet through the HTTP layer end-to-end, verify against an in-process replay, and exit")
+		stateDir  = flag.String("state-dir", "", "durable state directory (snapshot + write-ahead log); enables warm restart")
+		snapEvery = flag.Duration("snapshot-every", time.Minute, "background snapshot period when -state-dir is set; <= 0 snapshots only on demand and on drain")
+		selftest  = flag.Bool("selftest", false, "replay a synthetic held-out fleet through the HTTP layer end-to-end, kill and restore a persisted store mid-replay, verify both against in-process replays, and exit")
 	)
 	flag.Parse()
 
@@ -68,36 +78,77 @@ func main() {
 		log.Fatal(err)
 	}
 	qcfg := quality.Config{Policy: policy, MaxBadRows: *maxBad}
-
-	ds, err := loadOrGenerate(*data, scale, *seed, qcfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	start := time.Now()
-	ch, err := core.Characterize(ds, core.Config{Seed: *seed, Workers: *workers, Quality: qcfg})
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("trained %d group models in %v (%d failed / %d good drives)",
-		len(ch.Results), time.Since(start).Round(time.Millisecond), len(ds.Failed), len(ds.Good))
-	if q := ch.Quarantine; q != nil && !q.Clean() {
-		log.Print(q.Summary())
-	}
-
-	store, err := fleet.FromCharacterization(ch, fleet.Config{
+	fcfg := fleet.Config{
 		Shards:   *shards,
 		TTLHours: *ttl,
 		Workers:  *workers,
 		Monitor:  monitor.Config{},
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
+
+	var mgr *persist.Manager
+	if *stateDir != "" && !*selftest {
+		mgr, err = persist.Open(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *stateDir != "" && *selftest {
+		log.Print("selftest ignores -state-dir and uses a scratch directory")
+	}
+
+	// Warm restart beats retraining: with a committed snapshot the fleet
+	// state (trained models included) comes back from disk.
+	var (
+		store *fleet.Store
+		ch    *core.Characterization
+	)
+	if mgr != nil && mgr.HasSnapshot() {
+		start := time.Now()
+		var rec *persist.Recovery
+		store, rec, err = mgr.Restore(fcfg)
+		if err != nil {
+			// Never silently retrain over a state directory that holds
+			// real fleet history — the operator must decide.
+			log.Fatalf("restoring %s: %v (move the directory aside to start fresh)", *stateDir, err)
+		}
+		log.Printf("warm restart: %s in %v", rec, time.Since(start).Round(time.Millisecond))
+	} else {
+		ds, err := loadOrGenerate(*data, scale, *seed, qcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		ch, err = core.Characterize(ds, core.Config{Seed: *seed, Workers: *workers, Quality: qcfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trained %d group models in %v (%d failed / %d good drives)",
+			len(ch.Results), time.Since(start).Round(time.Millisecond), len(ds.Failed), len(ds.Good))
+		if q := ch.Quarantine; q != nil && !q.Clean() {
+			log.Print(q.Summary())
+		}
+		store, err = fleet.FromCharacterization(ch, fcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if mgr != nil {
+			// Seed snapshot: the trained models are durable from the
+			// first ingested batch onward.
+			info, err := mgr.Snapshot(store)
+			if err != nil {
+				log.Fatalf("seed snapshot: %v", err)
+			}
+			log.Printf("seed snapshot committed: %d bytes, epoch %d", info.Bytes, info.Epoch)
+		}
+	}
+
 	scfg := server.Config{
-		MaxBodyBytes: *maxBody,
-		MaxInFlight:  *inflight,
-		QueueWait:    *queueWait,
-		Log:          log.New(os.Stderr, "diskserve: ", 0),
+		MaxBodyBytes:  *maxBody,
+		MaxInFlight:   *inflight,
+		QueueWait:     *queueWait,
+		Log:           log.New(os.Stderr, "diskserve: ", 0),
+		Persist:       mgr,
+		SnapshotEvery: *snapEvery,
 	}
 	if *selftest {
 		// The selftest replays thousands of requests; per-request access
@@ -109,6 +160,9 @@ func main() {
 	if *selftest {
 		if err := runSelftest(ch, store, srv, scale, *seed); err != nil {
 			log.Fatalf("selftest FAILED: %v", err)
+		}
+		if err := runKillRestoreSelftest(ch, scale, *seed); err != nil {
+			log.Fatalf("selftest FAILED (kill-and-restore): %v", err)
 		}
 		log.Print("selftest passed")
 		return
@@ -133,6 +187,19 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shctx); err != nil {
 		log.Fatalf("shutdown: %v", err)
+	}
+	if mgr != nil {
+		// Final snapshot on drain, so the next boot replays no WAL. A
+		// failure here loses nothing: the WAL still holds every batch
+		// since the last snapshot.
+		if info, err := mgr.Snapshot(store); err != nil {
+			log.Printf("final snapshot failed: %v (WAL retains all unsnapshotted batches)", err)
+		} else {
+			log.Printf("final snapshot: %d drives, %d bytes, epoch %d", info.Drives, info.Bytes, info.Epoch)
+		}
+		if err := mgr.Close(); err != nil {
+			log.Printf("closing state directory: %v", err)
+		}
 	}
 	log.Print("drained, bye")
 }

@@ -103,7 +103,11 @@ type shard struct {
 
 // Store is the sharded fleet-state store.
 type Store struct {
-	cfg    Config
+	cfg Config
+	// models and norm are retained (read-only) so ExportState can emit a
+	// self-contained snapshot that restores without retraining.
+	models []monitor.GroupModel
+	norm   *smart.Normalizer
 	shards []*shard
 	mask   uint64
 }
@@ -121,7 +125,7 @@ func New(models []monitor.GroupModel, norm *smart.Normalizer, cfg Config) (*Stor
 		}
 		shards[i] = &shard{mon: mon, ids: map[string]int{}, maxHour: math.MinInt}
 	}
-	return &Store{cfg: cfg, shards: shards, mask: uint64(cfg.Shards - 1)}, nil
+	return &Store{cfg: cfg, models: models, norm: norm, shards: shards, mask: uint64(cfg.Shards - 1)}, nil
 }
 
 // FromCharacterization builds a store directly from a pipeline run that
@@ -335,6 +339,13 @@ func (s *Store) EvictStale() int {
 		return 0
 	}
 	cutoff := max - s.cfg.TTLHours
+	if cutoff > max {
+		// max - TTLHours underflowed (the fleet's newest hour is near
+		// math.MinInt): a wrapped cutoff would evict every drive,
+		// including one whose only sample just arrived. No hour can be
+		// older than MinInt, so clamp to "evict nothing".
+		cutoff = math.MinInt
+	}
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.Lock()

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"disksig/internal/monitor"
+	"disksig/internal/parallel"
+	"disksig/internal/quality"
+	"disksig/internal/smart"
+)
+
+// DriveEntry is one drive's serialized state, keyed by serial number so
+// the snapshot is independent of shard layout and internal drive IDs.
+type DriveEntry struct {
+	Serial string
+	State  monitor.DriveState
+}
+
+// State is the serializable whole-fleet state: everything needed to
+// rebuild a Store without retraining — trained group models, the fleet
+// normalizer, the monitor thresholds, and every drive's monitor state
+// and quality-ledger contribution. Drives are sorted by serial, so two
+// stores with identical fleet state export identical States regardless
+// of their shard or worker counts.
+type State struct {
+	// MonitorCfg is the threshold/smoothing configuration the state was
+	// built under; restore reuses it (a different smoothing cap would
+	// invalidate the serialized score windows).
+	MonitorCfg monitor.Config
+	// Models are the trained per-group scoring models.
+	Models []monitor.GroupModel
+	// Norm is the fleet normalizer fitted during training.
+	Norm *smart.Normalizer
+	// Drives holds per-drive state sorted by ascending serial.
+	Drives []DriveEntry
+	// Quality is the merged fleet ledger, kept as a restore-time
+	// checksum: the per-drive ledgers must sum back to it.
+	Quality quality.Report
+	// MaxHour/HasHour preserve the fleet's newest observed hour, which
+	// can exceed every tracked drive's LastHour (a quarantined record
+	// still advances telemetry time).
+	MaxHour int
+	HasHour bool
+}
+
+// ExportState deep-copies the store's full state for serialization,
+// collecting shards in parallel. Each shard is locked while it is
+// copied, but the export is not a fleet-wide atomic cut: the caller
+// must quiesce ingestion (the persistence layer's snapshot gate does)
+// if a consistent point-in-time image is required.
+func (s *Store) ExportState() *State {
+	st := &State{
+		MonitorCfg: s.cfg.Monitor,
+		Models:     s.models,
+		Norm:       s.norm,
+	}
+	perShard := parallel.Map(s.cfg.Workers, len(s.shards), func(si int) []DriveEntry {
+		sh := s.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		drives := sh.mon.ExportDrives()
+		entries := make([]DriveEntry, 0, len(sh.ids))
+		for serial, id := range sh.ids {
+			if ds, ok := drives[id]; ok {
+				entries = append(entries, DriveEntry{Serial: serial, State: ds})
+			}
+		}
+		return entries
+	})
+	for _, entries := range perShard {
+		st.Drives = append(st.Drives, entries...)
+	}
+	sortDriveEntries(st.Drives)
+	st.Quality = s.Quality()
+	st.MaxHour, st.HasHour = s.MaxHour()
+	return st
+}
+
+func sortDriveEntries(entries []DriveEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Serial < entries[j].Serial })
+}
+
+// Restore rebuilds a store from an exported State. The shard count,
+// TTL and worker bound come from cfg (they are deployment knobs, free
+// to change across restarts); the monitor configuration and trained
+// models come from the state. Restoration validates as it goes — a
+// corrupted state yields an error, never a panic — and finishes by
+// checking that the per-drive ledgers sum back to the state's merged
+// quality report. The restored store's behavior is bit-identical to
+// the original's at any shard/worker count: same statuses, same alert
+// decisions, same quality accounting.
+func Restore(st *State, cfg Config) (*Store, error) {
+	if st == nil {
+		return nil, fmt.Errorf("fleet: restoring nil state")
+	}
+	cfg.Monitor = st.MonitorCfg
+	store, err := New(st.Models, st.Norm, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: restoring: %w", err)
+	}
+	perShard := make([][]DriveEntry, len(store.shards))
+	seen := make(map[string]bool, len(st.Drives))
+	for _, e := range st.Drives {
+		if e.Serial == "" {
+			return nil, fmt.Errorf("fleet: restoring: empty serial in state")
+		}
+		if seen[e.Serial] {
+			return nil, fmt.Errorf("fleet: restoring: duplicate serial %q in state", e.Serial)
+		}
+		seen[e.Serial] = true
+		si := store.shardIndex(e.Serial)
+		perShard[si] = append(perShard[si], e)
+	}
+	err = parallel.ForEachErr(cfg.Workers, len(store.shards), func(si int) error {
+		sh := store.shards[si]
+		for _, e := range perShard[si] {
+			id := len(sh.serials)
+			sh.ids[e.Serial] = id
+			sh.serials = append(sh.serials, e.Serial)
+			if err := sh.mon.ImportDrive(id, e.State); err != nil {
+				return fmt.Errorf("fleet: restoring drive %s: %w", e.Serial, err)
+			}
+			if e.State.Tracked && e.State.LastHour > sh.maxHour {
+				sh.maxHour = e.State.LastHour
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.HasHour {
+		// The fleet-wide newest hour can exceed every drive's LastHour
+		// (quarantined records advance it); park the excess on shard 0 so
+		// MaxHour() — and therefore EvictStale — sees the original value.
+		if sh0 := store.shards[0]; st.MaxHour > sh0.maxHour {
+			sh0.maxHour = st.MaxHour
+		}
+	} else if len(st.Drives) > 0 {
+		return nil, fmt.Errorf("fleet: restoring: state has %d drives but no max hour", len(st.Drives))
+	}
+	if got := store.Quality(); !got.CountersEqual(&st.Quality) {
+		return nil, fmt.Errorf("fleet: restoring: per-drive ledgers do not sum to the state's quality report (corrupt state)")
+	}
+	return store, nil
+}

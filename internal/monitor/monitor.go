@@ -147,11 +147,44 @@ type driveState struct {
 
 // Monitor scores streaming SMART records.
 type Monitor struct {
-	cfg     Config
-	models  []GroupModel
-	norm    *smart.Normalizer
-	drives  map[int]*driveState
+	cfg    Config
+	models []GroupModel
+	norm   *smart.Normalizer
+	drives map[int]*driveState
+	// ledgers holds each drive's contribution to the quality report so
+	// Forget can subtract it exactly. A drive can have a ledger without
+	// being tracked: all of its records were quarantined.
+	ledgers map[int]*DriveLedger
 	quality quality.Report
+}
+
+// DriveLedger is one drive's share of the monitor's quality accounting.
+// It exists so that forgetting a drive releases exactly the counts the
+// drive contributed, and so snapshots can restore per-drive accounting.
+type DriveLedger struct {
+	RowsRead        int
+	RowsQuarantined int
+	ByKind          map[quality.Kind]int
+	ByField         map[string]int
+}
+
+// clone deep-copies the ledger, keeping empty maps nil so exported and
+// re-imported states compare equal.
+func (l *DriveLedger) clone() DriveLedger {
+	c := DriveLedger{RowsRead: l.RowsRead, RowsQuarantined: l.RowsQuarantined}
+	if len(l.ByKind) > 0 {
+		c.ByKind = make(map[quality.Kind]int, len(l.ByKind))
+		for k, n := range l.ByKind {
+			c.ByKind[k] = n
+		}
+	}
+	if len(l.ByField) > 0 {
+		c.ByField = make(map[string]int, len(l.ByField))
+		for f, n := range l.ByField {
+			c.ByField[f] = n
+		}
+	}
+	return c
 }
 
 // New builds a monitor from trained group models and the fleet
@@ -172,10 +205,11 @@ func New(models []GroupModel, norm *smart.Normalizer, cfg Config) (*Monitor, err
 		return nil, fmt.Errorf("monitor: normalizer missing or unfitted")
 	}
 	return &Monitor{
-		cfg:    cfg.withDefaults(),
-		models: models,
-		norm:   norm,
-		drives: map[int]*driveState{},
+		cfg:     cfg.withDefaults(),
+		models:  models,
+		norm:    norm,
+		drives:  map[int]*driveState{},
+		ledgers: map[int]*DriveLedger{},
 	}, nil
 }
 
@@ -231,9 +265,9 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 	}
 	if len(nonFinite) > 0 {
 		for _, iss := range nonFinite {
-			m.quality.Note(iss, quality.Config{})
+			m.note(driveID, iss)
 		}
-		m.quality.AddRows(1, 1, 0)
+		m.addRows(driveID, 1, 1)
 		return nil
 	}
 
@@ -247,25 +281,25 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 		switch {
 		case rec.Hour < st.lastHour:
 			// Stale sample: the drive already reported a later state.
-			m.quality.Note(quality.Issue{
+			m.note(driveID, quality.Issue{
 				Kind: quality.OutOfOrderTimestamp, Drive: drive,
 				Detail: fmt.Sprintf("hour %d after hour %d", rec.Hour, st.lastHour),
-			}, quality.Config{})
-			m.quality.AddRows(1, 1, 0)
+			})
+			m.addRows(driveID, 1, 1)
 			return nil
 		case rec.Hour == st.lastHour:
 			// Keep-latest: the repeat supersedes the previous sample.
-			m.quality.Note(quality.Issue{
+			m.note(driveID, quality.Issue{
 				Kind: quality.DuplicateTimestamp, Drive: drive,
 				Detail: fmt.Sprintf("hour %d repeated", rec.Hour),
-			}, quality.Config{})
-			m.quality.AddRows(1, 1, 0)
+			})
+			m.addRows(driveID, 1, 1)
 			replace = true
 		default:
-			m.quality.AddRows(1, 0, 0)
+			m.addRows(driveID, 1, 0)
 		}
 	} else {
-		m.quality.AddRows(1, 0, 0)
+		m.addRows(driveID, 1, 0)
 	}
 	st.seen = true
 	st.lastHour = rec.Hour
@@ -301,6 +335,42 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 	// De-escalate silently: transient dips recover without alert spam.
 	st.severity = severity
 	return nil
+}
+
+// ledger returns (creating if needed) a drive's quality ledger.
+func (m *Monitor) ledger(driveID int) *DriveLedger {
+	led, ok := m.ledgers[driveID]
+	if !ok {
+		led = &DriveLedger{}
+		m.ledgers[driveID] = led
+	}
+	return led
+}
+
+// note records an issue in both the monitor-wide report and the drive's
+// ledger, so the contribution can later be released by Forget.
+func (m *Monitor) note(driveID int, iss quality.Issue) {
+	m.quality.Note(iss, quality.Config{})
+	led := m.ledger(driveID)
+	if led.ByKind == nil {
+		led.ByKind = map[quality.Kind]int{}
+	}
+	led.ByKind[iss.Kind]++
+	if iss.Field != "" {
+		if led.ByField == nil {
+			led.ByField = map[string]int{}
+		}
+		led.ByField[iss.Field]++
+	}
+}
+
+// addRows accounts rows in both the monitor-wide report and the drive's
+// ledger.
+func (m *Monitor) addRows(driveID, read, quarantined int) {
+	m.quality.AddRows(read, quarantined, 0)
+	led := m.ledger(driveID)
+	led.RowsRead += read
+	led.RowsQuarantined += quarantined
 }
 
 // worstGroup returns the model index with the lowest smoothed score and
@@ -340,18 +410,26 @@ func (m *Monitor) severityOf(deg float64) Severity {
 }
 
 // hoursToFailure inverts the group signature: s(t) = (t/d)^k - 1 gives
-// t = d * (s+1)^(1/k). Scores at or above the window edge (s >= 0) mean
-// the drive has not entered a degradation window.
+// t = d * (s+1)^(1/k). The boundary behavior is pinned:
+//
+//   - NaN degradation (a predictor fed pathological input) or s >= 0
+//     means the drive is not in a degradation window: +Inf. Propagating
+//     NaN would otherwise surface as "~NaNh to failure" in alerts.
+//   - s <= -1 is at or beyond the failure event itself: 0 hours. Values
+//     below -1 (outside the signature's fitted range) clamp rather than
+//     producing a negative or complex-root estimate.
+//   - An unknown signature form (order 0) or a non-positive/NaN window
+//     cannot be inverted: +Inf, never a division by zero.
 func hoursToFailure(gm GroupModel, deg float64) float64 {
-	if deg >= 0 {
+	if math.IsNaN(deg) || deg >= 0 {
 		return math.Inf(1)
-	}
-	if deg < -1 {
-		deg = -1
 	}
 	k := float64(gm.Form.Order())
-	if k <= 0 {
+	if k <= 0 || math.IsNaN(gm.WindowD) || gm.WindowD <= 0 {
 		return math.Inf(1)
+	}
+	if deg <= -1 {
+		return 0
 	}
 	return gm.WindowD * math.Pow(deg+1, 1/k)
 }
@@ -381,8 +459,24 @@ func (m *Monitor) Tracked() int { return len(m.drives) }
 // Forget discards a drive's state, reporting whether the drive was
 // tracked. It is the eviction hook for decommissioned or long-silent
 // drives; if the drive reports again it restarts with a fresh smoothing
-// window. The quality ledger keeps the drive's past accounting.
+// window. The drive's contribution to the quality ledger is released
+// along with it, so Quality() only accounts for drives the monitor
+// still knows — a fleet that forgets a drive and re-summarizes must not
+// leak the forgotten drive's counts.
 func (m *Monitor) Forget(driveID int) bool {
+	if led, ok := m.ledgers[driveID]; ok {
+		m.quality.RowsRead -= led.RowsRead
+		m.quality.RowsQuarantined -= led.RowsQuarantined
+		for k, n := range led.ByKind {
+			m.quality.ByKind[k] -= n
+		}
+		for f, n := range led.ByField {
+			if m.quality.ByField[f] -= n; m.quality.ByField[f] == 0 {
+				delete(m.quality.ByField, f)
+			}
+		}
+		delete(m.ledgers, driveID)
+	}
 	if _, ok := m.drives[driveID]; !ok {
 		return false
 	}

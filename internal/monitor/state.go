@@ -1,0 +1,115 @@
+package monitor
+
+import "fmt"
+
+// DriveState is the serializable per-drive state of a monitor: the
+// smoothing windows and severity for tracked drives, plus the drive's
+// quality-ledger contribution. Drives whose every record was
+// quarantined have a ledger but Tracked is false — restoring them must
+// not make them count as tracked.
+type DriveState struct {
+	// Tracked reports whether the drive has monitor state (smoothing
+	// windows, severity); false for quarantine-only drives.
+	Tracked  bool
+	LastHour int
+	Seen     bool
+	Severity Severity
+	// Recent holds the last Smoothing raw scores per group model.
+	Recent [][]float64
+	// Ledger is the drive's contribution to the quality report.
+	Ledger DriveLedger
+}
+
+// ExportDrives deep-copies the per-drive state of every drive the
+// monitor knows — tracked or quarantine-only. The result is
+// serialization-ready: the caller owns it, and re-importing it into a
+// fresh monitor reproduces the original state exactly.
+func (m *Monitor) ExportDrives() map[int]DriveState {
+	out := make(map[int]DriveState, len(m.ledgers))
+	for id, led := range m.ledgers {
+		out[id] = DriveState{Ledger: led.clone()}
+	}
+	for id, st := range m.drives {
+		ds := out[id]
+		ds.Tracked = true
+		ds.LastHour = st.lastHour
+		ds.Seen = st.seen
+		ds.Severity = st.severity
+		ds.Recent = make([][]float64, len(st.recent))
+		for gi, w := range st.recent {
+			ds.Recent[gi] = append([]float64(nil), w...)
+		}
+		out[id] = ds
+	}
+	return out
+}
+
+// ImportDrive installs one exported drive state into a monitor built
+// with the same models and config. The state is validated first — a
+// corrupted snapshot yields an error, never an out-of-range index or a
+// smoothing window wider than the configuration allows. The drive's
+// ledger is re-added to the monitor-wide quality report, so restored
+// accounting sums back up and a later Forget releases it cleanly.
+func (m *Monitor) ImportDrive(driveID int, st DriveState) error {
+	if _, ok := m.drives[driveID]; ok {
+		return fmt.Errorf("monitor: drive %d already tracked", driveID)
+	}
+	if _, ok := m.ledgers[driveID]; ok {
+		return fmt.Errorf("monitor: drive %d already has a ledger", driveID)
+	}
+	if st.Ledger.RowsRead < 0 || st.Ledger.RowsQuarantined < 0 || st.Ledger.RowsQuarantined > st.Ledger.RowsRead {
+		return fmt.Errorf("monitor: drive %d ledger rows invalid (%d read, %d quarantined)",
+			driveID, st.Ledger.RowsRead, st.Ledger.RowsQuarantined)
+	}
+	for k, n := range st.Ledger.ByKind {
+		if !k.Valid() || n < 0 {
+			return fmt.Errorf("monitor: drive %d ledger has invalid kind %d count %d", driveID, int(k), n)
+		}
+	}
+	for f, n := range st.Ledger.ByField {
+		if f == "" || n < 0 {
+			return fmt.Errorf("monitor: drive %d ledger has invalid field count %q=%d", driveID, f, n)
+		}
+	}
+	if st.Tracked {
+		if st.Severity < Healthy || st.Severity > Critical {
+			return fmt.Errorf("monitor: drive %d has invalid severity %d", driveID, int(st.Severity))
+		}
+		if len(st.Recent) != len(m.models) {
+			return fmt.Errorf("monitor: drive %d has %d score windows, monitor has %d models",
+				driveID, len(st.Recent), len(m.models))
+		}
+		for gi, w := range st.Recent {
+			if len(w) > m.cfg.Smoothing {
+				return fmt.Errorf("monitor: drive %d group window %d has %d scores, smoothing cap is %d",
+					driveID, gi, len(w), m.cfg.Smoothing)
+			}
+		}
+	}
+
+	led := st.Ledger.clone()
+	m.ledgers[driveID] = &led
+	m.quality.AddRows(led.RowsRead, led.RowsQuarantined, 0)
+	for k, n := range led.ByKind {
+		m.quality.ByKind[k] += n
+	}
+	for f, n := range led.ByField {
+		if m.quality.ByField == nil {
+			m.quality.ByField = map[string]int{}
+		}
+		m.quality.ByField[f] += n
+	}
+	if st.Tracked {
+		recent := make([][]float64, len(st.Recent))
+		for gi, w := range st.Recent {
+			recent[gi] = append([]float64(nil), w...)
+		}
+		m.drives[driveID] = &driveState{
+			lastHour: st.LastHour,
+			seen:     st.Seen,
+			severity: st.Severity,
+			recent:   recent,
+		}
+	}
+	return nil
+}

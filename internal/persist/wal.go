@@ -1,0 +1,237 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"disksig/internal/fleet"
+	"disksig/internal/smart"
+)
+
+// WAL file layout:
+//
+//	header:  8-byte magic "DSKWAL\x00\x01" | u64 epoch (little endian)
+//	records: u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// Record payload:
+//
+//	uvarint observation count
+//	per observation:
+//	  uvarint serial length | serial bytes
+//	  zigzag varint hour
+//	  smart.NumAttrs x u64 float64 bits (little endian)
+//
+// Appends are unbuffered single writes: a record is either fully in the
+// file or it is the torn tail the next restore quarantines. There is no
+// fsync per record — the WAL bounds data loss to the records written
+// after the last completed write-back, which is the usual trade for an
+// ingest path that must keep up with telemetry.
+var walMagic = [8]byte{'D', 'S', 'K', 'W', 'A', 'L', 0x00, 0x01}
+
+const (
+	walHeaderSize = 16
+	// maxWALRecord caps one record's payload so a corrupt length field
+	// cannot make the reader attempt a multi-gigabyte allocation.
+	maxWALRecord = 64 << 20
+	// maxSerialLen caps one serial so a corrupt record fails fast.
+	maxSerialLen = 4096
+)
+
+// errWALEnd reports a clean end of WAL: the previous record ended
+// exactly at EOF.
+var errWALEnd = errors.New("persist: end of WAL")
+
+// createWAL truncates/creates the WAL file and writes the header for
+// the given epoch.
+func createWAL(path string, epoch uint64) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: creating WAL: %w", err)
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:8], walMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], epoch)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: writing WAL header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: syncing WAL header: %w", err)
+	}
+	return f, nil
+}
+
+// readWALEpoch reads and validates the WAL header, returning its epoch.
+func readWALEpoch(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("persist: reading WAL header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != walMagic {
+		return 0, fmt.Errorf("persist: bad WAL magic")
+	}
+	return binary.LittleEndian.Uint64(hdr[8:]), nil
+}
+
+// encodeWALRecord frames one batch of observations as a WAL record.
+func encodeWALRecord(obs []fleet.Observation) ([]byte, error) {
+	payload := make([]byte, 0, 64+len(obs)*(16+8*int(smart.NumAttrs)))
+	payload = binary.AppendUvarint(payload, uint64(len(obs)))
+	for _, o := range obs {
+		if len(o.Serial) > maxSerialLen {
+			return nil, fmt.Errorf("persist: serial %q exceeds %d bytes", o.Serial[:32]+"...", maxSerialLen)
+		}
+		payload = binary.AppendUvarint(payload, uint64(len(o.Serial)))
+		payload = append(payload, o.Serial...)
+		payload = binary.AppendVarint(payload, int64(o.Record.Hour))
+		for a := 0; a < int(smart.NumAttrs); a++ {
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(o.Record.Values[a]))
+		}
+	}
+	if len(payload) > maxWALRecord {
+		return nil, fmt.Errorf("persist: batch of %d observations exceeds the %d-byte record cap", len(obs), maxWALRecord)
+	}
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	return append(frame, payload...), nil
+}
+
+// decodeWALRecord parses one record payload back into observations.
+func decodeWALRecord(payload []byte) ([]fleet.Observation, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("persist: WAL record: bad observation count")
+	}
+	payload = payload[n:]
+	// Each observation needs at least 1 (serial len) + 1 (hour) +
+	// 8*NumAttrs bytes; reject counts the payload cannot hold.
+	minPer := 2 + 8*int(smart.NumAttrs)
+	if count > uint64(len(payload)/minPer) {
+		return nil, fmt.Errorf("persist: WAL record: count %d exceeds payload size", count)
+	}
+	obs := make([]fleet.Observation, 0, count)
+	for i := uint64(0); i < count; i++ {
+		slen, n := binary.Uvarint(payload)
+		if n <= 0 || slen > maxSerialLen || uint64(len(payload)-n) < slen {
+			return nil, fmt.Errorf("persist: WAL record: bad serial length in observation %d", i)
+		}
+		payload = payload[n:]
+		serial := string(payload[:slen])
+		payload = payload[slen:]
+		hour, n := binary.Varint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("persist: WAL record: bad hour in observation %d", i)
+		}
+		payload = payload[n:]
+		if len(payload) < 8*int(smart.NumAttrs) {
+			return nil, fmt.Errorf("persist: WAL record: truncated values in observation %d", i)
+		}
+		var o fleet.Observation
+		o.Serial = serial
+		o.Record.Hour = int(hour)
+		for a := 0; a < int(smart.NumAttrs); a++ {
+			o.Record.Values[a] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*a:]))
+		}
+		payload = payload[8*int(smart.NumAttrs):]
+		obs = append(obs, o)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("persist: WAL record: %d trailing bytes", len(payload))
+	}
+	return obs, nil
+}
+
+// walReader iterates the records of a WAL file, tracking the offset of
+// the end of the last successfully decoded record so a torn tail can be
+// truncated away precisely.
+type walReader struct {
+	f      *os.File
+	br     *bufio.Reader
+	epoch  uint64
+	size   int64
+	offset int64 // end of the last good record (starts after the header)
+}
+
+// openWALReader opens the WAL and validates its header.
+func openWALReader(path string) (*walReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: stat WAL: %w", err)
+	}
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: reading WAL header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != walMagic {
+		f.Close()
+		return nil, fmt.Errorf("persist: bad WAL magic")
+	}
+	return &walReader{
+		f:      f,
+		br:     bufio.NewReaderSize(f, 1<<20),
+		epoch:  binary.LittleEndian.Uint64(hdr[8:]),
+		size:   fi.Size(),
+		offset: walHeaderSize,
+	}, nil
+}
+
+// Epoch returns the WAL's epoch.
+func (r *walReader) Epoch() uint64 { return r.epoch }
+
+// Offset returns the end of the last successfully decoded record.
+func (r *walReader) Offset() int64 { return r.offset }
+
+// Remaining returns how many bytes follow the last good record.
+func (r *walReader) Remaining() int64 { return r.size - r.offset }
+
+// Next returns the next record's observations, errWALEnd at a clean end
+// of file, or a decode error at a torn/corrupt record.
+func (r *walReader) Next() ([]fleet.Observation, error) {
+	var frame [8]byte
+	if _, err := io.ReadFull(r.br, frame[:]); err != nil {
+		if err == io.EOF {
+			return nil, errWALEnd
+		}
+		return nil, fmt.Errorf("persist: torn record frame: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(frame[:4])
+	sum := binary.LittleEndian.Uint32(frame[4:8])
+	if length > maxWALRecord {
+		return nil, fmt.Errorf("persist: record length %d exceeds cap", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return nil, fmt.Errorf("persist: torn record payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("persist: record checksum mismatch")
+	}
+	obs, err := decodeWALRecord(payload)
+	if err != nil {
+		return nil, err
+	}
+	r.offset += 8 + int64(length)
+	return obs, nil
+}
+
+// Close releases the file handle.
+func (r *walReader) Close() error { return r.f.Close() }

@@ -95,6 +95,10 @@ const (
 	numKinds
 )
 
+// Valid reports whether k is a defined taxonomy kind. Deserialized
+// ledgers must check it before indexing per-kind counters.
+func (k Kind) Valid() bool { return k >= 0 && k < numKinds }
+
 // String names the kind.
 func (k Kind) String() string {
 	switch k {

@@ -1,6 +1,8 @@
 package quality
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sort"
 	"strings"
@@ -153,6 +155,97 @@ func (r *Report) Merge(other *Report) {
 		}
 	}
 	r.truncatedExamples += other.truncatedExamples
+}
+
+// CountersEqual reports whether two ledgers agree on every exact
+// counter (rows, drives, per-kind and per-field counts). Diagnostic
+// fields — Examples, the truncated-example count, and the dropped-drive
+// list — are best-effort and excluded, so a ledger reconstructed from
+// per-drive contributions compares equal to the original it must add
+// back up to.
+func (r *Report) CountersEqual(other *Report) bool {
+	if r.RowsRead != other.RowsRead || r.RowsQuarantined != other.RowsQuarantined ||
+		r.RowsDropped != other.RowsDropped || r.FieldsRepaired != other.FieldsRepaired ||
+		r.DrivesRead != other.DrivesRead || r.ByKind != other.ByKind {
+		return false
+	}
+	for f, n := range r.ByField {
+		if other.ByField[f] != n {
+			return false
+		}
+	}
+	for f, n := range other.ByField {
+		if r.ByField[f] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// StripDiagnostics clears the best-effort diagnostic fields (the
+// verbatim examples and their truncation count), leaving only the exact
+// counters. Restores and state comparisons use it: counters survive a
+// snapshot/replay cycle bit-for-bit, examples need not.
+func (r *Report) StripDiagnostics() {
+	r.Examples = nil
+	r.truncatedExamples = 0
+}
+
+// gobReport is the gob wire form of a Report: truncatedExamples is
+// unexported and would otherwise be silently dropped in snapshots.
+type gobReport struct {
+	RowsRead          int
+	RowsQuarantined   int
+	RowsDropped       int
+	FieldsRepaired    int
+	DrivesRead        int
+	ByKind            [numKinds]int
+	ByField           map[string]int
+	Dropped           []DroppedDrive
+	Examples          []Issue
+	TruncatedExamples int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (r *Report) GobEncode() ([]byte, error) {
+	g := gobReport{
+		RowsRead:          r.RowsRead,
+		RowsQuarantined:   r.RowsQuarantined,
+		RowsDropped:       r.RowsDropped,
+		FieldsRepaired:    r.FieldsRepaired,
+		DrivesRead:        r.DrivesRead,
+		ByKind:            r.ByKind,
+		ByField:           r.ByField,
+		Dropped:           r.Dropped,
+		Examples:          r.Examples,
+		TruncatedExamples: r.truncatedExamples,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&g); err != nil {
+		return nil, fmt.Errorf("quality: encoding report: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (r *Report) GobDecode(data []byte) error {
+	var g gobReport
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return fmt.Errorf("quality: decoding report: %w", err)
+	}
+	*r = Report{
+		RowsRead:          g.RowsRead,
+		RowsQuarantined:   g.RowsQuarantined,
+		RowsDropped:       g.RowsDropped,
+		FieldsRepaired:    g.FieldsRepaired,
+		DrivesRead:        g.DrivesRead,
+		ByKind:            g.ByKind,
+		ByField:           g.ByField,
+		Dropped:           g.Dropped,
+		Examples:          g.Examples,
+		truncatedExamples: g.TruncatedExamples,
+	}
+	return nil
 }
 
 // Summary renders the report for CLI output. A clean report is a single

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -65,7 +66,7 @@ func (s *Server) limitConcurrency(next http.Handler) http.Handler {
 			}
 			if !acquired {
 				s.m.requestsShed.Add(1)
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.QueueWait)))
 				writeJSON(w, http.StatusTooManyRequests, map[string]any{
 					"error": "server at concurrency limit, retry later",
 				})
@@ -75,4 +76,17 @@ func (s *Server) limitConcurrency(next http.Handler) http.Handler {
 		defer s.sem.Release(1)
 		next.ServeHTTP(w, r)
 	})
+}
+
+// retryAfterSeconds derives the Retry-After hint from the queue-wait
+// budget, rounding UP to whole seconds. Retry-After carries integral
+// seconds, and a sub-second QueueWait naively truncated would emit
+// "Retry-After: 0" — an instruction to hammer an overloaded server.
+// The floor is always 1 second.
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }

@@ -20,12 +20,14 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"disksig/internal/fleet"
 	"disksig/internal/monitor"
 	"disksig/internal/parallel"
+	"disksig/internal/persist"
 	"disksig/internal/quality"
 	"disksig/internal/smart"
 )
@@ -48,6 +50,16 @@ type Config struct {
 	// Log receives structured access logs and server errors; nil
 	// disables logging.
 	Log *log.Logger
+	// Persist, when set, makes ingestion durable: every batch is
+	// appended to the write-ahead log before it is applied (WAL failures
+	// fail the request with 500 — an unlogged batch would not survive a
+	// restart), POST /v1/admin/snapshot is served, and persistence
+	// counters appear in /metrics.
+	Persist *persist.Manager
+	// SnapshotEvery starts a background snapshot ticker at this period
+	// when Persist is set; <= 0 disables the ticker (snapshots then
+	// happen only via the admin endpoint and shutdown).
+	SnapshotEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -70,8 +82,9 @@ type Server struct {
 	m     metrics
 	sem   *parallel.Semaphore
 
-	mu   sync.Mutex
-	http *http.Server
+	mu       sync.Mutex
+	http     *http.Server
+	snapStop chan struct{}
 
 	// testHoldIngest, when set, is called by the ingest handler after
 	// decoding and before responding — the shutdown-drain test uses it
@@ -95,6 +108,9 @@ func (s *Server) Handler() http.Handler {
 	limited.HandleFunc("POST /v1/ingest", s.handleIngest)
 	limited.HandleFunc("GET /v1/drives/{serial}", s.handleDrive)
 	limited.HandleFunc("GET /v1/fleet/summary", s.handleSummary)
+	if s.cfg.Persist != nil {
+		limited.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", s.limitConcurrency(limited))
@@ -104,7 +120,9 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Serve accepts connections on l until Shutdown. It returns
-// http.ErrServerClosed after a clean shutdown, like net/http.
+// http.ErrServerClosed after a clean shutdown, like net/http. The
+// first Serve also starts the background snapshot ticker when
+// persistence is configured with SnapshotEvery > 0.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.http == nil {
@@ -113,9 +131,39 @@ func (s *Server) Serve(l net.Listener) error {
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 	}
+	if s.snapStop == nil && s.cfg.Persist != nil && s.cfg.SnapshotEvery > 0 {
+		s.snapStop = make(chan struct{})
+		go s.snapshotLoop(s.snapStop)
+	}
 	srv := s.http
 	s.mu.Unlock()
 	return srv.Serve(l)
+}
+
+// snapshotLoop takes periodic snapshots until stop closes. Failures are
+// logged, never fatal: the previous committed snapshot stays intact and
+// the WAL keeps every batch since it.
+func (s *Server) snapshotLoop(stop chan struct{}) {
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			info, err := s.cfg.Persist.Snapshot(s.store)
+			if err != nil {
+				if s.cfg.Log != nil {
+					s.cfg.Log.Printf("background snapshot failed: %v", err)
+				}
+				continue
+			}
+			if s.cfg.Log != nil {
+				s.cfg.Log.Printf("snapshot: drives=%d bytes=%d dur=%s epoch=%d",
+					info.Drives, info.Bytes, info.Duration.Round(time.Millisecond), info.Epoch)
+			}
+		}
+	}
 }
 
 // ListenAndServe listens on addr and serves until Shutdown.
@@ -127,10 +175,15 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// Shutdown gracefully stops the server: listeners close immediately, and
-// it blocks until every in-flight request has drained or ctx expires.
+// Shutdown gracefully stops the server: the snapshot ticker stops,
+// listeners close immediately, and it blocks until every in-flight
+// request has drained or ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	if s.snapStop != nil {
+		close(s.snapStop)
+		s.snapStop = nil
+	}
 	srv := s.http
 	s.mu.Unlock()
 	if srv == nil {
@@ -143,11 +196,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // exactly smart.NumAttrs entries in Table I order; a null entry means
 // the field was missing at the source and is treated as NaN, which the
 // store quarantines (or repairs, per its monitor policy) — JSON cannot
-// carry NaN directly.
+// carry NaN directly. Values are decoded as json.Number, not float64:
+// a magnitude beyond float64's range (e.g. 1e999) parses to ±Inf with
+// only a range error to show for it, and letting that through would
+// silently coerce the wire value. Such records are quarantined
+// per-record here instead of failing the whole batch.
 type ingestRecord struct {
-	Serial string     `json:"serial"`
-	Hour   int        `json:"hour"`
-	Values []*float64 `json:"values"`
+	Serial string         `json:"serial"`
+	Hour   int            `json:"hour"`
+	Values []*json.Number `json:"values"`
 }
 
 type ingestRequest struct {
@@ -198,12 +255,28 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			rep.AddRows(1, 1, 0)
 		default:
 			var v smart.Values
+			bad := false
 			for a, p := range rec.Values {
 				if p == nil {
+					// Missing at source: NaN, judged by the store-side
+					// quarantine like any other non-finite value.
 					v[a] = math.NaN()
-				} else {
-					v[a] = *p
+					continue
 				}
+				x, err := strconv.ParseFloat(p.String(), 64)
+				if err != nil || math.IsInf(x, 0) {
+					rep.Note(quality.Issue{
+						Kind: quality.NonFinite, Drive: rec.Serial, Field: smart.Attr(a).String(),
+						Detail: fmt.Sprintf("record %d value %q is not a finite float64", i, p.String()),
+					}, quality.Config{})
+					bad = true
+					continue
+				}
+				v[a] = x
+			}
+			if bad {
+				rep.AddRows(1, 1, 0)
+				continue
 			}
 			obs = append(obs, fleet.Observation{
 				Serial: rec.Serial,
@@ -215,7 +288,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.testHoldIngest != nil {
 		s.testHoldIngest()
 	}
-	res := s.store.IngestBatch(obs)
+	var res fleet.BatchResult
+	if s.cfg.Persist != nil {
+		var err error
+		res, err = s.cfg.Persist.LogBatch(obs, func() fleet.BatchResult { return s.store.IngestBatch(obs) })
+		if err != nil {
+			// The batch was NOT applied: acknowledging it would hand the
+			// client an ingest that cannot survive a restart.
+			if s.cfg.Log != nil {
+				s.cfg.Log.Printf("WAL append failed, batch rejected: %v", err)
+			}
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error": "write-ahead log append failed; batch not applied",
+			})
+			return
+		}
+	} else {
+		res = s.store.IngestBatch(obs)
+	}
 	rep.Merge(&res.Quality)
 
 	s.m.rowsIngested.Add(int64(len(req.Records)))
@@ -283,6 +373,27 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSnapshot triggers a snapshot on demand (POST /v1/admin/snapshot,
+// registered only when persistence is configured).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	info, err := s.cfg.Persist.Snapshot(s.store)
+	if err != nil {
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("admin snapshot failed: %v", err)
+		}
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": fmt.Sprintf("snapshot failed: %v", err),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"drives":      info.Drives,
+		"bytes":       info.Bytes,
+		"duration_ms": float64(info.Duration) / float64(time.Millisecond),
+		"epoch":       info.Epoch,
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
@@ -303,6 +414,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"shards":   shards,
 	}
 	doc["in_flight"] = s.sem.InFlight()
+	if s.cfg.Persist != nil {
+		ps := s.cfg.Persist.Stats()
+		doc["persist"] = map[string]any{
+			"epoch":               ps.Epoch,
+			"snapshots":           ps.Snapshots,
+			"snapshot_failures":   ps.SnapshotFailures,
+			"wal_batches":         ps.WALBatches,
+			"wal_rows":            ps.WALRows,
+			"wal_bytes":           ps.WALBytes,
+			"last_snapshot_ms":    float64(ps.LastSnapshotDuration) / float64(time.Millisecond),
+			"last_snapshot_bytes": ps.LastSnapshotBytes,
+		}
+	}
 	writeJSON(w, http.StatusOK, doc)
 }
 

@@ -1,6 +1,8 @@
 package smart
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 )
@@ -116,6 +118,33 @@ func (n *Normalizer) NormalizeProfile(p *Profile) *Profile {
 		c.Records[i].Values = n.Normalize(c.Records[i].Values)
 	}
 	return c
+}
+
+// gobNormalizer is the gob wire form of a Normalizer: the fitted flag is
+// unexported and would otherwise be dropped, silently turning a restored
+// normalizer into one that panics on first use.
+type gobNormalizer struct {
+	Min, Max Values
+	Fitted   bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (n *Normalizer) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&gobNormalizer{Min: n.Min, Max: n.Max, Fitted: n.fitted}); err != nil {
+		return nil, fmt.Errorf("smart: encoding normalizer: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (n *Normalizer) GobDecode(data []byte) error {
+	var g gobNormalizer
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return fmt.Errorf("smart: decoding normalizer: %w", err)
+	}
+	n.Min, n.Max, n.fitted = g.Min, g.Max, g.Fitted
+	return nil
 }
 
 // String summarizes the fitted ranges.

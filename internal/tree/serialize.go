@@ -1,0 +1,168 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// flatNode is the wire form of one tree node: the node slice is a
+// preorder flattening with child links by index, which gob can encode
+// (the in-memory node type is pointer-linked and unexported).
+type flatNode struct {
+	Feature   int
+	Threshold float64
+	Value     float64
+	N         int
+	// Left and Right index into the node slice; -1 marks a leaf side.
+	Left, Right int
+}
+
+// gobTree is the gob wire form of a Tree.
+type gobTree struct {
+	Features int
+	Nodes    []flatNode
+}
+
+// GobEncode implements gob.GobEncoder, flattening the tree so trained
+// predictors can be persisted inside fleet snapshots.
+func (t *Tree) GobEncode() ([]byte, error) {
+	g := gobTree{Features: t.features}
+	var flatten func(n *node) int
+	flatten = func(n *node) int {
+		i := len(g.Nodes)
+		g.Nodes = append(g.Nodes, flatNode{
+			Feature:   n.feature,
+			Threshold: n.threshold,
+			Value:     n.value,
+			N:         n.n,
+			Left:      -1,
+			Right:     -1,
+		})
+		if n.feature >= 0 {
+			g.Nodes[i].Left = flatten(n.left)
+			g.Nodes[i].Right = flatten(n.right)
+		}
+		return i
+	}
+	if t.root != nil {
+		flatten(t.root)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&g); err != nil {
+		return nil, fmt.Errorf("tree: encoding: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder. The node slice is validated
+// before reconstruction — child indices must stay in range and form a
+// tree (each node reachable exactly once) — so a corrupted snapshot
+// yields an error, never a panic or a cyclic structure.
+func (t *Tree) GobDecode(data []byte) error {
+	var g gobTree
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return fmt.Errorf("tree: decoding: %w", err)
+	}
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("tree: decoding: empty node list")
+	}
+	if g.Features <= 0 {
+		return fmt.Errorf("tree: decoding: invalid feature count %d", g.Features)
+	}
+	nodes := make([]node, len(g.Nodes))
+	visited := make([]bool, len(g.Nodes))
+	var build func(i int) (*node, error)
+	build = func(i int) (*node, error) {
+		if i < 0 || i >= len(g.Nodes) {
+			return nil, fmt.Errorf("tree: decoding: node index %d out of range", i)
+		}
+		if visited[i] {
+			return nil, fmt.Errorf("tree: decoding: node %d reachable twice (not a tree)", i)
+		}
+		visited[i] = true
+		fn := g.Nodes[i]
+		n := &nodes[i]
+		n.feature, n.threshold, n.value, n.n = fn.Feature, fn.Threshold, fn.Value, fn.N
+		if fn.Feature < 0 {
+			return n, nil
+		}
+		if fn.Feature >= g.Features {
+			return nil, fmt.Errorf("tree: decoding: node %d splits on feature %d of %d", i, fn.Feature, g.Features)
+		}
+		var err error
+		if n.left, err = build(fn.Left); err != nil {
+			return nil, err
+		}
+		if n.right, err = build(fn.Right); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	root, err := build(0)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	t.features = g.Features
+	return nil
+}
+
+// gobForest is the gob wire form of a Forest.
+type gobForest struct {
+	Features    int
+	Trees       []*Tree
+	FeatureSets [][]int
+}
+
+// GobEncode implements gob.GobEncoder for forests.
+func (f *Forest) GobEncode() ([]byte, error) {
+	g := gobForest{Features: f.features, Trees: f.trees, FeatureSets: f.featureSets}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&g); err != nil {
+		return nil, fmt.Errorf("tree: encoding forest: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder for forests, validating member
+// trees and feature-bag indices against the forest's feature count.
+func (f *Forest) GobDecode(data []byte) error {
+	var g gobForest
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return fmt.Errorf("tree: decoding forest: %w", err)
+	}
+	if g.Features <= 0 {
+		return fmt.Errorf("tree: decoding forest: invalid feature count %d", g.Features)
+	}
+	if len(g.Trees) == 0 {
+		return fmt.Errorf("tree: decoding forest: no trees")
+	}
+	if g.FeatureSets == nil {
+		g.FeatureSets = make([][]int, len(g.Trees))
+	}
+	if len(g.FeatureSets) != len(g.Trees) {
+		return fmt.Errorf("tree: decoding forest: %d feature sets for %d trees", len(g.FeatureSets), len(g.Trees))
+	}
+	for i, tr := range g.Trees {
+		if tr == nil || tr.root == nil {
+			return fmt.Errorf("tree: decoding forest: tree %d missing", i)
+		}
+		want := g.Features
+		if g.FeatureSets[i] != nil {
+			want = len(g.FeatureSets[i])
+		}
+		if tr.features != want {
+			return fmt.Errorf("tree: decoding forest: tree %d has %d features, want %d", i, tr.features, want)
+		}
+		for _, fi := range g.FeatureSets[i] {
+			if fi < 0 || fi >= g.Features {
+				return fmt.Errorf("tree: decoding forest: tree %d bags feature %d of %d", i, fi, g.Features)
+			}
+		}
+	}
+	f.features = g.Features
+	f.trees = g.Trees
+	f.featureSets = g.FeatureSets
+	return nil
+}
