@@ -1,0 +1,212 @@
+// Command diskload is the deterministic load generator and soak tester
+// for the fleet health service: it trains the characterization pipeline
+// once, then runs scripted load scenarios against a real diskserve HTTP
+// stack — steady-state soak, ramp-to-shed and a kill/warm-restart chaos
+// schedule — each verified record-for-record against a shadow
+// in-process monitor, and writes a machine-readable report.
+//
+// Usage:
+//
+//	diskload -scenario all -scale small -report BENCH_loadgen.json
+//	diskload -scenario steady -soak 60s -rate 20000
+//	diskload -scenario ramp -max-inflight 4
+//	diskload -scenario steady -double      # prove seed determinism
+//
+// Scenarios:
+//
+//	steady   constant-rate (or closed-loop) ingestion, N clients, one or
+//	         more passes; the served store must match the shadow
+//	         record-for-record and /metrics must balance exactly.
+//	ramp     concurrency ladder past the server's in-flight limit; load
+//	         shedding must engage (429 + valid Retry-After), nothing may
+//	         500, and retries must deliver every record exactly once.
+//	chaos    a persisted server is killed mid-stream and warm-restarted
+//	         from snapshot + WAL at a different shard count; the restored
+//	         store must match the shadow at the kill point.
+//
+// Exit status is non-zero if any scenario check fails.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"disksig/internal/core"
+	"disksig/internal/loadgen"
+	"disksig/internal/monitor"
+	"disksig/internal/quality"
+	"disksig/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diskload: ")
+
+	var (
+		scenario  = flag.String("scenario", "all", "scenario to run: steady, ramp, chaos or all")
+		scaleFlag = flag.String("scale", "small", "fleet scale preset for training and workload")
+		seed      = flag.Int64("seed", 1, "seed for training, workload generation and fault injection")
+		clients   = flag.Int("clients", 4, "concurrent HTTP clients (steady and chaos)")
+		batch     = flag.Int("batch", 200, "observations per ingest request")
+		rate      = flag.Float64("rate", 0, "steady-state pacing in records/sec across all clients; 0 runs closed-loop")
+		soak      = flag.Duration("soak", 0, "keep the steady scenario running at least this long (adds passes)")
+		passes    = flag.Int("passes", 1, "steady-state workload passes (fresh drive serials per pass)")
+		double    = flag.Bool("double", false, "run the steady scenario twice and require identical workload and summary fingerprints")
+		report    = flag.String("report", "BENCH_loadgen.json", "machine-readable report path; empty disables")
+		inflight  = flag.Int("max-inflight", 4, "server in-flight limit the ramp ladder must exceed to shed")
+		shards    = flag.Int("shards", 16, "fleet store shards of the system under test")
+		workers   = flag.Int("workers", 0, "store ingestion parallelism; 0 means GOMAXPROCS")
+		corrupt   = flag.Float64("corrupt", 0.02, "per-record garble/duplicate/reorder probability of the workload")
+		stateDir  = flag.String("state-dir", "", "chaos scenario state directory; empty uses a scratch directory")
+	)
+	flag.Parse()
+
+	scale, err := synth.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *scenario {
+	case "steady", "ramp", "chaos", "all":
+	default:
+		log.Fatalf("unknown -scenario %q (want steady, ramp, chaos or all)", *scenario)
+	}
+
+	// Train once; every scenario (and every shadow) shares the models.
+	gen := synth.DefaultConfig(scale)
+	gen.Seed = *seed
+	ds, err := synth.Generate(gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	ch, err := core.Characterize(ds, core.Config{Seed: *seed, Workers: *workers, Quality: quality.Config{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := monitor.ModelsFromCharacterization(ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained %d group models in %v", len(models), time.Since(start).Round(time.Millisecond))
+
+	dep := loadgen.Deployment{
+		Models:  models,
+		Norm:    ch.Dataset.Norm,
+		Monitor: monitor.Config{},
+		Shards:  *shards,
+		Workers: *workers,
+		Log:     log.Default(),
+	}
+	wcfg := loadgen.DefaultWorkloadConfig(scale, *seed)
+	wcfg.BatchSize = *batch
+	wcfg.GarbleRate = *corrupt
+	wcfg.DuplicateRate = *corrupt
+	wcfg.ReorderRate = *corrupt
+	cfg := loadgen.ScenarioConfig{
+		Workload:        wcfg,
+		Clients:         *clients,
+		RatePerSec:      *rate,
+		Passes:          *passes,
+		SoakFor:         *soak,
+		RampMaxInFlight: *inflight,
+	}
+
+	ctx := context.Background()
+	rep := &loadgen.Report{Schema: "disksig/loadgen/v1", Seed: *seed, Scale: scale.String()}
+	run := func(name string, f func(context.Context, loadgen.Deployment, loadgen.ScenarioConfig) (*loadgen.ScenarioReport, error)) {
+		start := time.Now()
+		sr, err := f(ctx, dep, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, sr)
+		printScenario(sr, time.Since(start))
+	}
+
+	if *scenario == "steady" || *scenario == "all" {
+		run("steady", loadgen.RunSteady)
+		if *double {
+			// The determinism proof: an independent second run — fresh
+			// server, fresh shadow, same seed — must replay byte-identical
+			// requests and land on a byte-identical fleet summary.
+			run("steady", loadgen.RunSteady)
+			a, b := rep.Scenarios[len(rep.Scenarios)-2], rep.Scenarios[len(rep.Scenarios)-1]
+			b.Name = "steady-rerun"
+			var detErr error
+			if a.WorkloadFingerprint != b.WorkloadFingerprint {
+				detErr = fmt.Errorf("workload fingerprints differ: %s vs %s", a.WorkloadFingerprint, b.WorkloadFingerprint)
+			} else if a.SummaryFingerprint != b.SummaryFingerprint {
+				detErr = fmt.Errorf("summary fingerprints differ: %s vs %s", a.SummaryFingerprint, b.SummaryFingerprint)
+			}
+			b.Checks = append(b.Checks, loadgen.Check{Name: "deterministic-rerun", OK: detErr == nil})
+			if detErr != nil {
+				b.Checks[len(b.Checks)-1].Detail = detErr.Error()
+				b.Passed = false
+				log.Printf("determinism FAILED: %v", detErr)
+			} else {
+				log.Printf("determinism: rerun fingerprints identical (workload %s, summary %s)",
+					a.WorkloadFingerprint, a.SummaryFingerprint)
+			}
+		}
+	}
+	if *scenario == "ramp" || *scenario == "all" {
+		run("ramp", loadgen.RunRamp)
+	}
+	if *scenario == "chaos" || *scenario == "all" {
+		dir := *stateDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "diskload-chaos-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+		}
+		ccfg := cfg
+		ccfg.ChaosStateDir = dir
+		run("chaos", func(ctx context.Context, d loadgen.Deployment, _ loadgen.ScenarioConfig) (*loadgen.ScenarioReport, error) {
+			return loadgen.RunChaos(ctx, d, ccfg)
+		})
+	}
+
+	if *report != "" {
+		if err := rep.WriteFile(*report); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *report)
+	}
+	if !rep.Passed() {
+		log.Fatal("FAILED")
+	}
+	log.Print("all scenarios passed")
+}
+
+// printScenario renders one scenario's outcome for humans; the JSON
+// report carries the same data for machines.
+func printScenario(sr *loadgen.ScenarioReport, elapsed time.Duration) {
+	verdict := "passed"
+	if !sr.Passed {
+		verdict = "FAILED"
+	}
+	log.Printf("%s %s in %v: %d drives, %d records, %d alerts (workload %s, summary %s)",
+		sr.Name, verdict, elapsed.Round(time.Millisecond), sr.Drives, sr.Records, sr.Alerts,
+		sr.WorkloadFingerprint, sr.SummaryFingerprint)
+	for _, ph := range sr.Phases {
+		log.Printf("  phase %-16s clients=%-3d reqs=%-5d retries=%-4d %8.0f rec/s  p50=%.1fms p95=%.1fms p99=%.1fms  status=%v",
+			ph.Name, ph.Clients, ph.Requests, ph.Retries, ph.RecordsPerSec,
+			ph.Latency.P50, ph.Latency.P95, ph.Latency.P99, ph.Status)
+	}
+	if sr.ShedPointClients > 0 {
+		log.Printf("  shed point: %d clients", sr.ShedPointClients)
+	}
+	if r := sr.Recovery; r != nil {
+		log.Printf("  recovery: restore %.1fms, %d snapshot drives + %d WAL batches (%d rows), %d -> %d shards",
+			r.RestoreMs, r.SnapshotDrives, r.WALBatches, r.WALRows, r.ShardsBefore, r.ShardsAfter)
+	}
+	for _, c := range sr.FailedChecks() {
+		log.Printf("  check FAILED: %s", c)
+	}
+}

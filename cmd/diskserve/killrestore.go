@@ -8,13 +8,11 @@ import (
 	"reflect"
 
 	"disksig/internal/core"
-	"disksig/internal/faultinject"
 	"disksig/internal/fleet"
+	"disksig/internal/loadgen"
 	"disksig/internal/monitor"
-	"disksig/internal/parallel"
 	"disksig/internal/persist"
 	"disksig/internal/quality"
-	"disksig/internal/smart"
 	"disksig/internal/synth"
 )
 
@@ -54,7 +52,7 @@ func runKillRestoreSelftest(ch *core.Characterization, scale synth.Scale, seed i
 	// Uninterrupted reference run.
 	var refAlerts []string
 	for _, b := range batches {
-		refAlerts = append(refAlerts, batchAlertKeys(ref.IngestBatch(b))...)
+		refAlerts = append(refAlerts, loadgen.BatchAlertKeys(ref.IngestBatch(b))...)
 	}
 	if len(refAlerts) == 0 {
 		return fmt.Errorf("uninterrupted run raised no alerts; kill-and-restore selftest is vacuous")
@@ -75,14 +73,14 @@ func runKillRestoreSelftest(ch *core.Characterization, scale synth.Scale, seed i
 		if err != nil {
 			return fmt.Errorf("WAL append at batch %d: %w", i, err)
 		}
-		gotAlerts = append(gotAlerts, batchAlertKeys(res)...)
+		gotAlerts = append(gotAlerts, loadgen.BatchAlertKeys(res)...)
 		if i == snapAt {
 			if _, err := m1.Snapshot(p1); err != nil {
 				return fmt.Errorf("mid-replay snapshot: %w", err)
 			}
 		}
 	}
-	want := canonicalState(p1)
+	want := loadgen.CanonicalState(p1)
 	// Kill: m1 is abandoned without Close. WAL appends are unbuffered,
 	// so the state directory now looks exactly like a crash.
 
@@ -102,8 +100,8 @@ func runKillRestoreSelftest(ch *core.Characterization, scale synth.Scale, seed i
 	if rec.TornTail || rec.StaleWAL {
 		return fmt.Errorf("clean kill recovered with TornTail=%v StaleWAL=%v, want neither", rec.TornTail, rec.StaleWAL)
 	}
-	if got := canonicalState(p2); !reflect.DeepEqual(got, want) {
-		return fmt.Errorf("restored fleet state differs from the killed process's state")
+	if err := loadgen.CompareStates("killed process", "restored", want, loadgen.CanonicalState(p2)); err != nil {
+		return err
 	}
 	log.Printf("selftest: %s; restored state bit-identical at 32 shards", rec)
 
@@ -113,23 +111,22 @@ func runKillRestoreSelftest(ch *core.Characterization, scale synth.Scale, seed i
 		if err != nil {
 			return fmt.Errorf("WAL append after restore at batch %d: %w", i, err)
 		}
-		gotAlerts = append(gotAlerts, batchAlertKeys(res)...)
+		gotAlerts = append(gotAlerts, loadgen.BatchAlertKeys(res)...)
 	}
 	// Record-for-record identity: the pre-kill and post-restore alert
 	// streams concatenated must equal the uninterrupted run's, in order.
-	if !reflect.DeepEqual(gotAlerts, refAlerts) {
-		return fmt.Errorf("alert stream across kill differs from uninterrupted run:\n%s",
-			diffStrings(refAlerts, gotAlerts))
+	if err := loadgen.CompareAlerts("uninterrupted", "killed+restored", refAlerts, gotAlerts, true); err != nil {
+		return err
 	}
-	if got, wantS := canonicalState(p2), canonicalState(ref); !reflect.DeepEqual(got, wantS) {
-		return fmt.Errorf("final fleet state differs from uninterrupted run")
+	if err := loadgen.CompareStates("uninterrupted", "killed+restored", loadgen.CanonicalState(ref), loadgen.CanonicalState(p2)); err != nil {
+		return err
 	}
 	log.Printf("selftest: %d alerts record-for-record identical across kill and restore", len(refAlerts))
 
 	// Phase 3: torn WAL tail. Log one sacrificial batch, kill, and rip
 	// its tail off — recovery must quarantine exactly that record and
 	// land on the pre-sacrificial state.
-	preTear := canonicalState(p2)
+	preTear := loadgen.CanonicalState(p2)
 	sacrificial := batches[len(batches)-1]
 	if _, err := m2.LogBatch(sacrificial, func() fleet.BatchResult { return p2.IngestBatch(sacrificial) }); err != nil {
 		return err
@@ -160,7 +157,7 @@ func runKillRestoreSelftest(ch *core.Characterization, scale synth.Scale, seed i
 	if n := rec3.Quality.ByKind[quality.TruncatedInput]; n != 1 {
 		return fmt.Errorf("torn tail quarantined %d TruncatedInput records, want 1", n)
 	}
-	if got := canonicalState(p3); !reflect.DeepEqual(got, preTear) {
+	if got := loadgen.CanonicalState(p3); !reflect.DeepEqual(got, preTear) {
 		return fmt.Errorf("torn-tail recovery state differs from pre-sacrificial state")
 	}
 	log.Printf("selftest: torn WAL tail quarantined (%d bytes dropped), state intact", rec3.DroppedBytes)
@@ -169,78 +166,27 @@ func runKillRestoreSelftest(ch *core.Characterization, scale synth.Scale, seed i
 
 // killRestoreBatches builds the replay load: a held-out fleet the models
 // never saw, with deterministic fault injection, interleaved round-robin
-// and cut into fixed-size batches.
+// and cut into fixed-size batches — the loadgen workload builder in a
+// single stream.
 func killRestoreBatches(scale synth.Scale, seed int64) [][]fleet.Observation {
-	replayCfg := synth.DefaultConfig(scale)
-	replayCfg.Seed = seed + 2000
-	replayDS, err := synth.Generate(replayCfg)
+	wl, err := loadgen.BuildWorkload(loadgen.WorkloadConfig{
+		Seed:            seed,
+		FleetSeedOffset: 2000,
+		Scale:           scale,
+		MaxFailed:       10,
+		MaxGood:         25,
+		SerialPrefix:    "kr-",
+		GarbleRate:      0.02,
+		DuplicateRate:   0.02,
+		ReorderRate:     0.02,
+		BatchSize:       200,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	const (
-		maxFailed   = 10
-		maxGood     = 25
-		corruptRate = 0.02
-		batchSize   = 200
-	)
-	type replayDrive struct {
-		serial string
-		recs   []smart.Record
-	}
-	var drives []replayDrive
-	add := func(p *smart.Profile, serial string) {
-		recs, _ := faultinject.CorruptRecords(p.Records, faultinject.Config{
-			Seed:          parallel.DeriveSeed(seed+2000, int64(p.DriveID)),
-			GarbleRate:    corruptRate,
-			DuplicateRate: corruptRate,
-			ReorderRate:   corruptRate,
-		})
-		drives = append(drives, replayDrive{serial: serial, recs: recs})
-	}
-	for i, p := range replayDS.Failed {
-		if i >= maxFailed {
-			break
-		}
-		add(p, fmt.Sprintf("kr-failed-%05d", p.DriveID))
-	}
-	for i, p := range replayDS.Good {
-		if i >= maxGood {
-			break
-		}
-		add(p, fmt.Sprintf("kr-good-%05d", p.DriveID))
-	}
-
-	var stream []fleet.Observation
-	for step := 0; ; step++ {
-		any := false
-		for _, d := range drives {
-			if step >= len(d.recs) {
-				continue
-			}
-			any = true
-			stream = append(stream, fleet.Observation{Serial: d.serial, Record: d.recs[step]})
-		}
-		if !any {
-			break
-		}
-	}
 	var batches [][]fleet.Observation
-	for lo := 0; lo < len(stream); lo += batchSize {
-		batches = append(batches, stream[lo:min(lo+batchSize, len(stream))])
+	for _, b := range wl.Split(1)[0] {
+		batches = append(batches, b.Obs)
 	}
 	return batches
-}
-
-func canonicalState(s *fleet.Store) *fleet.State {
-	st := s.ExportState()
-	st.Quality.StripDiagnostics()
-	return st
-}
-
-func batchAlertKeys(res fleet.BatchResult) []string {
-	var keys []string
-	for _, a := range res.Alerts {
-		keys = append(keys, alertKey(a.Serial, a.Hour, a.Severity.String(), a.Group, a.Type.String(), a.Degradation))
-	}
-	return keys
 }

@@ -9,13 +9,13 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"sort"
 	"strings"
 	"time"
 
 	"disksig/internal/core"
 	"disksig/internal/faultinject"
 	"disksig/internal/fleet"
+	"disksig/internal/loadgen"
 	"disksig/internal/monitor"
 	"disksig/internal/parallel"
 	"disksig/internal/server"
@@ -125,7 +125,7 @@ func runSelftest(ch *core.Characterization, store *fleet.Store, srv *server.Serv
 	for _, o := range stream {
 		rec := smart.Record{Hour: o.hour, Values: fromWire(o.values)}
 		if a := ref.Ingest(o.refID, rec); a != nil {
-			refAlerts = append(refAlerts, alertKey(o.serial, a.Hour, a.Severity.String(), a.Group, a.Type.String(), a.Degradation))
+			refAlerts = append(refAlerts, loadgen.AlertKey(o.serial, a.Hour, a.Severity.String(), a.Group, a.Type.String(), a.Degradation))
 		}
 	}
 
@@ -171,20 +171,18 @@ func runSelftest(ch *core.Characterization, store *fleet.Store, srv *server.Serv
 				lo, doc.Ingested, doc.Kept, doc.Quarantined, hi-lo)
 		}
 		for _, a := range doc.Alerts {
-			httpAlerts = append(httpAlerts, alertKey(a.Serial, a.Hour, a.Severity, a.Group, a.Type, a.Degradation))
+			httpAlerts = append(httpAlerts, loadgen.AlertKey(a.Serial, a.Hour, a.Severity, a.Group, a.Type, a.Degradation))
 		}
 	}
 
 	// 1. Alert parity: the HTTP replay must raise exactly the in-process
-	// alerts (order within a batch is submission order; compare sorted
-	// to stay independent of batch boundaries).
-	sort.Strings(refAlerts)
-	sort.Strings(httpAlerts)
+	// alerts (order within a batch is submission order; compare as a
+	// multiset to stay independent of batch boundaries).
 	if len(refAlerts) == 0 {
 		return fmt.Errorf("reference replay raised no alerts; selftest is vacuous")
 	}
-	if d := diffStrings(refAlerts, httpAlerts); d != "" {
-		return fmt.Errorf("alert mismatch between HTTP and in-process replay:\n%s", d)
+	if err := loadgen.CompareAlerts("in-process", "HTTP", refAlerts, httpAlerts, false); err != nil {
+		return err
 	}
 	log.Printf("selftest: %d alerts identical across HTTP and in-process replay", len(refAlerts))
 
@@ -298,10 +296,6 @@ func fromWire(w []*float64) smart.Values {
 	return v
 }
 
-func alertKey(serial string, hour int, severity string, group int, typ string, degradation float64) string {
-	return fmt.Sprintf("%s|h%d|%s|g%d|%s|%.9f", serial, hour, severity, group, typ, degradation)
-}
-
 type driveDoc struct {
 	Serial      string  `json:"serial"`
 	LastHour    int     `json:"last_hour"`
@@ -334,46 +328,4 @@ func fetchJSON(url string, v any) error {
 		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
-}
-
-// diffStrings reports the first few entries present in one sorted slice
-// but not the other.
-func diffStrings(want, got []string) string {
-	onlyWant, onlyGot := setDiff(want, got), setDiff(got, want)
-	if len(onlyWant) == 0 && len(onlyGot) == 0 {
-		return ""
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "  in-process: %d alerts, HTTP: %d alerts\n", len(want), len(got))
-	for i, s := range onlyWant {
-		if i >= 5 {
-			fmt.Fprintf(&b, "  ... and %d more missing\n", len(onlyWant)-i)
-			break
-		}
-		fmt.Fprintf(&b, "  missing over HTTP: %s\n", s)
-	}
-	for i, s := range onlyGot {
-		if i >= 5 {
-			fmt.Fprintf(&b, "  ... and %d more extra\n", len(onlyGot)-i)
-			break
-		}
-		fmt.Fprintf(&b, "  extra over HTTP:   %s\n", s)
-	}
-	return b.String()
-}
-
-func setDiff(a, b []string) []string {
-	counts := map[string]int{}
-	for _, s := range b {
-		counts[s]++
-	}
-	var out []string
-	for _, s := range a {
-		if counts[s] > 0 {
-			counts[s]--
-			continue
-		}
-		out = append(out, s)
-	}
-	return out
 }

@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"disksig/internal/fleet"
+	"disksig/internal/monitor"
+	"disksig/internal/persist"
+	"disksig/internal/server"
+	"disksig/internal/smart"
+)
+
+// Harness is an in-process diskserve: a fleet store wrapped in the real
+// internal/server HTTP layer on a loopback listener. The scenarios use
+// it so a load run (and CI) needs no external process — the HTTP path
+// exercised is exactly the production one.
+type Harness struct {
+	Store *fleet.Store
+	Srv   *server.Server
+	URL   string
+
+	l     net.Listener
+	serve chan error
+}
+
+// StartHarness builds a store from models and serves it on a loopback
+// port. When scfg.Persist is set, the caller owns the manager's
+// lifecycle (the chaos scenario abandons it to simulate a crash).
+func StartHarness(models []monitor.GroupModel, norm *smart.Normalizer, fcfg fleet.Config, scfg server.Config) (*Harness, error) {
+	store, err := fleet.New(models, norm, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: building harness store: %w", err)
+	}
+	return StartHarnessStore(store, scfg)
+}
+
+// StartHarnessStore serves an existing store (the chaos scenario's
+// restored store) on a loopback port.
+func StartHarnessStore(store *fleet.Store, scfg server.Config) (*Harness, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: harness listener: %w", err)
+	}
+	h := &Harness{
+		Store: store,
+		Srv:   server.New(store, scfg),
+		URL:   "http://" + l.Addr().String(),
+		l:     l,
+		serve: make(chan error, 1),
+	}
+	go func() { h.serve <- h.Srv.Serve(l) }()
+	return h, nil
+}
+
+// Stop drains in-flight requests and stops serving — the SIGTERM path.
+// The persist manager (if any) is untouched: a chaos kill wants the
+// state directory to look like a crash, and a clean shutdown's final
+// snapshot is the scenario's decision, not the harness's.
+func (h *Harness) Stop(ctx context.Context) error {
+	if err := h.Srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("loadgen: harness shutdown: %w", err)
+	}
+	if err := <-h.serve; err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("loadgen: harness serve: %w", err)
+	}
+	return nil
+}
+
+// MetricsInvariant fetches /metrics and checks the serving-path ledger:
+// rows_ingested = rows_kept + rows_quarantined, and rows_ingested
+// matches the expected record count. It returns the ingest counters.
+func MetricsInvariant(baseURL string, wantIngested int64) (ingested, kept, quarantined int64, err error) {
+	var met struct {
+		Ingest struct {
+			Ingested    int64 `json:"rows_ingested"`
+			Kept        int64 `json:"rows_kept"`
+			Quarantined int64 `json:"rows_quarantined"`
+		} `json:"ingest"`
+	}
+	if err := fetchJSON(baseURL+"/metrics", &met); err != nil {
+		return 0, 0, 0, err
+	}
+	in := met.Ingest
+	if in.Ingested != in.Kept+in.Quarantined {
+		return in.Ingested, in.Kept, in.Quarantined,
+			fmt.Errorf("/metrics invariant violated: %d != %d kept + %d quarantined", in.Ingested, in.Kept, in.Quarantined)
+	}
+	if wantIngested >= 0 && in.Ingested != wantIngested {
+		return in.Ingested, in.Kept, in.Quarantined,
+			fmt.Errorf("/metrics rows_ingested = %d, want %d", in.Ingested, wantIngested)
+	}
+	return in.Ingested, in.Kept, in.Quarantined, nil
+}
+
+// AdminSnapshot triggers POST /v1/admin/snapshot on a persisted server.
+func AdminSnapshot(baseURL string) error {
+	resp, err := http.Post(baseURL+"/v1/admin/snapshot", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("admin snapshot: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// fetchJSON GETs a URL and decodes its JSON body.
+func fetchJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// RestoreStore reopens a state directory and rebuilds the fleet store,
+// timing the warm restart. The shard count is free to differ from the
+// killed process's.
+func RestoreStore(dir string, fcfg fleet.Config) (*fleet.Store, *persist.Manager, *persist.Recovery, time.Duration, error) {
+	start := time.Now()
+	mgr, err := persist.Open(dir)
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("loadgen: reopening state dir: %w", err)
+	}
+	store, rec, err := mgr.Restore(fcfg)
+	if err != nil {
+		mgr.Close()
+		return nil, nil, nil, 0, fmt.Errorf("loadgen: restoring: %w", err)
+	}
+	return store, mgr, rec, time.Since(start), nil
+}

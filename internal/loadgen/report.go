@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is the machine-readable outcome of a diskload run, written as
+// BENCH_loadgen.json. Fingerprints and check verdicts are deterministic
+// in the seed; throughput and latency are measurements and are not.
+type Report struct {
+	Schema    string            `json:"schema"` // "disksig/loadgen/v1"
+	Seed      int64             `json:"seed"`
+	Scale     string            `json:"scale"`
+	Scenarios []*ScenarioReport `json:"scenarios"`
+}
+
+// Passed reports whether every scenario passed every check.
+func (r *Report) Passed() bool {
+	for _, s := range r.Scenarios {
+		if !s.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadgen: encoding report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("loadgen: writing report: %w", err)
+	}
+	return nil
+}
+
+// ScenarioReport is one scenario's outcome.
+type ScenarioReport struct {
+	Name string `json:"name"`
+	// WorkloadFingerprint hashes the exact request sequence;
+	// SummaryFingerprint hashes the final canonical fleet state. Two
+	// runs with the same seed must agree on both.
+	WorkloadFingerprint string `json:"workload_fingerprint"`
+	SummaryFingerprint  string `json:"summary_fingerprint,omitempty"`
+
+	Drives  int `json:"drives"`
+	Records int `json:"records"`
+	Alerts  int `json:"alerts"`
+
+	Phases []*PhaseStats `json:"phases"`
+
+	// ShedPointClients is the smallest client count at which the ramp
+	// scenario observed load shedding (0 when it never shed).
+	ShedPointClients int `json:"shed_point_clients,omitempty"`
+
+	// Recovery describes the chaos scenario's warm restart.
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
+
+	Checks []Check `json:"checks"`
+	Passed bool    `json:"passed"`
+}
+
+// RecoveryReport measures the chaos scenario's kill/warm-restart.
+type RecoveryReport struct {
+	RestoreMs      float64 `json:"restore_ms"`
+	SnapshotDrives int     `json:"snapshot_drives"`
+	WALBatches     int     `json:"wal_batches_replayed"`
+	WALRows        int     `json:"wal_rows_replayed"`
+	ShardsBefore   int     `json:"shards_before"`
+	ShardsAfter    int     `json:"shards_after"`
+}
+
+// Check is one named verification verdict.
+type Check struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// addCheck records a verdict: a nil err passes, anything else fails
+// with the error as detail.
+func (s *ScenarioReport) addCheck(name string, err error) {
+	c := Check{Name: name, OK: err == nil}
+	if err != nil {
+		c.Detail = err.Error()
+	}
+	s.Checks = append(s.Checks, c)
+}
+
+// finish sets Passed from the accumulated checks.
+func (s *ScenarioReport) finish() {
+	s.Passed = true
+	for _, c := range s.Checks {
+		if !c.OK {
+			s.Passed = false
+		}
+	}
+}
+
+// FailedChecks lists the names of failed checks.
+func (s *ScenarioReport) FailedChecks() []string {
+	var out []string
+	for _, c := range s.Checks {
+		if !c.OK {
+			out = append(out, fmt.Sprintf("%s: %s", c.Name, c.Detail))
+		}
+	}
+	return out
+}

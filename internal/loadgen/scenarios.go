@@ -1,0 +1,278 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"disksig/internal/fleet"
+	"disksig/internal/monitor"
+	"disksig/internal/server"
+	"disksig/internal/smart"
+)
+
+// Deployment is everything a scenario needs to stand up servers and
+// shadows: the trained scoring models plus the deployment knobs.
+type Deployment struct {
+	Models  []monitor.GroupModel
+	Norm    *smart.Normalizer
+	Monitor monitor.Config
+	// Shards and Workers configure the system under test's store; the
+	// shadow always runs with defaults (layout independence is part of
+	// what the comparison proves).
+	Shards, Workers int
+	Log             *log.Logger
+}
+
+func (d Deployment) fleetConfig() fleet.Config {
+	return fleet.Config{Shards: d.Shards, Workers: d.Workers, Monitor: d.Monitor}
+}
+
+// ScenarioConfig parameterizes the scripted scenarios.
+type ScenarioConfig struct {
+	Workload WorkloadConfig
+	// Clients is the steady/chaos concurrency. <= 0 means 4.
+	Clients int
+	// RatePerSec paces the steady scenario at this many records per
+	// second across all clients; 0 runs closed-loop.
+	RatePerSec float64
+	// Passes repeats the steady workload with fresh serials per pass;
+	// SoakFor instead keeps adding passes until the elapsed wall clock
+	// exceeds it (the 60s CI soak). Passes <= 0 means 1.
+	Passes  int
+	SoakFor time.Duration
+	// RampClients is the ramp scenario's concurrency ladder; empty means
+	// 1, 2, 4, 8, 16. RampMaxInFlight is the server's in-flight limit
+	// the ladder must exceed to shed; <= 0 means 4. RampIngestDelay is
+	// the server's artificial per-ingest hold (see
+	// server.Config.IngestDelay) that makes its capacity genuinely
+	// bounded — without it a fast (or single-CPU) host drains requests
+	// quicker than clients can pile them up and the shed point is
+	// scheduling noise; <= 0 means 10ms.
+	RampClients     []int
+	RampMaxInFlight int
+	RampIngestDelay time.Duration
+	// ChaosStateDir is the chaos scenario's durable state directory
+	// (required for RunChaos).
+	ChaosStateDir string
+}
+
+func (c ScenarioConfig) clients() int {
+	if c.Clients <= 0 {
+		return 4
+	}
+	return c.Clients
+}
+
+// pacingInterval converts a fleet-wide records/sec target into the
+// per-client batch send interval.
+func pacingInterval(rate float64, clients, batchSize int) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(clients) * float64(batchSize) / rate * float64(time.Second))
+}
+
+// RunSteady is the steady-state soak: the workload streams through the
+// real HTTP path at a constant (optionally paced) rate, one or more
+// passes, and the run passes only if the served store matches the
+// shadow record-for-record, the alert streams agree, and the /metrics
+// ledger balances exactly.
+func RunSteady(ctx context.Context, dep Deployment, cfg ScenarioConfig) (*ScenarioReport, error) {
+	rep := &ScenarioReport{Name: "steady"}
+	wl, err := BuildWorkload(cfg.Workload)
+	if err != nil {
+		return rep, err
+	}
+	shadow, err := NewShadow(dep.Models, dep.Norm, fleet.Config{Monitor: dep.Monitor})
+	if err != nil {
+		return rep, err
+	}
+	h, err := StartHarness(dep.Models, dep.Norm, dep.fleetConfig(), server.Config{
+		MaxInFlight: 256,
+		Log:         nil,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		h.Stop(sctx)
+	}()
+	drv := &Driver{BaseURL: h.URL, Log: dep.Log}
+
+	clients := cfg.clients()
+	passes := cfg.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	interval := pacingInterval(cfg.RatePerSec, clients, cfg.Workload.withDefaults().BatchSize)
+	start := time.Now()
+	var alerts []string
+	for pass := 0; ; pass++ {
+		wlp := wl
+		if pass > 0 {
+			// A fresh serial suffix per pass: the soak keeps ingesting new
+			// drives instead of replaying stale hours the store would drop.
+			wlp = wl.WithSuffix(fmt.Sprintf("-p%d", pass))
+		}
+		queues := wlp.Split(clients)
+		if pass == 0 {
+			rep.WorkloadFingerprint = Fingerprint(queues)
+			rep.Drives = len(wlp.Drives)
+		}
+		stats, err := drv.Run(ctx, Phase{
+			Name:     fmt.Sprintf("steady-pass%d", pass),
+			Clients:  clients,
+			Interval: interval,
+		}, queues)
+		if stats != nil {
+			rep.Phases = append(rep.Phases, stats)
+			alerts = append(alerts, stats.AlertKeys...)
+			rep.Records += stats.RecordsSent
+		}
+		if err != nil {
+			rep.addCheck("phase", err)
+			rep.finish()
+			return rep, nil
+		}
+		if err := shadow.ApplyChunk(queues); err != nil {
+			rep.addCheck("shadow", err)
+			rep.finish()
+			return rep, nil
+		}
+		if pass+1 >= passes && (cfg.SoakFor <= 0 || time.Since(start) >= cfg.SoakFor) {
+			break
+		}
+	}
+	rep.Alerts = len(alerts)
+
+	rep.addCheck("alerts-match-shadow",
+		CompareAlerts("shadow", "http", shadow.AlertKeys(), alerts, false))
+	rep.addCheck("state-matches-shadow",
+		CompareStates("shadow", "served", shadow.State(), CanonicalState(h.Store)))
+	_, _, _, err = MetricsInvariant(h.URL, int64(shadow.Ingested()))
+	rep.addCheck("metrics-invariant", err)
+	rep.SummaryFingerprint = StateFingerprint(CanonicalState(h.Store))
+	rep.finish()
+	return rep, nil
+}
+
+// RunRamp is the ramp-to-shed scenario: the concurrency ladder climbs
+// past the server's in-flight limit, and the run passes only if load
+// shedding engages (429 with a valid Retry-After), nothing 500s, no
+// batch is lost to shedding (retries deliver every record exactly
+// once), and the final state still matches the shadow. Each rung
+// replays the full workload (fresh serials per rung) at its client
+// count, so every rung's throughput and latency are measured over the
+// same load.
+func RunRamp(ctx context.Context, dep Deployment, cfg ScenarioConfig) (*ScenarioReport, error) {
+	rep := &ScenarioReport{Name: "ramp"}
+	ladder := cfg.RampClients
+	if len(ladder) == 0 {
+		ladder = []int{1, 2, 4, 8, 16}
+	}
+	maxInFlight := cfg.RampMaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4
+	}
+	delay := cfg.RampIngestDelay
+	if delay <= 0 {
+		delay = 10 * time.Millisecond
+	}
+	wl, err := BuildWorkload(cfg.Workload)
+	if err != nil {
+		return rep, err
+	}
+	shadow, err := NewShadow(dep.Models, dep.Norm, fleet.Config{Monitor: dep.Monitor})
+	if err != nil {
+		return rep, err
+	}
+	h, err := StartHarness(dep.Models, dep.Norm, dep.fleetConfig(), server.Config{
+		MaxInFlight: maxInFlight,
+		// QueueWait 0: shed immediately at the limit, so the shed point
+		// in the ladder is sharp. IngestDelay holds each request's
+		// in-flight slot long enough that clients beyond the limit must
+		// overlap with full slots — shedding above the limit is then a
+		// certainty, not a scheduling accident.
+		IngestDelay: delay,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		h.Stop(sctx)
+	}()
+	drv := &Driver{BaseURL: h.URL, Log: dep.Log}
+
+	rep.Drives = len(wl.Drives)
+	var alerts []string
+	var allQueues [][]*Batch
+	for i, clients := range ladder {
+		wlr := wl
+		if i > 0 {
+			wlr = wl.WithSuffix(fmt.Sprintf("-r%d", i))
+		}
+		queues := wlr.Split(clients)
+		allQueues = append(allQueues, queues...)
+		stats, err := drv.Run(ctx, Phase{
+			Name:    fmt.Sprintf("ramp-c%d", clients),
+			Clients: clients,
+		}, queues)
+		if stats != nil {
+			rep.Phases = append(rep.Phases, stats)
+			alerts = append(alerts, stats.AlertKeys...)
+			rep.Records += stats.RecordsSent
+		}
+		if err != nil {
+			rep.addCheck("phase", err)
+			rep.finish()
+			return rep, nil
+		}
+		if err := shadow.ApplyChunk(queues); err != nil {
+			rep.addCheck("shadow", err)
+			rep.finish()
+			return rep, nil
+		}
+		if stats.Status["429"] > 0 && (rep.ShedPointClients == 0 || clients < rep.ShedPointClients) {
+			rep.ShedPointClients = clients
+		}
+	}
+	rep.WorkloadFingerprint = Fingerprint(allQueues)
+	rep.Alerts = len(alerts)
+
+	// Shedding must engage above the limit and never below it.
+	var shedErr error
+	if rep.ShedPointClients == 0 {
+		shedErr = fmt.Errorf("no phase observed 429s (ladder %v, max in-flight %d)", ladder, maxInFlight)
+	}
+	rep.addCheck("shedding-engaged", shedErr)
+	var belowErr error
+	for _, ph := range rep.Phases {
+		if ph.Clients <= maxInFlight && ph.Status["429"] > 0 {
+			belowErr = fmt.Errorf("phase %s shed %d requests with clients <= in-flight limit %d",
+				ph.Name, ph.Status["429"], maxInFlight)
+		}
+	}
+	rep.addCheck("no-shed-below-limit", belowErr)
+	var taxErr error
+	for _, ph := range rep.Phases {
+		if n := ph.Status["5xx"] + ph.Status["400"] + ph.Status["413"] + ph.Status["4xx"]; n > 0 {
+			taxErr = fmt.Errorf("phase %s had %d non-2xx/non-429 responses: %v", ph.Name, n, ph.Status)
+		}
+	}
+	rep.addCheck("zero-errors", taxErr)
+	rep.addCheck("alerts-match-shadow",
+		CompareAlerts("shadow", "http", shadow.AlertKeys(), alerts, false))
+	rep.addCheck("state-matches-shadow",
+		CompareStates("shadow", "served", shadow.State(), CanonicalState(h.Store)))
+	_, _, _, err = MetricsInvariant(h.URL, int64(shadow.Ingested()))
+	rep.addCheck("metrics-invariant", err)
+	rep.SummaryFingerprint = StateFingerprint(CanonicalState(h.Store))
+	rep.finish()
+	return rep, nil
+}

@@ -60,6 +60,12 @@ type Config struct {
 	// when Persist is set; <= 0 disables the ticker (snapshots then
 	// happen only via the admin endpoint and shutdown).
 	SnapshotEvery time.Duration
+	// IngestDelay artificially holds every ingest request inside the
+	// concurrency limiter for this long before it is processed — a
+	// load-testing knob modelling slow, disk-backed ingestion so
+	// overload tests can drive the server into its shedding regime
+	// regardless of host speed. 0 (production) disables it.
+	IngestDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -212,8 +218,17 @@ type ingestRequest struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.IngestDelay > 0 {
+		// The sleep happens while holding an in-flight slot, so overload
+		// tests see a server whose capacity is genuinely bounded.
+		time.Sleep(s.cfg.IngestDelay)
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
+	// Unknown fields are rejected rather than silently dropped: a typo'd
+	// field name in a telemetry agent would otherwise discard data with a
+	// 200.
+	dec.DisallowUnknownFields()
 	var req ingestRequest
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError

@@ -31,16 +31,29 @@ func NewNormalizer() *Normalizer {
 }
 
 // Observe extends the per-attribute extrema with one record's values.
+// Non-finite values are ignored: a NaN never orders against the extrema
+// anyway, and an Inf would widen the span to infinity and silently
+// flatten every later normalized value of that attribute to 0. The
+// normalizer becomes fitted only once at least one finite value has
+// been observed.
 func (n *Normalizer) Observe(v Values) {
+	any := false
 	for a := 0; a < int(NumAttrs); a++ {
-		if v[a] < n.Min[a] {
-			n.Min[a] = v[a]
+		x := v[a]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
 		}
-		if v[a] > n.Max[a] {
-			n.Max[a] = v[a]
+		any = true
+		if x < n.Min[a] {
+			n.Min[a] = x
+		}
+		if x > n.Max[a] {
+			n.Max[a] = x
 		}
 	}
-	n.fitted = true
+	if any {
+		n.fitted = true
+	}
 }
 
 // ObserveProfile extends the extrema with every record of a profile.

@@ -1,0 +1,143 @@
+package smart
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNormalize is the property suite for Eq. (1): for any normalizer
+// fitted on finite data, (a) every normalized finite value lands in
+// [-1, 1], (b) the fitted state round-trips bit-for-bit through its gob
+// wire form, and (c) non-finite observations never poison the extrema.
+func FuzzNormalize(f *testing.F) {
+	f.Add(0.0, 1.0, 0.5, 0.0)
+	f.Add(-1.0, 1.0, 0.0, 2.0)
+	f.Add(1e300, -1e300, 12.5, -0.25)
+	f.Add(3.14, 3.14, 3.14, 3.14) // constant attribute: span 0
+	f.Add(math.MaxFloat64, -math.MaxFloat64, 0.0, 1.0)
+	f.Add(math.Inf(1), 0.0, 1.0, 2.0)  // +Inf must be rejected
+	f.Add(math.NaN(), 0.0, 1.0, 2.0)   // NaN must be rejected
+	f.Add(0.0, math.Inf(-1), 1.0, 2.0) // -Inf must be rejected
+
+	f.Fuzz(func(t *testing.T, a, b, c, x float64) {
+		n := NewNormalizer()
+		var va, vb, vc Values
+		for i := range va {
+			va[i], vb[i], vc[i] = a, b, c
+		}
+		n.Observe(va)
+		n.Observe(vb)
+		n.Observe(vc)
+
+		anyFinite := false
+		for _, s := range []float64{a, b, c} {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				anyFinite = true
+			}
+		}
+		if n.Fitted() != anyFinite {
+			t.Fatalf("Fitted() = %v after observing %v %v %v, want %v", n.Fitted(), a, b, c, anyFinite)
+		}
+		if !anyFinite {
+			return
+		}
+
+		// (c) Non-finite observations must not have reached the extrema.
+		for i := 0; i < int(NumAttrs); i++ {
+			if math.IsNaN(n.Min[i]) || math.IsInf(n.Min[i], 0) ||
+				math.IsNaN(n.Max[i]) || math.IsInf(n.Max[i], 0) {
+				t.Fatalf("non-finite extrema after observing %v %v %v: Min=%v Max=%v", a, b, c, n.Min[i], n.Max[i])
+			}
+		}
+
+		// (a) Any finite input normalizes into [-1, 1] — including inputs
+		// far outside the fitted range, which must saturate.
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			var vx Values
+			for i := range vx {
+				vx[i] = x
+			}
+			out := n.Normalize(vx)
+			for i, v := range out {
+				if math.IsNaN(v) || v < -1 || v > 1 {
+					t.Fatalf("Normalize(%v) attr %d = %v, want in [-1, 1] (fit over %v %v %v)", x, i, v, a, b, c)
+				}
+			}
+		}
+
+		// (b) Gob round-trip: the restored normalizer carries the same
+		// extrema and fitted flag and normalizes identically.
+		blob, err := n.GobEncode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Normalizer
+		if err := back.GobDecode(blob); err != nil {
+			t.Fatal(err)
+		}
+		if back.Fitted() != n.Fitted() || back.Min != n.Min || back.Max != n.Max {
+			t.Fatalf("gob round-trip changed state: %v -> %v", n, &back)
+		}
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			for i := 0; i < int(NumAttrs); i++ {
+				want := n.NormalizeValue(Attr(i), x)
+				if got := back.NormalizeValue(Attr(i), x); got != want {
+					t.Fatalf("restored normalizer: NormalizeValue(%d, %v) = %v, want %v", i, x, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestObserveRejectsNonFinite pins the quarantine property with explicit
+// cases the fuzz corpus seeds.
+func TestObserveRejectsNonFinite(t *testing.T) {
+	n := NewNormalizer()
+	var inf Values
+	for a := range inf {
+		inf[a] = math.Inf(1)
+	}
+	n.Observe(inf)
+	if n.Fitted() {
+		t.Fatal("normalizer fitted by an all-Inf observation")
+	}
+
+	var lo, hi Values
+	for a := range lo {
+		lo[a], hi[a] = -2, 2
+	}
+	n.Observe(lo)
+	n.Observe(hi)
+	var poison Values
+	for a := range poison {
+		poison[a] = math.Inf(-1)
+	}
+	n.Observe(poison)
+	for a := 0; a < int(NumAttrs); a++ {
+		if n.Min[a] != -2 || n.Max[a] != 2 {
+			t.Fatalf("attr %d extrema [%v, %v] poisoned by Inf, want [-2, 2]", a, n.Min[a], n.Max[a])
+		}
+	}
+	// The span survives, so normalization still spreads values.
+	var mid Values
+	if got := n.Normalize(mid)[0]; got != 0 {
+		t.Fatalf("Normalize(0) = %v over [-2, 2], want 0", got)
+	}
+}
+
+// TestMergePreservesFiniteExtrema checks the sharded-fit path: merging
+// an unfitted (or Inf-poisoned-input) shard is a no-op.
+func TestMergePreservesFiniteExtrema(t *testing.T) {
+	a := NewNormalizer()
+	var v Values
+	for i := range v {
+		v[i] = 1
+	}
+	a.Observe(v)
+
+	empty := NewNormalizer()
+	a.Merge(empty)
+	if !a.Fitted() || a.Min[0] != 1 || a.Max[0] != 1 {
+		t.Fatalf("merge with unfitted shard changed state: %v", a)
+	}
+}
