@@ -9,14 +9,20 @@
 //
 //	diskload -scenario all -scale small -report BENCH_loadgen.json
 //	diskload -scenario steady -soak 60s -rate 20000
+//	diskload -scenario steady -format binary   # binary wire format
 //	diskload -scenario ramp -max-inflight 4
-//	diskload -scenario steady -double      # prove seed determinism
+//	diskload -scenario compare -passes 3       # JSON vs binary throughput
+//	diskload -scenario steady -double          # prove seed determinism
 //
 // Scenarios:
 //
 //	steady   constant-rate (or closed-loop) ingestion, N clients, one or
 //	         more passes; the served store must match the shadow
 //	         record-for-record and /metrics must balance exactly.
+//	compare  the same workload replayed as JSON and as CRC-framed binary
+//	         batches against fresh servers; both replicas must land on
+//	         bit-identical state fingerprints and the binary leg must be
+//	         faster.
 //	ramp     concurrency ladder past the server's in-flight limit; load
 //	         shedding must engage (429 + valid Retry-After), nothing may
 //	         500, and retries must deliver every record exactly once.
@@ -47,7 +53,7 @@ func main() {
 	log.SetPrefix("diskload: ")
 
 	var (
-		scenario  = flag.String("scenario", "all", "scenario to run: steady, ramp, chaos or all")
+		scenario  = flag.String("scenario", "all", "scenario to run: steady, compare, ramp, chaos or all")
 		scaleFlag = flag.String("scale", "small", "fleet scale preset for training and workload")
 		seed      = flag.Int64("seed", 1, "seed for training, workload generation and fault injection")
 		clients   = flag.Int("clients", 4, "concurrent HTTP clients (steady and chaos)")
@@ -62,6 +68,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "store ingestion parallelism; 0 means GOMAXPROCS")
 		corrupt   = flag.Float64("corrupt", 0.02, "per-record garble/duplicate/reorder probability of the workload")
 		stateDir  = flag.String("state-dir", "", "chaos scenario state directory; empty uses a scratch directory")
+		format    = flag.String("format", "json", "ingest wire format of steady/ramp/chaos batches: json or binary")
+		cmpBatch  = flag.Int("compare-batch", 1000, "compare scenario batch size (amortizes per-request HTTP overhead)")
 	)
 	flag.Parse()
 
@@ -70,9 +78,13 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "steady", "ramp", "chaos", "all":
+	case "steady", "compare", "ramp", "chaos", "all":
 	default:
-		log.Fatalf("unknown -scenario %q (want steady, ramp, chaos or all)", *scenario)
+		log.Fatalf("unknown -scenario %q (want steady, compare, ramp, chaos or all)", *scenario)
+	}
+	wireFormat, err := loadgen.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Train once; every scenario (and every shadow) shares the models.
@@ -106,6 +118,7 @@ func main() {
 	wcfg.GarbleRate = *corrupt
 	wcfg.DuplicateRate = *corrupt
 	wcfg.ReorderRate = *corrupt
+	wcfg.Format = wireFormat
 	cfg := loadgen.ScenarioConfig{
 		Workload:        wcfg,
 		Clients:         *clients,
@@ -113,6 +126,7 @@ func main() {
 		Passes:          *passes,
 		SoakFor:         *soak,
 		RampMaxInFlight: *inflight,
+		CompareBatch:    *cmpBatch,
 	}
 
 	ctx := context.Background()
@@ -152,6 +166,9 @@ func main() {
 					a.WorkloadFingerprint, a.SummaryFingerprint)
 			}
 		}
+	}
+	if *scenario == "compare" || *scenario == "all" {
+		run("format-compare", loadgen.RunFormatCompare)
 	}
 	if *scenario == "ramp" || *scenario == "all" {
 		run("ramp", loadgen.RunRamp)
@@ -201,6 +218,9 @@ func printScenario(sr *loadgen.ScenarioReport, elapsed time.Duration) {
 	}
 	if sr.ShedPointClients > 0 {
 		log.Printf("  shed point: %d clients", sr.ShedPointClients)
+	}
+	if sr.BinarySpeedup > 0 {
+		log.Printf("  binary speedup: %.2fx over json", sr.BinarySpeedup)
 	}
 	if r := sr.Recovery; r != nil {
 		log.Printf("  recovery: restore %.1fms, %d snapshot drives + %d WAL batches (%d rows), %d -> %d shards",

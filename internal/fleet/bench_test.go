@@ -32,3 +32,41 @@ func BenchmarkFleetIngest(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkIngestSteady measures the steady-state batch path the server
+// sits on: every drive already tracked, every hour fresh, no
+// quarantines and no escalations. This is where the <1 alloc/record
+// budget of the binary ingest hot path is spent.
+func BenchmarkIngestSteady(b *testing.B) {
+	const drives, hours = 256, 4
+	obs := make([]Observation, 0, drives*hours)
+	serials := make([]string, drives)
+	for d := range serials {
+		serials[d] = fmt.Sprintf("SER-%04d", d)
+	}
+	for h := 0; h < hours; h++ {
+		for d := 0; d < drives; d++ {
+			obs = append(obs, Observation{Serial: serials[d], Record: record(h, 0.9)})
+		}
+	}
+	s, err := New(testModels(), testNormalizer(), Config{Shards: 16, Workers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res := s.IngestBatch(obs); res.Ingested != len(obs) {
+		b.Fatalf("warm-up ingested %d, want %d", res.Ingested, len(obs))
+	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(len(obs)), "recs/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range obs {
+			obs[j].Record.Hour += hours
+		}
+		res := s.IngestBatch(obs)
+		if res.Quality.RowsQuarantined != 0 {
+			b.Fatalf("steady batch quarantined %d rows", res.Quality.RowsQuarantined)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(obs))/b.Elapsed().Seconds(), "records/s")
+}

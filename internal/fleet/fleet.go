@@ -110,6 +110,41 @@ type Store struct {
 	norm   *smart.Normalizer
 	shards []*shard
 	mask   uint64
+	// scratch pools the per-batch fan-out buffers of IngestBatch so the
+	// steady-state ingest hot path allocates nothing per batch.
+	scratch sync.Pool
+}
+
+// indexedAlert is an alert tagged with its submission index, so alerts
+// collected per shard can be merged back into submission order.
+type indexedAlert struct {
+	idx   int
+	alert Alert
+}
+
+// batchScratch is the reusable fan-out state of one IngestBatch call.
+type batchScratch struct {
+	perShard [][]int
+	alerts   [][]indexedAlert
+	quality  []qualityCounters
+	merged   []indexedAlert
+}
+
+func (s *Store) getScratch() *batchScratch {
+	if sc, ok := s.scratch.Get().(*batchScratch); ok {
+		for i := range sc.perShard {
+			sc.perShard[i] = sc.perShard[i][:0]
+			sc.alerts[i] = sc.alerts[i][:0]
+		}
+		sc.merged = sc.merged[:0]
+		return sc
+	}
+	return &batchScratch{
+		perShard: make([][]int, len(s.shards)),
+		alerts:   make([][]indexedAlert, len(s.shards)),
+		quality:  make([]qualityCounters, len(s.shards)),
+		merged:   nil,
+	}
 }
 
 // New builds a store whose shards each score drives with the given group
@@ -194,20 +229,16 @@ func (s *Store) IngestBatch(obs []Observation) BatchResult {
 	if len(obs) == 0 {
 		return res
 	}
-	perShard := make([][]int, len(s.shards))
+	sc := s.getScratch()
+	defer s.scratch.Put(sc)
 	for i, o := range obs {
 		si := s.shardIndex(o.Serial)
-		perShard[si] = append(perShard[si], i)
+		sc.perShard[si] = append(sc.perShard[si], i)
 	}
-	type indexedAlert struct {
-		idx   int
-		alert Alert
-	}
-	shardAlerts := make([][]indexedAlert, len(s.shards))
-	shardQuality := make([]quality.Report, len(s.shards))
 	parallel.ForEach(s.cfg.Workers, len(s.shards), func(si int) {
-		idxs := perShard[si]
+		idxs := sc.perShard[si]
 		if len(idxs) == 0 {
+			sc.quality[si] = qualityCounters{}
 			return
 		}
 		sh := s.shards[si]
@@ -216,53 +247,58 @@ func (s *Store) IngestBatch(obs []Observation) BatchResult {
 		before := snapshotCounters(sh.mon.Quality())
 		for _, i := range idxs {
 			if a := sh.ingestLocked(obs[i].Serial, obs[i].Record); a != nil {
-				shardAlerts[si] = append(shardAlerts[si], indexedAlert{idx: i, alert: *a})
+				sc.alerts[si] = append(sc.alerts[si], indexedAlert{idx: i, alert: *a})
 			}
 		}
-		shardQuality[si] = deltaReport(before, sh.mon.Quality())
+		sc.quality[si] = deltaCounters(before, sh.mon.Quality())
 	})
-	var merged []indexedAlert
-	for _, as := range shardAlerts {
-		merged = append(merged, as...)
+	for _, as := range sc.alerts {
+		sc.merged = append(sc.merged, as...)
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].idx < merged[j].idx })
-	res.Alerts = make([]Alert, len(merged))
-	for i, ia := range merged {
+	if len(sc.merged) > 1 {
+		sort.Slice(sc.merged, func(i, j int) bool { return sc.merged[i].idx < sc.merged[j].idx })
+	}
+	res.Alerts = make([]Alert, len(sc.merged))
+	for i, ia := range sc.merged {
 		res.Alerts[i] = ia.alert
 	}
-	for si := range shardQuality {
-		res.Quality.Merge(&shardQuality[si])
+	for si := range sc.quality {
+		d := &sc.quality[si]
+		res.Quality.RowsRead += d.rowsRead
+		res.Quality.RowsQuarantined += d.rowsQuarantined
+		for k, n := range d.byKind {
+			res.Quality.ByKind[k] += n
+		}
 	}
 	return res
 }
 
 // qualityCounters is the subtractable part of a quality.Report, used to
 // compute per-batch ledger deltas from the shards' cumulative ledgers.
+// ByKind mirrors quality.Report's fixed per-kind array, so snapshots and
+// deltas are plain value copies with no per-batch map churn.
 type qualityCounters struct {
 	rowsRead, rowsQuarantined int
-	byKind                    map[quality.Kind]int
+	byKind                    [len(quality.Report{}.ByKind)]int
 }
 
 func snapshotCounters(r *quality.Report) qualityCounters {
-	c := qualityCounters{
+	return qualityCounters{
 		rowsRead:        r.RowsRead,
 		rowsQuarantined: r.RowsQuarantined,
-		byKind:          map[quality.Kind]int{},
+		byKind:          r.ByKind,
 	}
-	for k := range r.ByKind {
-		if r.ByKind[k] != 0 {
-			c.byKind[quality.Kind(k)] = r.ByKind[k]
-		}
-	}
-	return c
 }
 
-func deltaReport(before qualityCounters, after *quality.Report) quality.Report {
-	var d quality.Report
-	d.RowsRead = after.RowsRead - before.rowsRead
-	d.RowsQuarantined = after.RowsQuarantined - before.rowsQuarantined
+// deltaCounters subtracts a snapshot from a shard's cumulative ledger,
+// yielding the batch's contribution.
+func deltaCounters(before qualityCounters, after *quality.Report) qualityCounters {
+	d := qualityCounters{
+		rowsRead:        after.RowsRead - before.rowsRead,
+		rowsQuarantined: after.RowsQuarantined - before.rowsQuarantined,
+	}
 	for k := range after.ByKind {
-		d.ByKind[k] = after.ByKind[k] - before.byKind[quality.Kind(k)]
+		d.byKind[k] = after.ByKind[k] - before.byKind[k]
 	}
 	return d
 }

@@ -268,8 +268,12 @@ func (d *Driver) Run(ctx context.Context, phase Phase, queues [][]*Batch) (*Phas
 // attempts — neither was applied server-side, so a retry cannot
 // double-ingest.
 func (d *Driver) sendBatch(ctx context.Context, b *Batch, st *clientStats, maxWait time.Duration, maxAttempts int) error {
+	contentType := b.ContentType
+	if contentType == "" {
+		contentType = "application/json"
+	}
 	for attempt := 1; ; attempt++ {
-		code, retryAfter, doc, elapsedMs, err := d.post(ctx, b.Body)
+		code, retryAfter, doc, elapsedMs, err := d.post(ctx, b.Body, contentType)
 		if err != nil {
 			return fmt.Errorf("batch %d/%d: %w", b.Stream, b.Index, err)
 		}
@@ -315,12 +319,12 @@ func (d *Driver) sendBatch(ctx context.Context, b *Batch, st *clientStats, maxWa
 }
 
 // post sends one ingest request and measures its latency.
-func (d *Driver) post(ctx context.Context, body []byte) (code int, retryAfter string, doc ingestResponse, elapsedMs float64, err error) {
+func (d *Driver) post(ctx context.Context, body []byte, contentType string) (code int, retryAfter string, doc ingestResponse, elapsedMs float64, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.baseURL()+"/v1/ingest", bytes.NewReader(body))
 	if err != nil {
 		return 0, "", doc, 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	start := time.Now()
 	resp, err := d.client().Do(req)
 	if err != nil {

@@ -343,6 +343,12 @@ func TestScenariosEndToEnd(t *testing.T) {
 		t.Fatal("steady raised no alerts; scenario is vacuous")
 	}
 
+	fc, err := RunFormatCompare(ctx, dep, cfg)
+	requirePassed("format-compare", fc, err)
+	if fc.BinarySpeedup <= 0 {
+		t.Fatalf("format-compare recorded no speedup: %+v", fc)
+	}
+
 	r, err := RunRamp(ctx, dep, cfg)
 	requirePassed("ramp", r, err)
 	if r.ShedPointClients != 3 {
@@ -360,7 +366,7 @@ func TestScenariosEndToEnd(t *testing.T) {
 		t.Fatalf("chaos restored at the same shard count %d; layout independence untested", c.Recovery.ShardsAfter)
 	}
 
-	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, r, c}}
+	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, fc, r, c}}
 	if !rep.Passed() {
 		t.Fatal("aggregate report not passed")
 	}

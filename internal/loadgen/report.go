@@ -58,6 +58,10 @@ type ScenarioReport struct {
 	// scenario observed load shedding (0 when it never shed).
 	ShedPointClients int `json:"shed_point_clients,omitempty"`
 
+	// BinarySpeedup is the format-compare scenario's measured throughput
+	// ratio: binary records/s over JSON records/s for the same workload.
+	BinarySpeedup float64 `json:"binary_speedup,omitempty"`
+
 	// Recovery describes the chaos scenario's warm restart.
 	Recovery *RecoveryReport `json:"recovery,omitempty"`
 

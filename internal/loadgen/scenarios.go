@@ -56,6 +56,11 @@ type ScenarioConfig struct {
 	// ChaosStateDir is the chaos scenario's durable state directory
 	// (required for RunChaos).
 	ChaosStateDir string
+	// CompareBatch is the format-compare scenario's batch size. The
+	// comparison runs closed-loop and wants per-request HTTP overhead
+	// amortized so the measured gap is dominated by the decode + scoring
+	// cost, not TCP round trips; <= 0 means 1000.
+	CompareBatch int
 }
 
 func (c ScenarioConfig) clients() int {
@@ -156,6 +161,150 @@ func RunSteady(ctx context.Context, dep Deployment, cfg ScenarioConfig) (*Scenar
 	_, _, _, err = MetricsInvariant(h.URL, int64(shadow.Ingested()))
 	rep.addCheck("metrics-invariant", err)
 	rep.SummaryFingerprint = StateFingerprint(CanonicalState(h.Store))
+	rep.finish()
+	return rep, nil
+}
+
+// formatOutcome is one replica's result in the format comparison.
+type formatOutcome struct {
+	state   *fleet.State
+	fp      string
+	alerts  []string
+	records int
+	seconds float64
+}
+
+// RunFormatCompare replays the same workload twice — once as JSON
+// bodies, once as CRC-framed binary batches — each against a fresh
+// server, closed-loop. The run passes only if both replicas land on
+// bit-identical canonical-state fingerprints, acknowledge the same
+// alert multiset, match an in-process shadow record-for-record, and
+// balance their /metrics ledgers. The per-format phases record
+// throughput side by side; they are the BENCH_loadgen.json evidence
+// for the binary hot path. The in-run speedup gate is deliberately
+// loose (1.2x) because CI replays the soak under -race on shared
+// runners; the committed report shows the real margin.
+func RunFormatCompare(ctx context.Context, dep Deployment, cfg ScenarioConfig) (*ScenarioReport, error) {
+	rep := &ScenarioReport{Name: "format-compare"}
+	wcfg := cfg.Workload
+	wcfg.BatchSize = cfg.CompareBatch
+	if wcfg.BatchSize <= 0 {
+		wcfg.BatchSize = 1000
+	}
+	wcfg.Format = FormatJSON
+	wl, err := BuildWorkload(wcfg)
+	if err != nil {
+		return rep, err
+	}
+	shadow, err := NewShadow(dep.Models, dep.Norm, fleet.Config{Monitor: dep.Monitor})
+	if err != nil {
+		return rep, err
+	}
+	clients := cfg.clients()
+	// At least three passes per format: a single pass of the small
+	// workload is a handful of requests, too few for a stable rate.
+	passes := cfg.Passes
+	if passes < 3 {
+		passes = 3
+	}
+	rep.Drives = len(wl.Drives)
+
+	runFormat := func(f Format) (*formatOutcome, error) {
+		h, err := StartHarness(dep.Models, dep.Norm, dep.fleetConfig(), server.Config{
+			MaxInFlight: 256,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			h.Stop(sctx)
+		}()
+		drv := &Driver{BaseURL: h.URL, Log: dep.Log}
+		out := &formatOutcome{}
+		wlf := wl.WithFormat(f)
+		for pass := 0; pass < passes; pass++ {
+			wlp := wlf
+			if pass > 0 {
+				wlp = wlf.WithSuffix(fmt.Sprintf("-p%d", pass))
+			}
+			queues := wlp.Split(clients)
+			if f == FormatJSON && pass == 0 {
+				rep.WorkloadFingerprint = Fingerprint(queues)
+			}
+			stats, err := drv.Run(ctx, Phase{
+				// Closed-loop (no Interval): the comparison measures capacity.
+				Name:    fmt.Sprintf("compare-%s-pass%d", f, pass),
+				Clients: clients,
+			}, queues)
+			if stats != nil {
+				rep.Phases = append(rep.Phases, stats)
+				out.alerts = append(out.alerts, stats.AlertKeys...)
+				out.records += stats.RecordsSent
+				out.seconds += stats.Duration / 1000
+				rep.Records += stats.RecordsSent
+			}
+			if err != nil {
+				return nil, err
+			}
+			// One shadow serves both replicas: the observation streams are
+			// identical across formats, so it is applied on the JSON leg only.
+			if f == FormatJSON {
+				if err := shadow.ApplyChunk(queues); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, _, _, err := MetricsInvariant(h.URL, int64(out.records)); err != nil {
+			return nil, fmt.Errorf("metrics invariant: %w", err)
+		}
+		out.state = CanonicalState(h.Store)
+		out.fp = StateFingerprint(out.state)
+		return out, nil
+	}
+
+	jo, err := runFormat(FormatJSON)
+	if err != nil {
+		rep.addCheck("json-replica", err)
+		rep.finish()
+		return rep, nil
+	}
+	bo, err := runFormat(FormatBinary)
+	if err != nil {
+		rep.addCheck("binary-replica", err)
+		rep.finish()
+		return rep, nil
+	}
+	rep.Alerts = len(jo.alerts)
+
+	var fpErr error
+	if jo.fp != bo.fp {
+		fpErr = CompareStates("json", "binary", jo.state, bo.state)
+		if fpErr == nil {
+			fpErr = fmt.Errorf("state fingerprints differ (json %s vs binary %s) but states compare equal", jo.fp, bo.fp)
+		}
+	}
+	rep.addCheck("formats-identical-state", fpErr)
+	rep.addCheck("formats-identical-alerts",
+		CompareAlerts("json", "binary", jo.alerts, bo.alerts, false))
+	rep.addCheck("state-matches-shadow",
+		CompareStates("shadow", "json", shadow.State(), jo.state))
+	rep.addCheck("alerts-match-shadow",
+		CompareAlerts("shadow", "http", shadow.AlertKeys(), jo.alerts, false))
+	var spErr error
+	if jo.seconds > 0 && bo.seconds > 0 {
+		jsonRate := float64(jo.records) / jo.seconds
+		binRate := float64(bo.records) / bo.seconds
+		if jsonRate > 0 {
+			rep.BinarySpeedup = binRate / jsonRate
+		}
+	}
+	if rep.BinarySpeedup < 1.2 {
+		spErr = fmt.Errorf("binary throughput only %.2fx of JSON (want >= 1.2x)", rep.BinarySpeedup)
+	}
+	rep.addCheck("binary-faster-than-json", spErr)
+	rep.SummaryFingerprint = jo.fp
 	rep.finish()
 	return rep, nil
 }

@@ -27,7 +27,42 @@ import (
 	"disksig/internal/parallel"
 	"disksig/internal/smart"
 	"disksig/internal/synth"
+	"disksig/internal/wire"
 )
+
+// Format selects the ingest wire format batches are prebuilt in. Both
+// formats carry the same observations — the server decodes either into
+// identical fleet.Observation values — so the final fleet state is
+// format-independent; only the bytes (and therefore the workload
+// fingerprint) differ.
+type Format string
+
+const (
+	// FormatJSON is the {"records": [...]} JSON request body.
+	FormatJSON Format = "json"
+	// FormatBinary is the CRC-framed binary batch frame (internal/wire).
+	FormatBinary Format = "binary"
+)
+
+// ParseFormat maps a flag value to a Format; "" means FormatJSON.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case "":
+		return FormatJSON, nil
+	case FormatJSON, FormatBinary:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("loadgen: unknown format %q (want json or binary)", s)
+}
+
+// ContentType returns the Content-Type header value declaring the
+// format on POST /v1/ingest.
+func (f Format) ContentType() string {
+	if f == FormatBinary {
+		return wire.ContentType
+	}
+	return "application/json"
+}
 
 // WorkloadConfig parameterizes a synthetic telemetry workload. The zero
 // value is not useful; DefaultWorkloadConfig fills in the fault mix and
@@ -53,6 +88,9 @@ type WorkloadConfig struct {
 	// BatchSize is the number of observations per ingest request.
 	// <= 0 means 200.
 	BatchSize int
+	// Format is the wire format batch bodies are prebuilt in; the zero
+	// value means FormatJSON.
+	Format Format
 }
 
 // DefaultWorkloadConfig is the scenario workload: a held-out small
@@ -77,6 +115,9 @@ func (c WorkloadConfig) withDefaults() WorkloadConfig {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 200
 	}
+	if c.Format == "" {
+		c.Format = FormatJSON
+	}
 	return c
 }
 
@@ -97,13 +138,17 @@ type Workload struct {
 
 // Batch is one ingest request: its observations (in wire-normalized
 // form: every non-finite value is already NaN, exactly what the server
-// decodes from null) and the prebuilt JSON request body.
+// decodes from a JSON null or an absent binary triple) and the prebuilt
+// request body in the workload's format.
 type Batch struct {
 	// Stream and Index locate the batch: Index-th batch of its client
 	// stream.
 	Stream, Index int
 	Obs           []fleet.Observation
 	Body          []byte
+	// ContentType declares Body's format on the wire; "" is treated as
+	// "application/json" for hand-built batches.
+	ContentType string
 }
 
 // BuildWorkload generates the synth fleet, applies the fault mix and
@@ -179,6 +224,16 @@ func (w *Workload) WithSuffix(suffix string) *Workload {
 	return &Workload{cfg: w.cfg, Drives: drives}
 }
 
+// WithFormat derives a workload identical in drives and records but
+// whose batches are encoded in a different wire format. Bodies (and
+// therefore workload fingerprints) differ; observations do not, which
+// is exactly the property the format-compare scenario exercises.
+func (w *Workload) WithFormat(f Format) *Workload {
+	cfg := w.cfg
+	cfg.Format = f
+	return &Workload{cfg: cfg.withDefaults(), Drives: w.Drives}
+}
+
 // Records returns the total record count of the workload.
 func (w *Workload) Records() int {
 	n := 0
@@ -222,10 +277,11 @@ func (w *Workload) Split(streams int) [][]*Batch {
 		for lo := 0; lo < len(stream); lo += w.cfg.BatchSize {
 			obs := stream[lo:min(lo+w.cfg.BatchSize, len(stream))]
 			queues[s] = append(queues[s], &Batch{
-				Stream: s,
-				Index:  len(queues[s]),
-				Obs:    obs,
-				Body:   EncodeBatch(obs),
+				Stream:      s,
+				Index:       len(queues[s]),
+				Obs:         obs,
+				Body:        encodeBody(w.cfg.Format, obs),
+				ContentType: w.cfg.Format.ContentType(),
 			})
 		}
 	}
@@ -260,6 +316,17 @@ func EncodeBatch(obs []fleet.Observation) []byte {
 		panic(fmt.Sprintf("loadgen: encoding batch: %v", err))
 	}
 	return body
+}
+
+// encodeBody renders observations in the given format. Both encoders
+// drop non-finite values (null in JSON, an absent attribute triple in
+// binary) and the server decodes either back to NaN, so the two bodies
+// ingest to bit-identical fleet state.
+func encodeBody(f Format, obs []fleet.Observation) []byte {
+	if f == FormatBinary {
+		return wire.EncodeBatch(obs)
+	}
+	return EncodeBatch(obs)
 }
 
 // Fingerprint hashes the exact request sequence of split queues — every

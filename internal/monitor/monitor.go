@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 
 	"disksig/internal/core"
 	"disksig/internal/quality"
@@ -156,6 +157,10 @@ type Monitor struct {
 	// being tracked: all of its records were quarantined.
 	ledgers map[int]*DriveLedger
 	quality quality.Report
+	// normBuf is the reusable normalized-vector scratch of Ingest; a
+	// Monitor is single-goroutine (each fleet shard owns one behind its
+	// mutex), so one buffer suffices.
+	normBuf []float64
 }
 
 // DriveLedger is one drive's share of the monitor's quality accounting.
@@ -210,6 +215,7 @@ func New(models []GroupModel, norm *smart.Normalizer, cfg Config) (*Monitor, err
 		norm:    norm,
 		drives:  map[int]*driveState{},
 		ledgers: map[int]*DriveLedger{},
+		normBuf: make([]float64, smart.NumAttrs),
 	}, nil
 }
 
@@ -253,20 +259,22 @@ func FromCharacterization(ch *core.Characterization, cfg Config) (*Monitor, erro
 // hour replaces the previous sample instead of widening the window.
 // Every such event is counted in Quality.
 func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
-	drive := fmt.Sprintf("%d", driveID)
 	// Only non-finite values poison the window: finite out-of-range
-	// values are clamped by the normalizer and score fine.
-	var nonFinite []quality.Issue
-	for _, iss := range quality.CheckValues(rec.Values) {
-		if iss.Kind == quality.NonFinite {
-			iss.Drive = drive
-			nonFinite = append(nonFinite, iss)
+	// values are clamped by the normalizer and score fine. The scan is
+	// inlined (rather than quality.CheckValues) so a clean record — the
+	// steady state — formats no drive label and builds no issue list.
+	bad := false
+	for a := 0; a < int(smart.NumAttrs); a++ {
+		if x := rec.Values[a]; math.IsNaN(x) || math.IsInf(x, 0) {
+			bad = true
+			m.note(driveID, quality.Issue{
+				Kind: quality.NonFinite, Drive: strconv.Itoa(driveID),
+				Field:  smart.Attr(a).String(),
+				Detail: fmt.Sprintf("value %v", x),
+			})
 		}
 	}
-	if len(nonFinite) > 0 {
-		for _, iss := range nonFinite {
-			m.note(driveID, iss)
-		}
+	if bad {
 		m.addRows(driveID, 1, 1)
 		return nil
 	}
@@ -274,6 +282,9 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 	st, ok := m.drives[driveID]
 	if !ok {
 		st = &driveState{recent: make([][]float64, len(m.models))}
+		for gi := range st.recent {
+			st.recent[gi] = make([]float64, 0, m.cfg.Smoothing)
+		}
 		m.drives[driveID] = st
 	}
 	replace := false
@@ -282,7 +293,7 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 		case rec.Hour < st.lastHour:
 			// Stale sample: the drive already reported a later state.
 			m.note(driveID, quality.Issue{
-				Kind: quality.OutOfOrderTimestamp, Drive: drive,
+				Kind: quality.OutOfOrderTimestamp, Drive: strconv.Itoa(driveID),
 				Detail: fmt.Sprintf("hour %d after hour %d", rec.Hour, st.lastHour),
 			})
 			m.addRows(driveID, 1, 1)
@@ -290,7 +301,7 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 		case rec.Hour == st.lastHour:
 			// Keep-latest: the repeat supersedes the previous sample.
 			m.note(driveID, quality.Issue{
-				Kind: quality.DuplicateTimestamp, Drive: drive,
+				Kind: quality.DuplicateTimestamp, Drive: strconv.Itoa(driveID),
 				Detail: fmt.Sprintf("hour %d repeated", rec.Hour),
 			})
 			m.addRows(driveID, 1, 1)
@@ -304,16 +315,21 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 	st.seen = true
 	st.lastHour = rec.Hour
 
-	normalized := m.norm.Normalize(rec.Values).Slice()
+	normalized := m.norm.Normalize(rec.Values)
+	copy(m.normBuf, normalized[:])
 	for gi, gm := range m.models {
-		score := gm.Predictor.Predict(normalized)
-		if replace && len(st.recent[gi]) > 0 {
-			st.recent[gi][len(st.recent[gi])-1] = score
-			continue
-		}
-		st.recent[gi] = append(st.recent[gi], score)
-		if len(st.recent[gi]) > m.cfg.Smoothing {
-			st.recent[gi] = st.recent[gi][1:]
+		score := gm.Predictor.Predict(m.normBuf)
+		w := st.recent[gi]
+		switch {
+		case replace && len(w) > 0:
+			w[len(w)-1] = score
+		case len(w) < m.cfg.Smoothing:
+			st.recent[gi] = append(w, score)
+		default:
+			// Window full: slide in place instead of reslicing, so the
+			// steady state never re-allocates the window.
+			copy(w, w[1:])
+			w[len(w)-1] = score
 		}
 	}
 
@@ -390,9 +406,22 @@ func smoothedMedian(xs []float64) float64 {
 	if len(xs) == 0 {
 		return math.Inf(1)
 	}
-	cp := make([]float64, len(xs))
+	// Smoothing windows are tiny (default 3), so sort a stack copy by
+	// insertion — sort.Float64s would heap-allocate the copy on every
+	// scored record.
+	var buf [16]float64
+	var cp []float64
+	if len(xs) <= len(buf) {
+		cp = buf[:len(xs)]
+	} else {
+		cp = make([]float64, len(xs))
+	}
 	copy(cp, xs)
-	sort.Float64s(cp)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
 	return cp[len(cp)/2]
 }
 

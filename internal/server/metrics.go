@@ -21,6 +21,8 @@ type metrics struct {
 	rowsIngested    atomic.Int64
 	rowsKept        atomic.Int64
 	rowsQuarantined atomic.Int64
+	ingestReqJSON   atomic.Int64 // ingest requests per negotiated format
+	ingestReqBinary atomic.Int64
 
 	alertsBySeverity [4]atomic.Int64 // indexed by monitor.Severity
 
@@ -82,6 +84,8 @@ func (m *metrics) snapshot() map[string]any {
 			"rows_ingested":    m.rowsIngested.Load(),
 			"rows_kept":        m.rowsKept.Load(),
 			"rows_quarantined": m.rowsQuarantined.Load(),
+			"requests_json":    m.ingestReqJSON.Load(),
+			"requests_binary":  m.ingestReqBinary.Load(),
 		},
 		"alerts": map[string]int64{
 			"watch":    m.alertsBySeverity[1].Load(),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -31,6 +32,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// logLinePool recycles access-log line buffers: the line is appended
+// into a pooled []byte instead of being fmt-formatted, so logging a
+// request costs one string conversion, not a box per operand.
+var logLinePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 192)
+	return &b
+}}
+
 // instrument wraps a handler with metrics and structured access logging.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -43,8 +52,23 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		elapsed := time.Since(start)
 		s.m.observeRequest(sw.status, elapsed)
 		if s.cfg.Log != nil {
-			s.cfg.Log.Printf("method=%s path=%s status=%d bytes=%d dur=%s remote=%s",
-				r.Method, r.URL.Path, sw.status, sw.bytes, elapsed.Round(time.Microsecond), r.RemoteAddr)
+			bp := logLinePool.Get().(*[]byte)
+			b := (*bp)[:0]
+			b = append(b, "method="...)
+			b = append(b, r.Method...)
+			b = append(b, " path="...)
+			b = append(b, r.URL.Path...)
+			b = append(b, " status="...)
+			b = strconv.AppendInt(b, int64(sw.status), 10)
+			b = append(b, " bytes="...)
+			b = strconv.AppendInt(b, int64(sw.bytes), 10)
+			b = append(b, " dur="...)
+			b = append(b, elapsed.Round(time.Microsecond).String()...)
+			b = append(b, " remote="...)
+			b = append(b, r.RemoteAddr...)
+			_ = s.cfg.Log.Output(2, string(b))
+			*bp = b
+			logLinePool.Put(bp)
 		}
 	})
 }

@@ -12,6 +12,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -21,6 +22,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +32,7 @@ import (
 	"disksig/internal/persist"
 	"disksig/internal/quality"
 	"disksig/internal/smart"
+	"disksig/internal/wire"
 )
 
 // Config parameterizes the server.
@@ -217,12 +220,44 @@ type ingestRequest struct {
 	Records []ingestRecord `json:"records"`
 }
 
+// mediaType extracts the bare media type of a Content-Type header value,
+// dropping parameters like charset. An absent header negotiates as JSON
+// (the format the API launched with).
+func mediaType(ct string) string {
+	ct, _, _ = strings.Cut(ct, ";")
+	ct = strings.TrimSpace(ct)
+	if strings.ContainsFunc(ct, func(r rune) bool { return r >= 'A' && r <= 'Z' }) {
+		ct = strings.ToLower(ct)
+	}
+	return ct
+}
+
+// handleIngest negotiates the batch format by Content-Type: JSON (the
+// default) or the binary frame format of internal/wire. Anything else is
+// a 415 — silently parsing a mislabeled body would quarantine the whole
+// batch as garbage instead of telling the client it spoke the wrong
+// format.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.IngestDelay > 0 {
 		// The sleep happens while holding an in-flight slot, so overload
 		// tests see a server whose capacity is genuinely bounded.
 		time.Sleep(s.cfg.IngestDelay)
 	}
+	switch ct := mediaType(r.Header.Get("Content-Type")); ct {
+	case "", "application/json":
+		s.m.ingestReqJSON.Add(1)
+		s.handleIngestJSON(w, r)
+	case wire.ContentType:
+		s.m.ingestReqBinary.Add(1)
+		s.handleIngestBinary(w, r)
+	default:
+		writeJSON(w, http.StatusUnsupportedMediaType, map[string]any{
+			"error": fmt.Sprintf("unsupported Content-Type %q (want application/json or %s)", ct, wire.ContentType),
+		})
+	}
+}
+
+func (s *Server) handleIngestJSON(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	// Unknown fields are rejected rather than silently dropped: a typo'd
@@ -300,6 +335,76 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.finishIngest(w, obs, &rep)
+}
+
+// bodyPool recycles the binary-path request body buffers; sized bodies
+// are the norm (loadgen batches are tens of KiB), so reuse matters.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// decoderPool recycles wire decoders across requests. A warm decoder
+// carries its interned serial table and observation buffer, which is
+// what makes the steady-state binary path allocation-free.
+var decoderPool = sync.Pool{New: func() any { return new(wire.Decoder) }}
+
+func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyPool.Put(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error": fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+			})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("reading request body: %v", err),
+		})
+		return
+	}
+
+	dec := decoderPool.Get().(*wire.Decoder)
+	defer decoderPool.Put(dec)
+	var rep quality.Report
+	obs, err := dec.Decode(buf.Bytes(), &rep)
+	if err != nil {
+		// Frame-level failure: nothing in the batch can be trusted, so
+		// nothing was ingested — the same contract as malformed JSON, with
+		// the frame defect named in the ledger.
+		if fe, ok := wire.IsFrameError(err); ok {
+			rep.Note(fe.Issue(), quality.Config{})
+		} else {
+			rep.Note(quality.Issue{Kind: quality.MalformedRow, Detail: err.Error()}, quality.Config{})
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":   fmt.Sprintf("malformed request body: %v", err),
+			"quality": ledgerJSON(&rep),
+		})
+		return
+	}
+	s.finishIngest(w, obs, &rep)
+}
+
+// ingestAck is the POST /v1/ingest response. It is a struct, not a
+// map[string]any, so the hot path hands the encoder a shape it can walk
+// without per-field boxing.
+type ingestAck struct {
+	Ingested    int            `json:"ingested"`
+	Kept        int            `json:"kept"`
+	Quarantined int            `json:"quarantined"`
+	Alerts      []alertPayload `json:"alerts"`
+	Quality     ledgerPayload  `json:"quality"`
+}
+
+// finishIngest applies decoded observations to the store (through the
+// WAL when persistence is on) and writes the ack. rep carries the
+// decode-stage quarantines; the batch's total record count is recovered
+// from kept + quarantined, which both wire formats account identically.
+func (s *Server) finishIngest(w http.ResponseWriter, obs []fleet.Observation, rep *quality.Report) {
+	ingested := len(obs) + rep.RowsQuarantined
 	if s.testHoldIngest != nil {
 		s.testHoldIngest()
 	}
@@ -323,22 +428,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	rep.Merge(&res.Quality)
 
-	s.m.rowsIngested.Add(int64(len(req.Records)))
+	s.m.rowsIngested.Add(int64(ingested))
 	s.m.rowsKept.Add(int64(rep.RowsKept()))
 	s.m.rowsQuarantined.Add(int64(rep.RowsQuarantined))
-	alerts := make([]map[string]any, len(res.Alerts))
+	ack := ingestAck{
+		Ingested:    ingested,
+		Kept:        rep.RowsKept(),
+		Quarantined: rep.RowsQuarantined,
+		Alerts:      make([]alertPayload, len(res.Alerts)),
+		Quality:     ledgerPayloadOf(rep),
+	}
 	for i, a := range res.Alerts {
 		s.m.alertsBySeverity[int(a.Severity)].Add(1)
-		alerts[i] = alertJSON(a)
+		ack.Alerts[i] = alertPayloadOf(a)
 	}
-
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ingested":    len(req.Records),
-		"kept":        rep.RowsKept(),
-		"quarantined": rep.RowsQuarantined,
-		"alerts":      alerts,
-		"quality":     ledgerJSON(&rep),
-	})
+	writeJSON(w, http.StatusOK, &ack)
 }
 
 func (s *Server) handleDrive(w http.ResponseWriter, r *http.Request) {
@@ -460,15 +564,55 @@ func driveJSON(dh fleet.DriveHealth) map[string]any {
 	return out
 }
 
-func alertJSON(a fleet.Alert) map[string]any {
-	return map[string]any{
-		"serial":           a.Serial,
-		"hour":             a.Hour,
-		"severity":         a.Severity.String(),
-		"group":            a.Group,
-		"type":             a.Type.String(),
-		"degradation":      a.Degradation,
-		"hours_to_failure": finiteOrNil(a.HoursToFailure),
+// alertPayload is one alert in the ingest ack, shaped like the
+// map-based drive rendering but encodable without boxing.
+type alertPayload struct {
+	Serial         string   `json:"serial"`
+	Hour           int      `json:"hour"`
+	Severity       string   `json:"severity"`
+	Group          int      `json:"group"`
+	Type           string   `json:"type"`
+	Degradation    float64  `json:"degradation"`
+	HoursToFailure *float64 `json:"hours_to_failure"`
+}
+
+func alertPayloadOf(a fleet.Alert) alertPayload {
+	p := alertPayload{
+		Serial:      a.Serial,
+		Hour:        a.Hour,
+		Severity:    a.Severity.String(),
+		Group:       a.Group,
+		Type:        a.Type.String(),
+		Degradation: a.Degradation,
+	}
+	if !math.IsInf(a.HoursToFailure, 0) && !math.IsNaN(a.HoursToFailure) {
+		ttf := a.HoursToFailure
+		p.HoursToFailure = &ttf
+	}
+	return p
+}
+
+// ledgerPayload is the quarantine ledger in the ingest ack, the struct
+// form of ledgerJSON.
+type ledgerPayload struct {
+	RowsRead        int            `json:"rows_read"`
+	RowsKept        int            `json:"rows_kept"`
+	RowsQuarantined int            `json:"rows_quarantined"`
+	ByKind          map[string]int `json:"by_kind"`
+}
+
+func ledgerPayloadOf(rep *quality.Report) ledgerPayload {
+	byKind := map[string]int{}
+	for k := range rep.ByKind {
+		if rep.ByKind[k] != 0 {
+			byKind[quality.Kind(k).String()] = rep.ByKind[k]
+		}
+	}
+	return ledgerPayload{
+		RowsRead:        rep.RowsRead,
+		RowsKept:        rep.RowsKept(),
+		RowsQuarantined: rep.RowsQuarantined,
+		ByKind:          byKind,
 	}
 }
 
@@ -496,12 +640,35 @@ func ledgerJSON(rep *quality.Report) map[string]any {
 	}
 }
 
+// jsonScratch is a pooled response-encoding buffer with its encoder
+// permanently bound, so writeJSON allocates neither per request.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	sc := &jsonScratch{}
+	sc.enc = json.NewEncoder(&sc.buf)
+	sc.enc.SetIndent("", "  ")
+	return sc
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	sc := jsonPool.Get().(*jsonScratch)
+	sc.buf.Reset()
+	if err := sc.enc.Encode(v); err != nil {
+		// An unencodable response value is a programming error; surface it
+		// instead of a silent empty body.
+		jsonPool.Put(sc)
+		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(sc.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(sc.buf.Bytes())
+	jsonPool.Put(sc)
 }
 
 // Severity index sanity: the alerts metric array is indexed by

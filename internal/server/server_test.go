@@ -26,7 +26,7 @@ type rampPredictor struct{}
 
 func (rampPredictor) Predict(x []float64) float64 { return x[smart.RRER] }
 
-func testStore(t *testing.T, cfg fleet.Config) *fleet.Store {
+func testStore(t testing.TB, cfg fleet.Config) *fleet.Store {
 	t.Helper()
 	norm := smart.NewNormalizer()
 	var lo, hi smart.Values
@@ -50,7 +50,7 @@ func testStore(t *testing.T, cfg fleet.Config) *fleet.Store {
 	return s
 }
 
-func testServer(t *testing.T, fcfg fleet.Config, scfg Config) *Server {
+func testServer(t testing.TB, fcfg fleet.Config, scfg Config) *Server {
 	t.Helper()
 	return New(testStore(t, fcfg), scfg)
 }

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"testing"
+
+	"disksig/internal/quality"
+)
+
+// FuzzDecodeBatch hammers the decoder with arbitrary bytes. The
+// contract under fuzzing:
+//
+//   - Decode never panics, whatever the input.
+//   - A frame-level error leaves the quarantine ledger untouched and is
+//     classified as TruncatedInput or MalformedRow.
+//   - A successful decode accounts exactly: kept + quarantined equals
+//     the frame's declared record count, and the ledger reads precisely
+//     the quarantined rows (kept rows are the store's to count).
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeBatch(nil))
+	f.Add(EncodeBatch(testObs(1)))
+	f.Add(EncodeBatch(testObs(9)))
+	// A frame with a quarantined middle record (out-of-range attribute).
+	seedBad := EncodeBatch(testObs(3))
+	seedBad[headerSize+recHeaderSize] ^= 0xff
+	f.Add(seedBad)
+	// Structural corruption seeds: version, count, trailer.
+	f.Add(corrupt(EncodeBatch(testObs(2)), func(b []byte) { b[0] = 2 }))
+	f.Add(corrupt(EncodeBatch(testObs(2)), func(b []byte) { b[1] = 200 }))
+	f.Add(corrupt(EncodeBatch(testObs(2)), func(b []byte) { b[len(b)-2] ^= 1 }))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Decoder
+		var rep quality.Report
+		obs, err := d.Decode(data, &rep)
+		if err != nil {
+			if fe, ok := IsFrameError(err); !ok {
+				t.Fatalf("non-frame error from decode: %v", err)
+			} else if fe.Kind != quality.TruncatedInput && fe.Kind != quality.MalformedRow {
+				t.Fatalf("frame error with kind %v", fe.Kind)
+			}
+			if rep.RowsRead != 0 || rep.RowsQuarantined != 0 || !rep.Clean() {
+				t.Fatalf("frame error touched the ledger: %+v", rep)
+			}
+			return
+		}
+		count := int(u32(data[1:]))
+		if len(obs)+rep.RowsQuarantined != count {
+			t.Fatalf("kept %d + quarantined %d != declared count %d",
+				len(obs), rep.RowsQuarantined, count)
+		}
+		if rep.RowsRead != rep.RowsQuarantined {
+			t.Fatalf("ledger reads %d rows but quarantined %d; the wire layer accounts only quarantined rows",
+				rep.RowsRead, rep.RowsQuarantined)
+		}
+		for i := range obs {
+			if obs[i].Serial == "" {
+				t.Fatalf("record %d kept with an empty serial", i)
+			}
+		}
+	})
+}

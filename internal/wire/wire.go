@@ -1,0 +1,355 @@
+// Package wire is the binary batch wire format of the ingest API: a
+// compact, CRC-framed encoding of one POST /v1/ingest batch, negotiated
+// with the Content-Type "application/x-disksig-batch" alongside the JSON
+// format. It exists because JSON decode dominates the ingest hot path —
+// parsing a float64 out of a quoted decimal costs more than scoring the
+// record — and a fleet of millions of drives emitting hourly telemetry
+// cannot afford that per record. The binary decoder parses frames
+// directly into reusable observation buffers (serials are interned, so
+// the steady state allocates nothing per record) and routes every defect
+// through the internal/quality taxonomy, keeping the
+// kept+quarantined+dropped accounting invariant identical to the JSON
+// path's.
+//
+// # Frame layout (version 1)
+//
+// All integers are little-endian. The frame borrows the framing
+// discipline of internal/persist's WAL: length-prefixed fixed headers, a
+// checksum over the whole payload, and decode errors that name exactly
+// what tore.
+//
+//	offset 0  u8  version (0x01)
+//	offset 1  u32 record count
+//	then, per record:
+//	  u16 serial length (1..MaxSerialLen)
+//	  i32 hour
+//	  u16 attribute-triple count (0..smart.NumAttrs)
+//	  serial bytes
+//	  per triple: u8 attribute index | u8 flags (0) | u64 float64 bits
+//	trailer: u32 CRC-32C (Castagnoli) of every preceding byte
+//
+// A triple carries one present attribute value; attributes without a
+// triple decode as NaN ("missing at source", exactly what the JSON
+// format's null means). The encoder therefore omits non-finite values,
+// and the decoder quarantines any record whose triples smuggle in an
+// infinity — the same per-record judgment the JSON path applies to
+// out-of-range decimals like 1e999.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"disksig/internal/fleet"
+	"disksig/internal/quality"
+	"disksig/internal/smart"
+)
+
+// ContentType is the negotiated media type of the binary batch format.
+const ContentType = "application/x-disksig-batch"
+
+// Version is the only frame version this package reads and writes.
+const Version = 1
+
+const (
+	// MaxSerialLen caps one serial number, matching the WAL's cap.
+	MaxSerialLen = 4096
+	// headerSize is the fixed frame header: version byte + record count.
+	headerSize = 1 + 4
+	// recHeaderSize is the fixed per-record header: serial length, hour,
+	// triple count.
+	recHeaderSize = 2 + 4 + 2
+	// tripleSize is one attribute triple: index, flags, float64 bits.
+	tripleSize = 1 + 1 + 8
+	// trailerSize is the CRC-32C trailer.
+	trailerSize = 4
+	// minFrameSize is an empty batch: header + trailer.
+	minFrameSize = headerSize + trailerSize
+	// maxInternedSerials bounds the decoder's interning table so an
+	// adversarial stream of unique serials cannot grow it without bound;
+	// past the cap the table is reset and interning starts over.
+	maxInternedSerials = 1 << 16
+)
+
+// castagnoli is the CRC-32C table shared by encoder and decoder.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FrameError is a frame-level decode failure: nothing in the batch can
+// be trusted, so nothing is ingested. Kind classifies the failure in the
+// quality taxonomy (TruncatedInput for torn frames, MalformedRow for
+// corrupt or malformed ones) so the server's 400 response carries the
+// same quarantine ledger shape as a malformed JSON body.
+type FrameError struct {
+	Kind   quality.Kind
+	Detail string
+}
+
+// Error renders the failure.
+func (e *FrameError) Error() string { return "wire: " + e.Detail }
+
+// Issue renders the failure as a quality issue for the response ledger.
+func (e *FrameError) Issue() quality.Issue {
+	return quality.Issue{Kind: e.Kind, Detail: e.Detail}
+}
+
+func malformed(format string, args ...any) error {
+	return &FrameError{Kind: quality.MalformedRow, Detail: fmt.Sprintf(format, args...)}
+}
+
+func truncated(format string, args ...any) error {
+	return &FrameError{Kind: quality.TruncatedInput, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AppendBatch appends the frame encoding of a batch to dst and returns
+// the extended slice. Non-finite values are omitted (they decode back as
+// NaN, like the JSON format's null). It errors on observations the
+// format cannot carry: an empty or over-long serial, or an hour outside
+// int32 range.
+func AppendBatch(dst []byte, obs []fleet.Observation) ([]byte, error) {
+	if len(obs) > math.MaxUint32 {
+		return dst, fmt.Errorf("wire: batch of %d observations exceeds the u32 record count", len(obs))
+	}
+	start := len(dst)
+	dst = append(dst, Version)
+	dst = appendU32(dst, uint32(len(obs)))
+	for i := range obs {
+		o := &obs[i]
+		if len(o.Serial) == 0 || len(o.Serial) > MaxSerialLen {
+			return dst, fmt.Errorf("wire: observation %d serial length %d outside [1, %d]", i, len(o.Serial), MaxSerialLen)
+		}
+		if o.Record.Hour < math.MinInt32 || o.Record.Hour > math.MaxInt32 {
+			return dst, fmt.Errorf("wire: observation %d hour %d outside int32 range", i, o.Record.Hour)
+		}
+		present := 0
+		for a := 0; a < int(smart.NumAttrs); a++ {
+			if v := o.Record.Values[a]; !math.IsNaN(v) && !math.IsInf(v, 0) {
+				present++
+			}
+		}
+		dst = appendU16(dst, uint16(len(o.Serial)))
+		dst = appendU32(dst, uint32(int32(o.Record.Hour)))
+		dst = appendU16(dst, uint16(present))
+		dst = append(dst, o.Serial...)
+		for a := 0; a < int(smart.NumAttrs); a++ {
+			v := o.Record.Values[a]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			dst = append(dst, byte(a), 0)
+			dst = appendU64(dst, math.Float64bits(v))
+		}
+	}
+	return appendU32(dst, crc32.Checksum(dst[start:], castagnoli)), nil
+}
+
+// EncodeBatch encodes a batch into a fresh frame. It panics on
+// observations the format cannot carry — the callers that prebuild
+// workload bodies construct observations that always can.
+func EncodeBatch(obs []fleet.Observation) []byte {
+	frame, err := AppendBatch(make([]byte, 0, EncodedSize(obs)), obs)
+	if err != nil {
+		panic(err)
+	}
+	return frame
+}
+
+// EncodedSize returns the exact frame size of a batch, for preallocating
+// encode buffers. Observations the encoder rejects are sized as if every
+// value were present.
+func EncodedSize(obs []fleet.Observation) int {
+	n := headerSize + trailerSize
+	for i := range obs {
+		present := 0
+		for a := 0; a < int(smart.NumAttrs); a++ {
+			if v := obs[i].Record.Values[a]; !math.IsNaN(v) && !math.IsInf(v, 0) {
+				present++
+			}
+		}
+		n += recHeaderSize + len(obs[i].Serial) + present*tripleSize
+	}
+	return n
+}
+
+// Decoder parses binary batch frames into observations. It is built for
+// the ingest hot path: the observation buffer is reused across calls and
+// serials are interned, so decoding a steady-state batch (every drive
+// already seen) allocates nothing per record. A Decoder is not safe for
+// concurrent use; pool one per in-flight request.
+type Decoder struct {
+	obs    []fleet.Observation
+	intern map[string]string
+}
+
+// Decode parses one frame. Kept observations are returned (the slice is
+// valid until the next Decode call); records the frame structure can
+// still delimit but whose content is defective — an empty or over-long
+// serial, an attribute index out of range, a nonzero flag byte, a
+// duplicate attribute, an infinite value — are quarantined per record
+// into rep, exactly like the JSON path's per-record validation. A
+// frame-level failure (bad version, torn frame, CRC mismatch, count
+// mismatch, trailing bytes) returns a *FrameError and ingests nothing;
+// rep is untouched in that case.
+func (d *Decoder) Decode(frame []byte, rep *quality.Report) ([]fleet.Observation, error) {
+	if len(frame) < minFrameSize {
+		return nil, truncated("frame of %d bytes is shorter than the %d-byte minimum", len(frame), minFrameSize)
+	}
+	if frame[0] != Version {
+		return nil, malformed("unsupported wire version %d (want %d)", frame[0], Version)
+	}
+	body, trailer := frame[:len(frame)-trailerSize], frame[len(frame)-trailerSize:]
+	if sum := crc32.Checksum(body, castagnoli); sum != u32(trailer) {
+		return nil, malformed("frame checksum mismatch (computed %08x, trailer %08x)", sum, u32(trailer))
+	}
+	count := u32(body[1:])
+	p := body[headerSize:]
+	// Every record needs at least its fixed header plus one serial byte;
+	// reject counts the body cannot hold before trusting them.
+	if uint64(count)*(recHeaderSize+1) > uint64(len(p)) {
+		return nil, malformed("record count %d exceeds the %d-byte frame body", count, len(p))
+	}
+
+	d.obs = d.obs[:0]
+	if cap(d.obs) < int(count) {
+		d.obs = make([]fleet.Observation, 0, count)
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(p) < recHeaderSize {
+			return nil, truncated("record %d torn: %d bytes left, need a %d-byte record header", i, len(p), recHeaderSize)
+		}
+		slen := int(u16(p))
+		hour := int(int32(u32(p[2:])))
+		triples := int(u16(p[6:]))
+		p = p[recHeaderSize:]
+		need := slen + triples*tripleSize
+		if len(p) < need {
+			return nil, truncated("record %d torn: %d bytes left, need %d", i, len(p), need)
+		}
+		serial, tr := p[:slen], p[slen:need]
+		p = p[need:]
+
+		switch {
+		case slen == 0 || slen > MaxSerialLen:
+			rep.Note(quality.Issue{
+				Kind: quality.BadField, Field: "serial",
+				Detail: fmt.Sprintf("record %d serial length %d outside [1, %d]", i, slen, MaxSerialLen),
+			}, quality.Config{})
+			rep.AddRows(1, 1, 0)
+			continue
+		case triples > int(smart.NumAttrs):
+			rep.Note(quality.Issue{
+				Kind: quality.ShortRow, Drive: string(serial),
+				Detail: fmt.Sprintf("record %d has %d attribute triples, format carries at most %d", i, triples, smart.NumAttrs),
+			}, quality.Config{})
+			rep.AddRows(1, 1, 0)
+			continue
+		}
+
+		var v smart.Values
+		for a := range v {
+			v[a] = math.NaN()
+		}
+		var seen uint32
+		bad := false
+		for t := 0; t < triples; t++ {
+			attr, flags := tr[0], tr[1]
+			bits := u64(tr[2:])
+			tr = tr[tripleSize:]
+			switch {
+			case int(attr) >= int(smart.NumAttrs):
+				d.noteBadRecord(rep, serial, quality.BadField, "record %d triple %d names attribute %d, want < %d", i, t, attr, smart.NumAttrs)
+				bad = true
+			case flags != 0:
+				d.noteBadRecord(rep, serial, quality.BadField, "record %d triple %d has unknown flags %#02x", i, t, flags)
+				bad = true
+			case seen&(1<<attr) != 0:
+				d.noteBadRecord(rep, serial, quality.BadField, "record %d repeats attribute %d", i, attr)
+				bad = true
+			case math.IsInf(math.Float64frombits(bits), 0):
+				// The JSON path quarantines a value that parses to ±Inf
+				// instead of silently coercing it; the binary path must
+				// judge identical content identically.
+				d.noteBadRecord(rep, serial, quality.NonFinite, "record %d attribute %d carries an infinite value", i, attr)
+				bad = true
+			default:
+				seen |= 1 << attr
+				v[attr] = math.Float64frombits(bits)
+			}
+			if bad {
+				break
+			}
+		}
+		if bad {
+			rep.AddRows(1, 1, 0)
+			continue
+		}
+		d.obs = append(d.obs, fleet.Observation{
+			Serial: d.internSerial(serial),
+			Record: smart.Record{Hour: hour, Values: v},
+		})
+	}
+	if len(p) != 0 {
+		return nil, malformed("%d trailing bytes after %d records", len(p), count)
+	}
+	return d.obs, nil
+}
+
+// noteBadRecord records one defective-record issue. The serial is copied
+// via interning (the frame buffer is the caller's to reuse).
+func (d *Decoder) noteBadRecord(rep *quality.Report, serial []byte, kind quality.Kind, format string, args ...any) {
+	rep.Note(quality.Issue{
+		Kind: kind, Drive: d.internSerial(serial),
+		Detail: fmt.Sprintf(format, args...),
+	}, quality.Config{})
+}
+
+// internSerial returns a stable string for a serial's bytes, allocating
+// only the first time a serial is seen (map lookups keyed by a byte
+// slice conversion do not allocate). The table resets past its cap so a
+// flood of unique serials bounds at a table, not a leak.
+func (d *Decoder) internSerial(b []byte) string {
+	if s, ok := d.intern[string(b)]; ok {
+		return s
+	}
+	if d.intern == nil || len(d.intern) >= maxInternedSerials {
+		d.intern = make(map[string]string, 1024)
+	}
+	s := string(b)
+	d.intern[s] = s
+	return s
+}
+
+// IsFrameError reports whether err is a frame-level decode failure and
+// returns it.
+func IsFrameError(err error) (*FrameError, bool) {
+	var fe *FrameError
+	ok := errors.As(err, &fe)
+	return fe, ok
+}
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func u16(b []byte) uint16 {
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+func u32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func u64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
