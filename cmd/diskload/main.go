@@ -29,6 +29,12 @@
 //	chaos    a persisted server is killed mid-stream and warm-restarted
 //	         from snapshot + WAL at a different shard count; the restored
 //	         store must match the shadow at the kill point.
+//	failover a replicated pair: the primary ships its WAL to a warm
+//	         follower and acks only replicated batches; the primary is
+//	         killed mid-stream, the follower promotes itself, clients
+//	         retry their way over, and no acknowledged record may be
+//	         lost — with the deposed primary's late frames provably
+//	         fenced.
 //
 // Exit status is non-zero if any scenario check fails.
 package main
@@ -53,7 +59,7 @@ func main() {
 	log.SetPrefix("diskload: ")
 
 	var (
-		scenario  = flag.String("scenario", "all", "scenario to run: steady, compare, ramp, chaos or all")
+		scenario  = flag.String("scenario", "all", "scenario to run: steady, compare, ramp, chaos, failover or all")
 		scaleFlag = flag.String("scale", "small", "fleet scale preset for training and workload")
 		seed      = flag.Int64("seed", 1, "seed for training, workload generation and fault injection")
 		clients   = flag.Int("clients", 4, "concurrent HTTP clients (steady and chaos)")
@@ -78,9 +84,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "steady", "compare", "ramp", "chaos", "all":
+	case "steady", "compare", "ramp", "chaos", "failover", "all":
 	default:
-		log.Fatalf("unknown -scenario %q (want steady, compare, ramp, chaos or all)", *scenario)
+		log.Fatalf("unknown -scenario %q (want steady, compare, ramp, chaos, failover or all)", *scenario)
 	}
 	wireFormat, err := loadgen.ParseFormat(*format)
 	if err != nil {
@@ -188,6 +194,18 @@ func main() {
 			return loadgen.RunChaos(ctx, d, ccfg)
 		})
 	}
+	if *scenario == "failover" || *scenario == "all" {
+		dir, err := os.MkdirTemp("", "diskload-failover-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		fcfg := cfg
+		fcfg.FailoverDir = dir
+		run("failover", func(ctx context.Context, d loadgen.Deployment, _ loadgen.ScenarioConfig) (*loadgen.ScenarioReport, error) {
+			return loadgen.RunFailover(ctx, d, fcfg)
+		})
+	}
 
 	if *report != "" {
 		if err := rep.WriteFile(*report); err != nil {
@@ -225,6 +243,10 @@ func printScenario(sr *loadgen.ScenarioReport, elapsed time.Duration) {
 	if r := sr.Recovery; r != nil {
 		log.Printf("  recovery: restore %.1fms, %d snapshot drives + %d WAL batches (%d rows), %d -> %d shards",
 			r.RestoreMs, r.SnapshotDrives, r.WALBatches, r.WALRows, r.ShardsBefore, r.ShardsAfter)
+	}
+	if f := sr.Failover; f != nil {
+		log.Printf("  failover: promote %.1fms, %.0f -> %.0f -> %.0f rec/s (dip %.0f%%), %d transport retries",
+			f.PromoteMs, f.PreKillRate, f.FailoverRate, f.PostFailoverRate, f.ThroughputDipPct, f.NetRetries)
 	}
 	for _, c := range sr.FailedChecks() {
 		log.Printf("  check FAILED: %s", c)

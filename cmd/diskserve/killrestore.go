@@ -69,7 +69,7 @@ func runKillRestoreSelftest(ch *core.Characterization, scale synth.Scale, seed i
 	var gotAlerts []string
 	for i := 0; i < killAt; i++ {
 		b := batches[i]
-		res, err := m1.LogBatch(b, func() fleet.BatchResult { return p1.IngestBatch(b) })
+		res, _, err := m1.LogBatch(b, func() fleet.BatchResult { return p1.IngestBatch(b) })
 		if err != nil {
 			return fmt.Errorf("WAL append at batch %d: %w", i, err)
 		}
@@ -107,7 +107,7 @@ func runKillRestoreSelftest(ch *core.Characterization, scale synth.Scale, seed i
 
 	for i := killAt; i < len(batches); i++ {
 		b := batches[i]
-		res, err := m2.LogBatch(b, func() fleet.BatchResult { return p2.IngestBatch(b) })
+		res, _, err := m2.LogBatch(b, func() fleet.BatchResult { return p2.IngestBatch(b) })
 		if err != nil {
 			return fmt.Errorf("WAL append after restore at batch %d: %w", i, err)
 		}
@@ -128,7 +128,7 @@ func runKillRestoreSelftest(ch *core.Characterization, scale synth.Scale, seed i
 	// land on the pre-sacrificial state.
 	preTear := loadgen.CanonicalState(p2)
 	sacrificial := batches[len(batches)-1]
-	if _, err := m2.LogBatch(sacrificial, func() fleet.BatchResult { return p2.IngestBatch(sacrificial) }); err != nil {
+	if _, _, err := m2.LogBatch(sacrificial, func() fleet.BatchResult { return p2.IngestBatch(sacrificial) }); err != nil {
 		return err
 	}
 	if err := m2.Close(); err != nil {

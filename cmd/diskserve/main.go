@@ -13,26 +13,44 @@
 //	diskserve -scale small -addr :8080 -shards 16
 //	diskserve -data fleet.gob -addr :8080
 //	diskserve -scale small -state-dir /var/lib/diskserve
+//	diskserve -state-dir /var/lib/ds2 -addr :8081 -follow http://primary:8080
+//	diskserve -promote http://follower:8081
 //	diskserve -selftest -scale small
+//
+// With -follow the node skips training entirely: it bootstraps a warm
+// copy of the primary's fleet state over HTTP, applies the primary's
+// shipped WAL frames as they land, and — unless -promote-after is 0 —
+// promotes itself to primary when the primary stays unreachable past
+// the window. -promote asks a running follower to promote immediately.
 //
 // API:
 //
-//	POST /v1/ingest            batch SMART records
-//	GET  /v1/drives/{serial}   one drive's health
-//	GET  /v1/fleet/summary     fleet-wide roll-up
-//	POST /v1/admin/snapshot    force a snapshot (with -state-dir)
-//	GET  /healthz              liveness
-//	GET  /metrics              expvar-style counters
+//	POST /v1/ingest                   batch SMART records (primary only)
+//	GET  /v1/drives/{serial}          one drive's health
+//	GET  /v1/fleet/summary            fleet-wide roll-up
+//	POST /v1/admin/snapshot           force a snapshot (with -state-dir)
+//	POST /v1/replication/bootstrap    follower bootstrap image
+//	POST /v1/replication/ship         WAL frames from the primary
+//	POST /v1/replication/promote      promote this node
+//	GET  /v1/replication/status       role, term, stream positions
+//	GET  /healthz                     liveness (alias of /healthz/live)
+//	GET  /healthz/live                liveness
+//	GET  /healthz/ready               readiness (role + replication lag)
+//	GET  /metrics                     expvar-style counters
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,9 +83,21 @@ func main() {
 		queueWait = flag.Duration("queue-wait", 0, "how long a request may wait for an in-flight slot before 429")
 		stateDir  = flag.String("state-dir", "", "durable state directory (snapshot + write-ahead log); enables warm restart")
 		snapEvery = flag.Duration("snapshot-every", time.Minute, "background snapshot period when -state-dir is set; <= 0 snapshots only on demand and on drain")
+		follow    = flag.String("follow", "", "start as a warm follower of this primary base URL (bootstraps state over HTTP; durable when -state-dir is set)")
+		advertise = flag.String("advertise", "", "base URL other nodes reach this one at; defaults to http://127.0.0.1<addr>")
+		promote   = flag.String("promote", "", "one-shot: ask the node at this base URL to promote itself to primary, then exit")
+		promAfter = flag.Duration("promote-after", 5*time.Second, "follower self-promotes after the primary is continuously unreachable this long; 0 disables auto-promotion")
 		selftest  = flag.Bool("selftest", false, "replay a synthetic held-out fleet through the HTTP layer end-to-end, kill and restore a persisted store mid-replay, verify both against in-process replays, and exit")
 	)
 	flag.Parse()
+
+	if *promote != "" {
+		if err := requestPromote(*promote); err != nil {
+			log.Fatalf("promote: %v", err)
+		}
+		log.Printf("%s promoted to primary", *promote)
+		return
+	}
 
 	scale, err := synth.ParseScale(*scaleFlag)
 	if err != nil {
@@ -96,13 +126,34 @@ func main() {
 		log.Print("selftest ignores -state-dir and uses a scratch directory")
 	}
 
+	selfURL := *advertise
+	if selfURL == "" {
+		a := *addr
+		if strings.HasPrefix(a, ":") {
+			a = "127.0.0.1" + a
+		}
+		selfURL = "http://" + a
+	}
+
 	// Warm restart beats retraining: with a committed snapshot the fleet
-	// state (trained models included) comes back from disk.
+	// state (trained models included) comes back from disk. A follower
+	// beats both: it bootstraps the primary's live state over HTTP.
 	var (
 		store *fleet.Store
 		ch    *core.Characterization
+		ropts *server.ReplicationOptions
 	)
-	if mgr != nil && mgr.HasSnapshot() {
+	if *follow != "" && !*selftest {
+		start := time.Now()
+		st, bopts, err := server.BootstrapFollower(*follow, selfURL, fcfg, mgr)
+		if err != nil {
+			log.Fatalf("bootstrapping from %s: %v", *follow, err)
+		}
+		store = st
+		ropts = &bopts
+		log.Printf("bootstrapped as follower of %s (term %d, stream from %s) in %v",
+			*follow, bopts.Term, bopts.Expected, time.Since(start).Round(time.Millisecond))
+	} else if mgr != nil && mgr.HasSnapshot() {
 		start := time.Now()
 		var rec *persist.Recovery
 		store, rec, err = mgr.Restore(fcfg)
@@ -142,6 +193,11 @@ func main() {
 		}
 	}
 
+	if ropts == nil && mgr != nil && !*selftest {
+		// A durable primary serves the replication surface, so a follower
+		// can bootstrap from it at any time.
+		ropts = &server.ReplicationOptions{Role: server.RolePrimary, Term: 1, SelfURL: selfURL}
+	}
 	scfg := server.Config{
 		MaxBodyBytes:  *maxBody,
 		MaxInFlight:   *inflight,
@@ -149,6 +205,7 @@ func main() {
 		Log:           log.New(os.Stderr, "diskserve: ", 0),
 		Persist:       mgr,
 		SnapshotEvery: *snapEvery,
+		Replication:   ropts,
 	}
 	if *selftest {
 		// The selftest replays thousands of requests; per-request access
@@ -177,6 +234,14 @@ func main() {
 	log.Printf("serving fleet health API on %s (%d shards)", l.Addr(), store.Shards())
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
+	if *follow != "" && *promAfter > 0 {
+		watchEvery := *promAfter / 5
+		if watchEvery < 10*time.Millisecond {
+			watchEvery = 10 * time.Millisecond
+		}
+		go srv.WatchPrimary(ctx, watchEvery, *promAfter)
+		log.Printf("watching %s; self-promoting after %v of continuous unreachability", *follow, *promAfter)
+	}
 	select {
 	case err := <-errc:
 		log.Fatal(err)
@@ -202,6 +267,20 @@ func main() {
 		}
 	}
 	log.Print("drained, bye")
+}
+
+// requestPromote asks the node at base to promote itself to primary.
+func requestPromote(base string) error {
+	resp, err := http.Post(strings.TrimRight(base, "/")+"/v1/replication/promote", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return nil
 }
 
 func loadOrGenerate(path string, scale synth.Scale, seed int64, qcfg quality.Config) (*dataset.Dataset, error) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -34,8 +35,21 @@ type Driver struct {
 	// afford literal multi-second backoff). <= 0 means 50ms.
 	MaxRetryWait time.Duration
 	// MaxAttempts bounds retries per batch (429 and 5xx are retried —
-	// both mean "not applied"); <= 0 means 100.
+	// both mean "not applied"); <= 0 means 100. It is the hard retry
+	// budget: a batch that cannot be delivered within it fails the phase.
 	MaxAttempts int
+	// Endpoints, when non-empty, puts the driver in failover mode: each
+	// client rotates through these base URLs when an endpoint refuses
+	// connections or answers 503, follows the "leader" hint a replicated
+	// follower attaches to its 503, and backs off exponentially with
+	// deterministic jitter instead of the flat legacy wait. Transport
+	// errors (connection refused/reset — the primary dying underneath
+	// the client) become retryable instead of fatal. Empty keeps the
+	// legacy single-endpoint behavior byte-for-byte.
+	Endpoints []string
+	// RetrySeed seeds the per-client jitter streams in failover mode, so
+	// two runs with the same seed bounce between endpoints identically.
+	RetrySeed int64
 	// Log receives per-phase progress lines; nil disables.
 	Log *log.Logger
 
@@ -117,11 +131,55 @@ type Quantiles struct {
 	Max  float64 `json:"max"`
 }
 
+// failoverState is one client's endpoint rotation and jitter stream.
+// The rng is seeded from (RetrySeed, client), so a rerun with the same
+// seed makes the same endpoint hops and sleeps — chaos scenarios stay
+// reproducible down to the retry schedule.
+type failoverState struct {
+	rng  *rand.Rand
+	urls []string
+	idx  int
+}
+
+// url returns the endpoint this client currently targets.
+func (f *failoverState) url() string { return f.urls[f.idx] }
+
+// rotate moves to the next endpoint (after a refused connection or an
+// unhelpful 503).
+func (f *failoverState) rotate() { f.idx = (f.idx + 1) % len(f.urls) }
+
+// follow jumps to a hinted leader URL if it is one of the known
+// endpoints; an unknown hint (or none) just rotates.
+func (f *failoverState) follow(leader string) {
+	for i, u := range f.urls {
+		if u == leader {
+			f.idx = i
+			return
+		}
+	}
+	f.rotate()
+}
+
+// backoff returns the next retry sleep: exponential in the attempt
+// number, capped at maxWait, with deterministic jitter in [w/2, w] so
+// concurrent clients do not stampede a freshly promoted follower.
+func (f *failoverState) backoff(attempt int, maxWait time.Duration) time.Duration {
+	w := 2 * time.Millisecond << uint(min(attempt-1, 20))
+	if w > maxWait {
+		w = maxWait
+	}
+	half := int64(w / 2)
+	return time.Duration(half + f.rng.Int63n(half+1))
+}
+
 // statusClassOf buckets a status code into the report taxonomy. 400 and
 // 413 are split out because they are contract violations the scenarios
-// assert to be zero; other 4xx are lumped.
+// assert to be zero; other 4xx are lumped. Code 0 is the failover-mode
+// marker for a transport error (no HTTP status came back).
 func statusClassOf(code int) string {
 	switch {
+	case code == 0:
+		return "net"
 	case code == http.StatusBadRequest:
 		return "400"
 	case code == http.StatusRequestEntityTooLarge:
@@ -161,6 +219,7 @@ type clientStats struct {
 	latenciesMs                []float64
 	alerts                     []string
 	err                        error
+	fo                         *failoverState // non-nil in failover mode
 }
 
 // Run executes one phase: the queues' batches are delivered in
@@ -191,6 +250,19 @@ func (d *Driver) Run(ctx context.Context, phase Phase, queues [][]*Batch) (*Phas
 	parallel.ForEach(clients, clients, func(c int) {
 		st := &perClient[c]
 		st.status = map[string]int{}
+		if len(d.Endpoints) > 0 {
+			fo := &failoverState{
+				rng:  rand.New(rand.NewSource(parallel.DeriveSeed(d.RetrySeed, int64(c)))),
+				urls: d.Endpoints,
+			}
+			for i, u := range fo.urls {
+				if u == d.baseURL() {
+					fo.idx = i
+					break
+				}
+			}
+			st.fo = fo
+		}
 		n := 0 // batches sent by this client, for the pacing schedule
 		// Round-robin across this client's streams, one batch per turn,
 		// so a slow stream does not starve the others.
@@ -266,16 +338,41 @@ func (d *Driver) Run(ctx context.Context, phase Phase, queues [][]*Batch) (*Phas
 
 // sendBatch delivers one batch, retrying shed (429) and failed (5xx)
 // attempts — neither was applied server-side, so a retry cannot
-// double-ingest.
+// double-ingest. In failover mode (st.fo non-nil) transport errors and
+// 503s are also retried, rotating endpoints: the primary dying mid-run
+// is exactly the event the mode exists for, and neither a refused
+// connection nor a follower's not-the-primary 503 applied anything.
 func (d *Driver) sendBatch(ctx context.Context, b *Batch, st *clientStats, maxWait time.Duration, maxAttempts int) error {
 	contentType := b.ContentType
 	if contentType == "" {
 		contentType = "application/json"
 	}
 	for attempt := 1; ; attempt++ {
-		code, retryAfter, doc, elapsedMs, err := d.post(ctx, b.Body, contentType)
+		url := d.baseURL()
+		if st.fo != nil {
+			url = st.fo.url()
+		}
+		code, retryAfter, leader, doc, elapsedMs, err := d.post(ctx, url, b.Body, contentType)
 		if err != nil {
-			return fmt.Errorf("batch %d/%d: %w", b.Stream, b.Index, err)
+			if st.fo == nil || ctx.Err() != nil {
+				return fmt.Errorf("batch %d/%d: %w", b.Stream, b.Index, err)
+			}
+			// Transport error during failover: the endpoint is gone (or the
+			// connection died before any response). Count it, rotate, back
+			// off, and try the next endpoint.
+			st.requests++
+			st.status["net"]++
+			if attempt >= maxAttempts {
+				return fmt.Errorf("batch %d/%d: transport error after %d attempts: %w", b.Stream, b.Index, attempt, err)
+			}
+			st.retries++
+			st.fo.rotate()
+			select {
+			case <-time.After(st.fo.backoff(attempt, maxWait)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
 		}
 		st.requests++
 		st.status[statusClassOf(code)]++
@@ -307,6 +404,19 @@ func (d *Driver) sendBatch(ctx context.Context, b *Batch, st *clientStats, maxWa
 			}
 			st.retries++
 			wait := maxWait
+			if st.fo != nil {
+				// 503 from a follower names the leader; go straight there.
+				// A hintless 503 (candidate mid-promotion, dead leader) just
+				// rotates and backs off until the promotion lands.
+				if code == http.StatusServiceUnavailable {
+					if leader != "" {
+						st.fo.follow(leader)
+					} else {
+						st.fo.rotate()
+					}
+				}
+				wait = st.fo.backoff(attempt, maxWait)
+			}
 			select {
 			case <-time.After(wait):
 			case <-ctx.Done():
@@ -318,28 +428,38 @@ func (d *Driver) sendBatch(ctx context.Context, b *Batch, st *clientStats, maxWa
 	}
 }
 
-// post sends one ingest request and measures its latency.
-func (d *Driver) post(ctx context.Context, body []byte, contentType string) (code int, retryAfter string, doc ingestResponse, elapsedMs float64, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.baseURL()+"/v1/ingest", bytes.NewReader(body))
+// post sends one ingest request to url and measures its latency. For a
+// 503 it also extracts the body's leader hint, which is how a
+// replicated follower redirects writers.
+func (d *Driver) post(ctx context.Context, url string, body []byte, contentType string) (code int, retryAfter, leader string, doc ingestResponse, elapsedMs float64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/ingest", bytes.NewReader(body))
 	if err != nil {
-		return 0, "", doc, 0, err
+		return 0, "", "", doc, 0, err
 	}
 	req.Header.Set("Content-Type", contentType)
 	start := time.Now()
 	resp, err := d.client().Do(req)
 	if err != nil {
-		return 0, "", doc, 0, err
+		return 0, "", "", doc, 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
 		if derr := json.NewDecoder(resp.Body).Decode(&doc); derr != nil {
-			return resp.StatusCode, "", doc, 0, fmt.Errorf("decoding ingest response: %w", derr)
+			return resp.StatusCode, "", "", doc, 0, fmt.Errorf("decoding ingest response: %w", derr)
 		}
-	} else {
+	case http.StatusServiceUnavailable:
+		var hint struct {
+			Leader string `json:"leader"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&hint)
+		leader = hint.Leader
+		io.Copy(io.Discard, resp.Body)
+	default:
 		io.Copy(io.Discard, resp.Body)
 	}
 	elapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
-	return resp.StatusCode, resp.Header.Get("Retry-After"), doc, elapsedMs, nil
+	return resp.StatusCode, resp.Header.Get("Retry-After"), leader, doc, elapsedMs, nil
 }
 
 // quantiles computes nearest-rank quantiles over a sample set.

@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"disksig/internal/parallel"
+)
+
+func newFailoverState(seed int64, client int, urls ...string) *failoverState {
+	return &failoverState{
+		rng:  rand.New(rand.NewSource(parallel.DeriveSeed(seed, int64(client)))),
+		urls: urls,
+	}
+}
+
+// Two clients with the same (seed, client) identity must sleep the same
+// schedule — that is what makes a chaos run reproducible — while
+// distinct clients must NOT share a schedule, or every retry would
+// stampede the freshly promoted follower in lockstep.
+func TestBackoffDeterministicPerClientIdentity(t *testing.T) {
+	const maxWait = 50 * time.Millisecond
+	a := newFailoverState(42, 3, "http://a")
+	b := newFailoverState(42, 3, "http://a")
+	c := newFailoverState(42, 4, "http://a")
+	same, diff := true, true
+	for attempt := 1; attempt <= 12; attempt++ {
+		wa, wb, wc := a.backoff(attempt, maxWait), b.backoff(attempt, maxWait), c.backoff(attempt, maxWait)
+		if wa != wb {
+			same = false
+		}
+		if wa != wc {
+			diff = false
+		}
+	}
+	if !same {
+		t.Fatal("identical client identities produced different backoff schedules")
+	}
+	if diff {
+		t.Fatal("distinct clients produced the same backoff schedule; jitter is not per-client")
+	}
+}
+
+// The backoff is exponential in the attempt, capped, and jittered within
+// [w/2, w] — never zero, never past the cap.
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	const maxWait = 50 * time.Millisecond
+	f := newFailoverState(1, 0, "http://a")
+	for attempt := 1; attempt <= 30; attempt++ {
+		w := 2 * time.Millisecond << uint(min(attempt-1, 20))
+		if w > maxWait {
+			w = maxWait
+		}
+		for i := 0; i < 50; i++ {
+			got := f.backoff(attempt, maxWait)
+			if got < w/2 || got > w {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, got, w/2, w)
+			}
+		}
+	}
+}
+
+func TestFailoverStateRotateAndFollow(t *testing.T) {
+	f := newFailoverState(1, 0, "http://a", "http://b", "http://c")
+	if f.url() != "http://a" {
+		t.Fatalf("start url = %s", f.url())
+	}
+	f.rotate()
+	if f.url() != "http://b" {
+		t.Fatalf("after rotate url = %s", f.url())
+	}
+
+	// A leader hint naming a known endpoint jumps straight there.
+	f.follow("http://c")
+	if f.url() != "http://c" {
+		t.Fatalf("after follow url = %s, want http://c", f.url())
+	}
+	// An unknown hint degrades to a plain rotation (wrapping).
+	f.follow("http://nowhere.example")
+	if f.url() != "http://a" {
+		t.Fatalf("after unknown follow url = %s, want http://a", f.url())
+	}
+}
+
+// Transport errors map to the "net" status class so failover reports can
+// count them; the rest of the taxonomy is pinned elsewhere.
+func TestStatusClassNetForTransportErrors(t *testing.T) {
+	if got := statusClassOf(0); got != "net" {
+		t.Fatalf("statusClassOf(0) = %q, want net", got)
+	}
+}

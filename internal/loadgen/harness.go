@@ -46,15 +46,65 @@ func StartHarnessStore(store *fleet.Store, scfg server.Config) (*Harness, error)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: harness listener: %w", err)
 	}
+	url := "http://" + l.Addr().String()
+	if scfg.Replication != nil && scfg.Replication.SelfURL == "" {
+		// The advertised URL is only known once the port is; fill it so a
+		// promoted harness hands out a working leader hint.
+		scfg.Replication.SelfURL = url
+	}
 	h := &Harness{
 		Store: store,
 		Srv:   server.New(store, scfg),
-		URL:   "http://" + l.Addr().String(),
+		URL:   url,
 		l:     l,
 		serve: make(chan error, 1),
 	}
 	go func() { h.serve <- h.Srv.Serve(l) }()
 	return h, nil
+}
+
+// StartFollowerHarness bootstraps a warm follower from a running
+// primary and serves it: the listener opens first (so the follower
+// knows the URL it advertises), the primary streams its state image and
+// attaches its WAL shipper, and the restored store — at whatever layout
+// fcfg picks — starts serving in follower role. scfg.Persist, when set,
+// makes the follower durable (its own WAL logs every applied frame).
+// ropts carries only the timing knobs (AckTimeout, ReadyLag,
+// Heartbeat); role, term, and stream position come from the bootstrap.
+func StartFollowerHarness(primaryURL string, fcfg fleet.Config, scfg server.Config, ropts server.ReplicationOptions) (*Harness, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: follower listener: %w", err)
+	}
+	selfURL := "http://" + l.Addr().String()
+	store, bopts, err := server.BootstrapFollower(primaryURL, selfURL, fcfg, scfg.Persist)
+	if err != nil {
+		l.Close()
+		return nil, fmt.Errorf("loadgen: bootstrapping follower: %w", err)
+	}
+	bopts.AckTimeout = ropts.AckTimeout
+	bopts.ReadyLag = ropts.ReadyLag
+	bopts.Heartbeat = ropts.Heartbeat
+	scfg.Replication = &bopts
+	h := &Harness{
+		Store: store,
+		Srv:   server.New(store, scfg),
+		URL:   selfURL,
+		l:     l,
+		serve: make(chan error, 1),
+	}
+	go func() { h.serve <- h.Srv.Serve(l) }()
+	return h, nil
+}
+
+// ReadyStatus GETs /healthz/ready and returns the HTTP status code.
+func ReadyStatus(baseURL string) (int, error) {
+	resp, err := http.Get(baseURL + "/healthz/ready")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
 }
 
 // Stop drains in-flight requests and stops serving — the SIGTERM path.

@@ -366,7 +366,18 @@ func TestScenariosEndToEnd(t *testing.T) {
 		t.Fatalf("chaos restored at the same shard count %d; layout independence untested", c.Recovery.ShardsAfter)
 	}
 
-	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, fc, r, c}}
+	focfg := cfg
+	focfg.FailoverDir = t.TempDir()
+	fo, err := RunFailover(ctx, dep, focfg)
+	requirePassed("failover", fo, err)
+	if fo.Failover == nil || fo.Failover.PromoteMs <= 0 {
+		t.Fatalf("failover recorded no promotion time: %+v", fo.Failover)
+	}
+	if fo.Failover.NetRetries == 0 {
+		t.Fatal("failover saw no transport retries; the primary kill was vacuous")
+	}
+
+	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, fc, r, c, fo}}
 	if !rep.Passed() {
 		t.Fatal("aggregate report not passed")
 	}

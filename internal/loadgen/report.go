@@ -65,6 +65,9 @@ type ScenarioReport struct {
 	// Recovery describes the chaos scenario's warm restart.
 	Recovery *RecoveryReport `json:"recovery,omitempty"`
 
+	// Failover describes the failover scenario's primary kill.
+	Failover *FailoverReport `json:"failover,omitempty"`
+
 	Checks []Check `json:"checks"`
 	Passed bool    `json:"passed"`
 }
@@ -77,6 +80,19 @@ type RecoveryReport struct {
 	WALRows        int     `json:"wal_rows_replayed"`
 	ShardsBefore   int     `json:"shards_before"`
 	ShardsAfter    int     `json:"shards_after"`
+}
+
+// FailoverReport measures the failover scenario: how long the follower
+// took to promote itself after the primary died, and how far the
+// delivered throughput dipped while clients were bouncing between the
+// dead primary and the not-yet-promoted follower.
+type FailoverReport struct {
+	PromoteMs        float64 `json:"promote_ms"`
+	PreKillRate      float64 `json:"pre_kill_records_per_sec"`
+	FailoverRate     float64 `json:"failover_records_per_sec"`
+	PostFailoverRate float64 `json:"post_failover_records_per_sec"`
+	ThroughputDipPct float64 `json:"throughput_dip_pct"`
+	NetRetries       int     `json:"net_retries"`
 }
 
 // Check is one named verification verdict.

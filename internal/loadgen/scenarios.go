@@ -56,6 +56,10 @@ type ScenarioConfig struct {
 	// ChaosStateDir is the chaos scenario's durable state directory
 	// (required for RunChaos).
 	ChaosStateDir string
+	// FailoverDir is the failover scenario's root state directory
+	// (required for RunFailover); the primary and follower each get a
+	// subdirectory.
+	FailoverDir string
 	// CompareBatch is the format-compare scenario's batch size. The
 	// comparison runs closed-loop and wants per-request HTTP overhead
 	// amortized so the measured gap is dominated by the decode + scoring

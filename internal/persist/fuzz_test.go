@@ -27,13 +27,13 @@ func FuzzRestore(f *testing.F) {
 		f.Fatal(err)
 	}
 	obs := []fleet.Observation{{Serial: "SN0001", Record: record(99, 0.5)}}
-	if _, err := m.LogBatch(obs, func() fleet.BatchResult { return store.IngestBatch(obs) }); err != nil {
+	if _, _, err := m.LogBatch(obs, func() fleet.BatchResult { return store.IngestBatch(obs) }); err != nil {
 		f.Fatal(err)
 	}
 	if _, err := m.Snapshot(store); err != nil {
 		f.Fatal(err)
 	}
-	if _, err := m.LogBatch(obs, func() fleet.BatchResult { return store.IngestBatch(obs) }); err != nil {
+	if _, _, err := m.LogBatch(obs, func() fleet.BatchResult { return store.IngestBatch(obs) }); err != nil {
 		f.Fatal(err)
 	}
 	m.Close()
@@ -76,7 +76,7 @@ func FuzzRestore(f *testing.F) {
 		_ = rec.String()
 		st.Tracked()
 		extra := []fleet.Observation{{Serial: "POST", Record: record(1000, 0.5)}}
-		if _, err := m.LogBatch(extra, func() fleet.BatchResult { return st.IngestBatch(extra) }); err != nil {
+		if _, _, err := m.LogBatch(extra, func() fleet.BatchResult { return st.IngestBatch(extra) }); err != nil {
 			t.Fatalf("append after successful restore failed: %v", err)
 		}
 	})

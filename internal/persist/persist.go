@@ -71,10 +71,24 @@ type Manager struct {
 	// in the store, or vice versa) at the moment the store is captured.
 	gate sync.RWMutex
 
-	// walMu serializes appends to the WAL file itself.
-	walMu sync.Mutex
-	wal   *os.File
-	epoch uint64
+	// walMu serializes appends to the WAL file itself. walEnd is the
+	// durable end of the file — it advances by whole frames only, which
+	// is what lets the replication shipper read [offset, walEnd) without
+	// racing a half-written frame.
+	walMu  sync.Mutex
+	wal    *os.File
+	epoch  uint64
+	walEnd int64
+
+	// shipMu guards the attached replication shipper (nil when no
+	// follower is attached).
+	shipMu sync.Mutex
+	ship   *Shipper
+
+	// followerLost counts shipper detachments forced by a failed
+	// pre-snapshot drain: the follower missed frames the WAL reset
+	// destroyed and must re-bootstrap.
+	followerLost atomic.Uint64
 
 	snapshots    atomic.Uint64
 	snapFailures atomic.Uint64
@@ -102,6 +116,10 @@ type Stats struct {
 	// recent successful snapshot; zero before the first one.
 	LastSnapshotDuration time.Duration
 	LastSnapshotBytes    int64
+	// FollowerLost counts replication shippers detached because a
+	// pre-snapshot drain could not confirm the follower received every
+	// old-epoch frame (the follower must re-bootstrap).
+	FollowerLost uint64
 }
 
 // SnapshotInfo describes one committed snapshot.
@@ -171,8 +189,14 @@ func Open(dir string) (*Manager, error) {
 		if err != nil {
 			return nil, fmt.Errorf("persist: opening WAL: %w", err)
 		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: stat WAL: %w", err)
+		}
 		m.wal = f
 		m.epoch = epoch
+		m.walEnd = fi.Size()
 		return m, nil
 	}
 	epoch := uint64(0)
@@ -199,25 +223,33 @@ func (m *Manager) HasSnapshot() bool {
 // mutation) runs, all under the shared side of the snapshot gate. If
 // the WAL append fails the batch is NOT applied — the caller must
 // surface the error instead of acknowledging an ingest that would not
-// survive a restart.
-func (m *Manager) LogBatch(obs []fleet.Observation, apply func() fleet.BatchResult) (fleet.BatchResult, error) {
+// survive a restart. The returned Position is the WAL stream position
+// just past this batch's frame: replication callers wait for the
+// follower's high-water mark to reach it before acknowledging.
+func (m *Manager) LogBatch(obs []fleet.Observation, apply func() fleet.BatchResult) (fleet.BatchResult, Position, error) {
 	m.gate.RLock()
 	defer m.gate.RUnlock()
 
 	frame, err := encodeWALRecord(obs)
 	if err != nil {
-		return fleet.BatchResult{}, err
+		return fleet.BatchResult{}, Position{}, err
 	}
 	m.walMu.Lock()
 	_, werr := m.wal.Write(frame)
-	m.walMu.Unlock()
 	if werr != nil {
-		return fleet.BatchResult{}, fmt.Errorf("persist: appending to WAL: %w", werr)
+		m.walMu.Unlock()
+		return fleet.BatchResult{}, Position{}, fmt.Errorf("persist: appending to WAL: %w", werr)
 	}
+	m.walEnd += int64(len(frame))
+	pos := Position{Epoch: m.epoch, Offset: m.walEnd}
+	m.walMu.Unlock()
 	m.walBatches.Add(1)
 	m.walRows.Add(uint64(len(obs)))
 	m.walBytes.Add(uint64(len(frame)))
-	return apply(), nil
+	if sh := m.AttachedShipper(); sh != nil {
+		sh.nudge()
+	}
+	return apply(), pos, nil
 }
 
 // Snapshot captures the store's full state and commits it atomically,
@@ -235,6 +267,18 @@ func (m *Manager) Snapshot(s *fleet.Store) (SnapshotInfo, error) {
 		m.snapFailures.Add(1)
 		return SnapshotInfo{}, err
 	}
+	// The WAL reset below destroys the old epoch's frames. A follower
+	// that has not received all of them yet would be left with a hole it
+	// can never fill, so the shipper is drained first (the gate is held:
+	// no new frames can appear). If the follower cannot confirm in time,
+	// shipping stops — it must re-bootstrap — rather than blocking
+	// snapshots on a dead peer or silently skipping its frames.
+	if sh := m.AttachedShipper(); sh != nil {
+		if derr := sh.Drain(); derr != nil {
+			m.DetachShipper()
+			m.followerLost.Add(1)
+		}
+	}
 	// The snapshot now covers everything in the old WAL. Reset it to the
 	// epoch the snapshot names; if the process dies before this
 	// completes, the old WAL's stale epoch tells Restore to discard it.
@@ -244,6 +288,9 @@ func (m *Manager) Snapshot(s *fleet.Store) (SnapshotInfo, error) {
 	if err != nil {
 		m.snapFailures.Add(1)
 		return SnapshotInfo{}, err
+	}
+	if sh := m.AttachedShipper(); sh != nil {
+		sh.advanceEpoch(newEpoch)
 	}
 	d := time.Since(start)
 	m.snapshots.Add(1)
@@ -265,6 +312,7 @@ func (m *Manager) resetWALLocked(epoch uint64) error {
 	}
 	m.wal = f
 	m.epoch = epoch
+	m.walEnd = walHeaderSize
 	return nil
 }
 
@@ -322,6 +370,7 @@ func (m *Manager) Restore(cfg fleet.Config) (*fleet.Store, *Recovery, error) {
 	}
 	m.wal = f
 	m.epoch = hdr.walEpoch
+	m.walEnd = replayEnd
 	return store, rec, nil
 }
 
@@ -397,12 +446,14 @@ func (m *Manager) Stats() Stats {
 		WALBytes:             m.walBytes.Load(),
 		LastSnapshotDuration: time.Duration(m.lastSnapNs.Load()),
 		LastSnapshotBytes:    m.lastSnapSize.Load(),
+		FollowerLost:         m.followerLost.Load(),
 	}
 }
 
-// Close releases the WAL handle. It does not snapshot; callers that
-// want a final snapshot take one first.
+// Close stops any attached shipper and releases the WAL handle. It
+// does not snapshot; callers that want a final snapshot take one first.
 func (m *Manager) Close() error {
+	m.DetachShipper()
 	m.gate.Lock()
 	defer m.gate.Unlock()
 	m.walMu.Lock()

@@ -118,7 +118,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 		t.Fatal("fresh dir claims a snapshot")
 	}
 	for _, b := range dirtyBatches(30, 10, 100) {
-		if _, err := m.LogBatch(b, func() fleet.BatchResult { return store.IngestBatch(b) }); err != nil {
+		if _, _, err := m.LogBatch(b, func() fleet.BatchResult { return store.IngestBatch(b) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -175,7 +175,7 @@ func TestRestoreReplaysWALAfterKill(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, b := range batches {
-		if _, err := m.LogBatch(b, func() fleet.BatchResult { return store.IngestBatch(b) }); err != nil {
+		if _, _, err := m.LogBatch(b, func() fleet.BatchResult { return store.IngestBatch(b) }); err != nil {
 			t.Fatal(err)
 		}
 		if i == half {
@@ -210,7 +210,7 @@ func TestRestoreReplaysWALAfterKill(t *testing.T) {
 
 	// The reopened WAL accepts appends, and both stores stay in lockstep.
 	extra := []fleet.Observation{{Serial: "SN0001", Record: record(500, -0.9)}}
-	res, err := m2.LogBatch(extra, func() fleet.BatchResult { return restored.IngestBatch(extra) })
+	res, _, err := m2.LogBatch(extra, func() fleet.BatchResult { return restored.IngestBatch(extra) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,10 +234,10 @@ func TestRestoreQuarantinesTornTail(t *testing.T) {
 	}
 	good := []fleet.Observation{{Serial: "A", Record: record(1, 0.9)}}
 	sacrificial := []fleet.Observation{{Serial: "B", Record: record(1, 0.9)}}
-	if _, err := m.LogBatch(good, func() fleet.BatchResult { return store.IngestBatch(good) }); err != nil {
+	if _, _, err := m.LogBatch(good, func() fleet.BatchResult { return store.IngestBatch(good) }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.LogBatch(sacrificial, func() fleet.BatchResult { return store.IngestBatch(sacrificial) }); err != nil {
+	if _, _, err := m.LogBatch(sacrificial, func() fleet.BatchResult { return store.IngestBatch(sacrificial) }); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Close(); err != nil {
@@ -284,7 +284,7 @@ func TestRestoreQuarantinesTornTail(t *testing.T) {
 	// The torn tail was truncated away: appends continue cleanly and a
 	// third Open replays them all.
 	extra := []fleet.Observation{{Serial: "C", Record: record(2, 0.9)}}
-	if _, err := m2.LogBatch(extra, func() fleet.BatchResult { return restored.IngestBatch(extra) }); err != nil {
+	if _, _, err := m2.LogBatch(extra, func() fleet.BatchResult { return restored.IngestBatch(extra) }); err != nil {
 		t.Fatal(err)
 	}
 	if err := m2.Close(); err != nil {
@@ -317,7 +317,7 @@ func TestRestoreDiscardsStaleWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	obs := []fleet.Observation{{Serial: "A", Record: record(1, 0.9)}}
-	if _, err := m.LogBatch(obs, func() fleet.BatchResult { return store.IngestBatch(obs) }); err != nil {
+	if _, _, err := m.LogBatch(obs, func() fleet.BatchResult { return store.IngestBatch(obs) }); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m.Snapshot(store); err != nil {
@@ -377,7 +377,7 @@ func TestRestoreWithoutSnapshot(t *testing.T) {
 	// Even with WAL content, no snapshot means a cold start.
 	obs := []fleet.Observation{{Serial: "A", Record: record(1, 0.9)}}
 	store := testStore(t, fleet.Config{})
-	if _, err := m.LogBatch(obs, func() fleet.BatchResult { return store.IngestBatch(obs) }); err != nil {
+	if _, _, err := m.LogBatch(obs, func() fleet.BatchResult { return store.IngestBatch(obs) }); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := m.Restore(fleet.Config{}); err != ErrNoSnapshot {

@@ -85,6 +85,12 @@ func writeSnapshot(dir string, st *fleet.State, walEpoch uint64) (int64, error) 
 		os.Remove(tmp)
 		return 0, fmt.Errorf("persist: committing snapshot: %w", err)
 	}
+	// The rename is only crash-durable once the directory entry is on
+	// disk; without the directory fsync a crash can roll the commit back
+	// to the previous snapshot after the WAL was already reset.
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
 	return int64(buf.Len()), nil
 }
 

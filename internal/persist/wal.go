@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"disksig/internal/fleet"
 	"disksig/internal/smart"
@@ -47,6 +49,28 @@ const (
 // exactly at EOF.
 var errWALEnd = errors.New("persist: end of WAL")
 
+// dirSyncs counts directory fsyncs, so tests can pin that file
+// creation and snapshot commits actually flush the directory entry.
+var dirSyncs atomic.Uint64
+
+// syncDir fsyncs a directory: on POSIX filesystems a freshly created
+// (or renamed-over) file is only crash-durable once its directory
+// entry is, and that takes an fsync of the directory itself. Failure
+// is returned, not ignored — a WAL whose file can vanish across a
+// crash is not a write-ahead log.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: opening state dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing state dir: %w", err)
+	}
+	dirSyncs.Add(1)
+	return nil
+}
+
 // createWAL truncates/creates the WAL file and writes the header for
 // the given epoch.
 func createWAL(path string, epoch uint64) (*os.File, error) {
@@ -64,6 +88,13 @@ func createWAL(path string, epoch uint64) (*os.File, error) {
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("persist: syncing WAL header: %w", err)
+	}
+	// The file's data is synced; its directory entry is not until the
+	// directory itself is. Without this, a crash right after the reset
+	// can resurface the old WAL (or no WAL at all) under a new epoch.
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return f, nil
 }

@@ -18,11 +18,12 @@ type metrics struct {
 	requestsShed atomic.Int64
 	byStatus     [6]atomic.Int64 // index status/100 (1xx..5xx; 0 unused)
 
-	rowsIngested    atomic.Int64
-	rowsKept        atomic.Int64
-	rowsQuarantined atomic.Int64
-	ingestReqJSON   atomic.Int64 // ingest requests per negotiated format
-	ingestReqBinary atomic.Int64
+	rowsIngested     atomic.Int64
+	rowsKept         atomic.Int64
+	rowsQuarantined  atomic.Int64
+	ingestReqJSON    atomic.Int64 // ingest requests per negotiated format
+	ingestReqBinary  atomic.Int64
+	ingestNotPrimary atomic.Int64 // writes rejected for landing on a non-primary
 
 	alertsBySeverity [4]atomic.Int64 // indexed by monitor.Severity
 
@@ -81,11 +82,12 @@ func (m *metrics) snapshot() map[string]any {
 			"by_status": byStatus,
 		},
 		"ingest": map[string]int64{
-			"rows_ingested":    m.rowsIngested.Load(),
-			"rows_kept":        m.rowsKept.Load(),
-			"rows_quarantined": m.rowsQuarantined.Load(),
-			"requests_json":    m.ingestReqJSON.Load(),
-			"requests_binary":  m.ingestReqBinary.Load(),
+			"rows_ingested":        m.rowsIngested.Load(),
+			"rows_kept":            m.rowsKept.Load(),
+			"rows_quarantined":     m.rowsQuarantined.Load(),
+			"requests_json":        m.ingestReqJSON.Load(),
+			"requests_binary":      m.ingestReqBinary.Load(),
+			"rejected_not_primary": m.ingestNotPrimary.Load(),
 		},
 		"alerts": map[string]int64{
 			"watch":    m.alertsBySeverity[1].Load(),

@@ -61,7 +61,7 @@ func TestRetryAfterSeconds(t *testing.T) {
 	}{
 		{0, 1},
 		{-time.Second, 1},
-		{time.Millisecond, 1},   // sub-second must not truncate to 0
+		{time.Millisecond, 1}, // sub-second must not truncate to 0
 		{10 * time.Millisecond, 1},
 		{999 * time.Millisecond, 1},
 		{time.Second, 1},

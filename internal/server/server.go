@@ -69,6 +69,11 @@ type Config struct {
 	// overload tests can drive the server into its shedding regime
 	// regardless of host speed. 0 (production) disables it.
 	IngestDelay time.Duration
+	// Replication, when set, puts the server in a replicated pair: a
+	// primary ships its WAL to a follower and holds ingest acks for the
+	// follower's confirmation; a follower applies shipped frames and
+	// sends writers to the leader with a 503 hint. nil means standalone.
+	Replication *ReplicationOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +95,7 @@ type Server struct {
 	cfg   Config
 	m     metrics
 	sem   *parallel.Semaphore
+	repl  *replication
 
 	mu       sync.Mutex
 	http     *http.Server
@@ -104,11 +110,15 @@ type Server struct {
 // New builds a server over a fleet store.
 func New(store *fleet.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		store: store,
 		cfg:   cfg,
 		sem:   parallel.NewSemaphore(int64(cfg.MaxInFlight)),
 	}
+	if cfg.Replication != nil {
+		s.repl = newReplication(*cfg.Replication)
+	}
+	return s
 }
 
 // Handler returns the fully middleware-wrapped API handler.
@@ -123,8 +133,22 @@ func (s *Server) Handler() http.Handler {
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", s.limitConcurrency(limited))
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Liveness, readiness, metrics, and the replication surface sit
+	// outside the concurrency limiter: health probes and WAL shipping
+	// must keep working while ingest is overloaded, and bare /healthz
+	// stays as a liveness alias for pre-split probes.
+	mux.HandleFunc("GET /healthz", s.handleLive)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.repl != nil {
+		mux.HandleFunc("POST /v1/replication/ship", s.handleShip)
+		mux.HandleFunc("POST /v1/replication/promote", s.handlePromote)
+		mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
+		if s.cfg.Persist != nil {
+			mux.HandleFunc("POST /v1/replication/bootstrap", s.handleBootstrap)
+		}
+	}
 	return s.instrument(mux)
 }
 
@@ -238,6 +262,15 @@ func mediaType(ct string) string {
 // batch as garbage instead of telling the client it spoke the wrong
 // format.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if rp := s.repl; rp != nil {
+		rp.mu.Lock()
+		role, leader := rp.role, rp.leaderURL
+		rp.mu.Unlock()
+		if role != RolePrimary {
+			s.notPrimary(w, role, leader)
+			return
+		}
+	}
 	if s.cfg.IngestDelay > 0 {
 		// The sleep happens while holding an in-flight slot, so overload
 		// tests see a server whose capacity is genuinely bounded.
@@ -335,7 +368,7 @@ func (s *Server) handleIngestJSON(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.finishIngest(w, obs, &rep)
+	s.finishIngest(w, r, obs, &rep)
 }
 
 // bodyPool recycles the binary-path request body buffers; sized bodies
@@ -385,7 +418,7 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	s.finishIngest(w, obs, &rep)
+	s.finishIngest(w, r, obs, &rep)
 }
 
 // ingestAck is the POST /v1/ingest response. It is a struct, not a
@@ -403,7 +436,7 @@ type ingestAck struct {
 // WAL when persistence is on) and writes the ack. rep carries the
 // decode-stage quarantines; the batch's total record count is recovered
 // from kept + quarantined, which both wire formats account identically.
-func (s *Server) finishIngest(w http.ResponseWriter, obs []fleet.Observation, rep *quality.Report) {
+func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, obs []fleet.Observation, rep *quality.Report) {
 	ingested := len(obs) + rep.RowsQuarantined
 	if s.testHoldIngest != nil {
 		s.testHoldIngest()
@@ -411,7 +444,8 @@ func (s *Server) finishIngest(w http.ResponseWriter, obs []fleet.Observation, re
 	var res fleet.BatchResult
 	if s.cfg.Persist != nil {
 		var err error
-		res, err = s.cfg.Persist.LogBatch(obs, func() fleet.BatchResult { return s.store.IngestBatch(obs) })
+		var pos persist.Position
+		res, pos, err = s.cfg.Persist.LogBatch(obs, func() fleet.BatchResult { return s.store.IngestBatch(obs) })
 		if err != nil {
 			// The batch was NOT applied: acknowledging it would hand the
 			// client an ingest that cannot survive a restart.
@@ -422,6 +456,32 @@ func (s *Server) finishIngest(w http.ResponseWriter, obs []fleet.Observation, re
 				"error": "write-ahead log append failed; batch not applied",
 			})
 			return
+		}
+		if s.repl != nil {
+			// A replicated primary's 200 means "on two nodes": hold the ack
+			// until the follower confirms this batch's WAL position.
+			if rerr := s.waitReplicated(r.Context(), pos); rerr != nil {
+				if errors.Is(rerr, persist.ErrFenced) {
+					// Deposed mid-request. The batch is applied locally but
+					// this node's lineage is dead — the client must retry
+					// against the new primary, which never saw the batch.
+					s.m.ingestNotPrimary.Add(1)
+					writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+						"error": "deposed during replication; retry against the new primary",
+					})
+					return
+				}
+				// Ack timeout: the batch is durable locally but its remote
+				// fate is unknown. 500 is honest — and a client retry here is
+				// at-least-once, the documented caveat of a lost follower.
+				if s.cfg.Log != nil {
+					s.cfg.Log.Printf("replication ack wait failed: %v", rerr)
+				}
+				writeJSON(w, http.StatusInternalServerError, map[string]any{
+					"error": "replication ack timeout; batch durable locally but unconfirmed on the follower",
+				})
+				return
+			}
 		}
 	} else {
 		res = s.store.IngestBatch(obs)
@@ -513,13 +573,6 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"drives": s.store.Tracked(),
-	})
-}
-
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc := s.m.snapshot()
 	sum := s.store.Summary(0)
@@ -544,7 +597,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"wal_bytes":           ps.WALBytes,
 			"last_snapshot_ms":    float64(ps.LastSnapshotDuration) / float64(time.Millisecond),
 			"last_snapshot_bytes": ps.LastSnapshotBytes,
+			"follower_lost":       ps.FollowerLost,
 		}
+	}
+	if s.repl != nil {
+		doc["replication"] = s.replicationDoc()
 	}
 	writeJSON(w, http.StatusOK, doc)
 }
