@@ -12,6 +12,7 @@
 //	diskload -scenario steady -format binary   # binary wire format
 //	diskload -scenario ramp -max-inflight 4
 //	diskload -scenario compare -passes 3       # JSON vs binary throughput
+//	diskload -scenario rebalance               # live shard handoff drill
 //	diskload -scenario steady -double          # prove seed determinism
 //
 // Scenarios:
@@ -35,6 +36,10 @@
 //	         retry their way over, and no acknowledged record may be
 //	         lost — with the deposed primary's late frames provably
 //	         fenced.
+//	rebalance three routed nodes absorb a fourth joining and the first
+//	         draining, each cut over live mid-stream; the merged cluster
+//	         state must match the shadow record-for-record, the drained
+//	         node must end empty, and concurrent reads must never fail.
 //
 // Exit status is non-zero if any scenario check fails.
 package main
@@ -59,7 +64,7 @@ func main() {
 	log.SetPrefix("diskload: ")
 
 	var (
-		scenario  = flag.String("scenario", "all", "scenario to run: steady, compare, ramp, chaos, failover or all")
+		scenario  = flag.String("scenario", "all", "scenario to run: steady, compare, ramp, chaos, failover, rebalance or all")
 		scaleFlag = flag.String("scale", "small", "fleet scale preset for training and workload")
 		seed      = flag.Int64("seed", 1, "seed for training, workload generation and fault injection")
 		clients   = flag.Int("clients", 4, "concurrent HTTP clients (steady and chaos)")
@@ -84,9 +89,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "steady", "compare", "ramp", "chaos", "failover", "all":
+	case "steady", "compare", "ramp", "chaos", "failover", "rebalance", "all":
 	default:
-		log.Fatalf("unknown -scenario %q (want steady, compare, ramp, chaos, failover or all)", *scenario)
+		log.Fatalf("unknown -scenario %q (want steady, compare, ramp, chaos, failover, rebalance or all)", *scenario)
 	}
 	wireFormat, err := loadgen.ParseFormat(*format)
 	if err != nil {
@@ -206,6 +211,9 @@ func main() {
 			return loadgen.RunFailover(ctx, d, fcfg)
 		})
 	}
+	if *scenario == "rebalance" || *scenario == "all" {
+		run("rebalance", loadgen.RunRebalance)
+	}
 
 	if *report != "" {
 		if err := rep.WriteFile(*report); err != nil {
@@ -247,6 +255,13 @@ func printScenario(sr *loadgen.ScenarioReport, elapsed time.Duration) {
 	if f := sr.Failover; f != nil {
 		log.Printf("  failover: promote %.1fms, %.0f -> %.0f -> %.0f rec/s (dip %.0f%%), %d transport retries",
 			f.PromoteMs, f.PreKillRate, f.FailoverRate, f.PostFailoverRate, f.ThroughputDipPct, f.NetRetries)
+	}
+	if rb := sr.Rebalance; rb != nil {
+		log.Printf("  rebalance: join %.1fms (%d moved, %d transfers, %d dual writes), drain %.1fms (%d moved, %d transfers, %d dual writes), %d gated batches",
+			rb.JoinMs, rb.JoinMoved, rb.JoinTransfers, rb.JoinDualWrites,
+			rb.DrainMs, rb.DrainMoved, rb.DrainTransfers, rb.DrainDualWrites, rb.GatedRequests)
+		log.Printf("  rebalance reads: %d probes, %d failures; router overhead: json %.0f -> %.0f rec/s, binary %.0f -> %.0f rec/s",
+			rb.ReadProbes, rb.ReadFailures, rb.DirectJSONRate, rb.RoutedJSONRate, rb.DirectBinaryRate, rb.RoutedBinaryRate)
 	}
 	for _, c := range sr.FailedChecks() {
 		log.Printf("  check FAILED: %s", c)

@@ -15,6 +15,7 @@
 //	diskserve -scale small -state-dir /var/lib/diskserve
 //	diskserve -state-dir /var/lib/ds2 -addr :8081 -follow http://primary:8080
 //	diskserve -promote http://follower:8081
+//	diskserve -route -cluster cluster.json -addr :8079
 //	diskserve -selftest -scale small
 //
 // With -follow the node skips training entirely: it bootstraps a warm
@@ -22,6 +23,12 @@
 // shipped WAL frames as they land, and — unless -promote-after is 0 —
 // promotes itself to primary when the primary stays unreachable past
 // the window. -promote asks a running follower to promote immediately.
+//
+// With -route the process is a routing tier instead of a node: it
+// trains nothing and stores nothing, loads a versioned cluster map from
+// -cluster, splits every ingest batch across the owning nodes by
+// rendezvous hash, merges fleet-wide reads, and serves
+// POST /v1/cluster/rebalance to live-migrate shards to a new map.
 //
 // API:
 //
@@ -37,6 +44,8 @@
 //	GET  /healthz/live                liveness
 //	GET  /healthz/ready               readiness (role + replication lag)
 //	GET  /metrics                     expvar-style counters
+//	GET  /v1/cluster/status           router: map epoch, stage, node health
+//	POST /v1/cluster/rebalance        router: live-migrate to a new map
 package main
 
 import (
@@ -86,6 +95,8 @@ func main() {
 		follow    = flag.String("follow", "", "start as a warm follower of this primary base URL (bootstraps state over HTTP; durable when -state-dir is set)")
 		advertise = flag.String("advertise", "", "base URL other nodes reach this one at; defaults to http://127.0.0.1<addr>")
 		promote   = flag.String("promote", "", "one-shot: ask the node at this base URL to promote itself to primary, then exit")
+		routeMode = flag.Bool("route", false, "serve as a cluster router over the nodes in -cluster instead of a storage node")
+		cluster   = flag.String("cluster", "", "cluster map JSON file (required with -route)")
 		promAfter = flag.Duration("promote-after", 5*time.Second, "follower self-promotes after the primary is continuously unreachable this long; 0 disables auto-promotion")
 		selftest  = flag.Bool("selftest", false, "replay a synthetic held-out fleet through the HTTP layer end-to-end, kill and restore a persisted store mid-replay, verify both against in-process replays, and exit")
 	)
@@ -96,6 +107,14 @@ func main() {
 			log.Fatalf("promote: %v", err)
 		}
 		log.Printf("%s promoted to primary", *promote)
+		return
+	}
+	if *routeMode {
+		// A router trains nothing and stores nothing; every other flag
+		// concerns a storage node and is ignored.
+		if err := runRouter(*addr, *cluster); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"disksig/internal/route"
+)
+
+// runRouter serves the cluster routing tier: a stateless proxy that
+// splits ingest batches across the owning nodes of a rendezvous-hashed
+// cluster map, merges fleet-wide reads, and live-migrates shards when
+// POST /v1/cluster/rebalance delivers a new map.
+func runRouter(addr, clusterPath string) error {
+	if clusterPath == "" {
+		return fmt.Errorf("-route requires -cluster <map.json>")
+	}
+	m, err := route.LoadMap(clusterPath)
+	if err != nil {
+		return err
+	}
+	rt, err := route.NewRouter(route.Config{
+		Map: m,
+		Log: log.New(os.Stderr, "diskserve: ", 0),
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("routing for %d nodes (map epoch %d) on %s", len(m.Nodes), m.Epoch, l.Addr())
+	srv := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("signal received, draining in-flight requests")
+	shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Print("drained, bye")
+	return nil
+}

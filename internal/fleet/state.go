@@ -145,3 +145,78 @@ func Restore(st *State, cfg Config) (*Store, error) {
 	}
 	return store, nil
 }
+
+// ImportEntries merges an exported State's drives into a live store —
+// the receive side of a shard handoff. Unlike Restore it does not build
+// a fresh store: the receiving store keeps its own models, normalizer
+// and monitor configuration (a handoff moves drive state between
+// identically-trained nodes), and each drive's monitor state and
+// quality-ledger contribution land exactly as exported, so the drive
+// scores its next record as if it had never moved. The state's MaxHour
+// surplus is absorbed too (a quarantined record can advance telemetry
+// time past every surviving drive's LastHour, and eviction must not
+// rejuvenate on a move).
+//
+// A serial that is already tracked is an error: the import aborts at the
+// offending entry, leaving earlier entries imported (the merge is
+// per-shard, not transactional). Callers must keep moving serials
+// quiescent for the copy — the router's handoff gate does — so a
+// conflict means an operator error, not a race to paper over.
+func (s *Store) ImportEntries(st *State) (int, error) {
+	if st == nil {
+		return 0, fmt.Errorf("fleet: importing nil state")
+	}
+	if len(st.Drives) > 0 && !st.HasHour {
+		return 0, fmt.Errorf("fleet: importing: state has %d drives but no max hour", len(st.Drives))
+	}
+	perShard := make([][]DriveEntry, len(s.shards))
+	seen := make(map[string]bool, len(st.Drives))
+	for _, e := range st.Drives {
+		if e.Serial == "" {
+			return 0, fmt.Errorf("fleet: importing: empty serial in state")
+		}
+		if seen[e.Serial] {
+			return 0, fmt.Errorf("fleet: importing: duplicate serial %q in state", e.Serial)
+		}
+		seen[e.Serial] = true
+		si := s.shardIndex(e.Serial)
+		perShard[si] = append(perShard[si], e)
+	}
+	imported := 0
+	for si, entries := range perShard {
+		if len(entries) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, e := range entries {
+			if _, exists := sh.ids[e.Serial]; exists {
+				sh.mu.Unlock()
+				return imported, fmt.Errorf("fleet: importing: serial %q already tracked", e.Serial)
+			}
+			id := len(sh.serials)
+			sh.ids[e.Serial] = id
+			sh.serials = append(sh.serials, e.Serial)
+			if err := sh.mon.ImportDrive(id, e.State); err != nil {
+				delete(sh.ids, e.Serial)
+				sh.serials = sh.serials[:id]
+				sh.mu.Unlock()
+				return imported, fmt.Errorf("fleet: importing drive %s: %w", e.Serial, err)
+			}
+			if e.State.Tracked && e.State.LastHour > sh.maxHour {
+				sh.maxHour = e.State.LastHour
+			}
+			imported++
+		}
+		sh.mu.Unlock()
+	}
+	if st.HasHour {
+		sh0 := s.shards[0]
+		sh0.mu.Lock()
+		if st.MaxHour > sh0.maxHour {
+			sh0.maxHour = st.MaxHour
+		}
+		sh0.mu.Unlock()
+	}
+	return imported, nil
+}

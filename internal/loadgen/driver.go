@@ -392,11 +392,21 @@ func (d *Driver) sendBatch(ctx context.Context, b *Batch, st *clientStats, maxWa
 			}
 			return nil
 		case code == http.StatusTooManyRequests || code >= 500:
-			if code == http.StatusTooManyRequests {
+			// A 429 must carry a valid Retry-After; a 503 may (the router's
+			// handoff write gate sends one meaning "same node, come back
+			// shortly"). When present it is validated like the 429's and
+			// honored below — capped at maxWait, like every other sleep.
+			var hinted time.Duration
+			if code == http.StatusTooManyRequests ||
+				(code == http.StatusServiceUnavailable && retryAfter != "") {
 				secs, err := strconv.Atoi(retryAfter)
 				if err != nil || secs < 1 {
-					return fmt.Errorf("batch %d/%d: 429 with invalid Retry-After %q (want integer seconds >= 1)",
-						b.Stream, b.Index, retryAfter)
+					return fmt.Errorf("batch %d/%d: %d with invalid Retry-After %q (want integer seconds >= 1)",
+						b.Stream, b.Index, code, retryAfter)
+				}
+				hinted = time.Duration(secs) * time.Second
+				if hinted > maxWait {
+					hinted = maxWait
 				}
 			}
 			if attempt >= maxAttempts {
@@ -405,10 +415,11 @@ func (d *Driver) sendBatch(ctx context.Context, b *Batch, st *clientStats, maxWa
 			st.retries++
 			wait := maxWait
 			if st.fo != nil {
-				// 503 from a follower names the leader; go straight there.
-				// A hintless 503 (candidate mid-promotion, dead leader) just
-				// rotates and backs off until the promotion lands.
-				if code == http.StatusServiceUnavailable {
+				// A hinted 503 is not a routing problem — stay put. Otherwise:
+				// a 503 from a follower names the leader; go straight there. A
+				// hintless, leaderless 503 (candidate mid-promotion, dead
+				// leader) just rotates and backs off until the promotion lands.
+				if code == http.StatusServiceUnavailable && hinted == 0 {
 					if leader != "" {
 						st.fo.follow(leader)
 					} else {
@@ -416,6 +427,9 @@ func (d *Driver) sendBatch(ctx context.Context, b *Batch, st *clientStats, maxWa
 					}
 				}
 				wait = st.fo.backoff(attempt, maxWait)
+			}
+			if hinted > wait {
+				wait = hinted
 			}
 			select {
 			case <-time.After(wait):

@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"disksig/internal/fleet"
+)
+
+// retryBatch is a minimal deliverable batch: the body is ignored by the
+// scripted handlers, only the accounting contract matters.
+func retryBatch() *Batch {
+	return &Batch{Stream: 0, Index: 0, Obs: make([]fleet.Observation, 3), Body: []byte(`{}`)}
+}
+
+// ackOK answers a well-formed ingest ack matching retryBatch.
+func ackOK(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"ingested":3,"kept":3,"quarantined":0,"alerts":[]}`))
+}
+
+func runOne(t *testing.T, d *Driver) (*PhaseStats, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return d.Run(ctx, Phase{Name: "retry-test"}, [][]*Batch{{retryBatch()}})
+}
+
+// A 503 with a valid Retry-After is not a routing event — it is "come
+// back shortly". The driver must honor the hint (capped at MaxRetryWait)
+// and keep retrying through its full budget, in plain single-endpoint
+// mode.
+func Test503WithRetryAfterRetriesThroughBudget(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 4 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		ackOK(w)
+	}))
+	defer ts.Close()
+
+	d := &Driver{BaseURL: ts.URL, MaxRetryWait: 2 * time.Millisecond, MaxAttempts: 10}
+	stats, err := runOne(t, d)
+	if err != nil {
+		t.Fatalf("hinted 503s failed the phase: %v", err)
+	}
+	if stats.Retries != 4 || stats.Status["5xx"] != 4 || stats.Status["2xx"] != 1 {
+		t.Fatalf("retries=%d status=%v, want 4 hinted-503 retries then success", stats.Retries, stats.Status)
+	}
+}
+
+// A hintless 503 (a replication candidate mid-promotion sends no
+// Retry-After) must also retry to the full budget, not fail early.
+func TestHintless503RetriesThroughBudget(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 6 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		ackOK(w)
+	}))
+	defer ts.Close()
+
+	d := &Driver{BaseURL: ts.URL, MaxRetryWait: time.Millisecond, MaxAttempts: 10}
+	stats, err := runOne(t, d)
+	if err != nil {
+		t.Fatalf("hintless 503s failed the phase: %v", err)
+	}
+	if stats.Retries != 6 {
+		t.Fatalf("retries=%d, want 6", stats.Retries)
+	}
+}
+
+// An invalid Retry-After on a 503 is a contract violation, exactly as it
+// is on a 429.
+func Test503WithInvalidRetryAfterIsFatal(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "soon")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	d := &Driver{BaseURL: ts.URL, MaxRetryWait: time.Millisecond, MaxAttempts: 5}
+	if _, err := runOne(t, d); err == nil || !strings.Contains(err.Error(), "invalid Retry-After") {
+		t.Fatalf("err = %v, want invalid Retry-After contract violation", err)
+	}
+}
+
+// In failover mode a hinted 503 must NOT rotate endpoints: the hint
+// means "this node, shortly", and hopping away from a handoff write
+// gate would send the batch to a node that does not own its serials.
+func TestFailoverHinted503DoesNotRotate(t *testing.T) {
+	var aCalls, bCalls atomic.Int64
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if aCalls.Add(1) <= 3 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		ackOK(w)
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bCalls.Add(1)
+		ackOK(w)
+	}))
+	defer b.Close()
+
+	d := &Driver{
+		BaseURL: a.URL, Endpoints: []string{a.URL, b.URL},
+		MaxRetryWait: 2 * time.Millisecond, MaxAttempts: 10, RetrySeed: 7,
+	}
+	stats, err := runOne(t, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bCalls.Load(); got != 0 {
+		t.Fatalf("hinted 503 rotated to the other endpoint (%d calls there)", got)
+	}
+	if stats.Retries != 3 {
+		t.Fatalf("retries=%d, want 3", stats.Retries)
+	}
+}
+
+// The budget is a hard stop in both modes.
+func Test503BudgetExhaustion(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	d := &Driver{BaseURL: ts.URL, MaxRetryWait: time.Millisecond, MaxAttempts: 3}
+	if _, err := runOne(t, d); err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want budget exhaustion after 3 attempts", err)
+	}
+}

@@ -377,7 +377,19 @@ func TestScenariosEndToEnd(t *testing.T) {
 		t.Fatal("failover saw no transport retries; the primary kill was vacuous")
 	}
 
-	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, fc, r, c, fo}}
+	rb, err := RunRebalance(ctx, dep, cfg)
+	requirePassed("rebalance", rb, err)
+	if rb.Rebalance == nil || rb.Rebalance.JoinMoved == 0 || rb.Rebalance.DrainMoved == 0 {
+		t.Fatalf("rebalance moved nothing: %+v", rb.Rebalance)
+	}
+	if rb.Rebalance.ReadProbes == 0 || rb.Rebalance.ReadFailures != 0 {
+		t.Fatalf("rebalance availability poller: %d probes, %d failures", rb.Rebalance.ReadProbes, rb.Rebalance.ReadFailures)
+	}
+	if rb.Rebalance.DirectJSONRate <= 0 || rb.Rebalance.RoutedBinaryRate <= 0 {
+		t.Fatalf("rebalance recorded no proxy-overhead rates: %+v", rb.Rebalance)
+	}
+
+	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, fc, r, c, fo, rb}}
 	if !rep.Passed() {
 		t.Fatal("aggregate report not passed")
 	}

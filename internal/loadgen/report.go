@@ -68,6 +68,9 @@ type ScenarioReport struct {
 	// Failover describes the failover scenario's primary kill.
 	Failover *FailoverReport `json:"failover,omitempty"`
 
+	// Rebalance describes the rebalance scenario's live shard handoffs.
+	Rebalance *RebalanceReport `json:"rebalance,omitempty"`
+
 	Checks []Check `json:"checks"`
 	Passed bool    `json:"passed"`
 }
@@ -93,6 +96,36 @@ type FailoverReport struct {
 	PostFailoverRate float64 `json:"post_failover_records_per_sec"`
 	ThroughputDipPct float64 `json:"throughput_dip_pct"`
 	NetRetries       int     `json:"net_retries"`
+}
+
+// RebalanceReport measures the rebalance scenario: a node join and a
+// node drain, each cut over live under ingest load, plus the router's
+// proxy overhead against a direct node connection.
+type RebalanceReport struct {
+	// Join and Drain measure each migration: serials bulk-copied,
+	// (source, target) transfer streams, records captured by the
+	// dual-write window, and wall-clock time.
+	JoinMs          float64 `json:"join_ms"`
+	JoinMoved       int     `json:"join_moved"`
+	JoinTransfers   int     `json:"join_transfers"`
+	JoinDualWrites  int64   `json:"join_dual_writes"`
+	DrainMs         float64 `json:"drain_ms"`
+	DrainMoved      int     `json:"drain_moved"`
+	DrainTransfers  int     `json:"drain_transfers"`
+	DrainDualWrites int64   `json:"drain_dual_writes"`
+	// GatedRequests counts ingest batches parked at the copy gate.
+	GatedRequests int64 `json:"gated_requests"`
+	// ReadProbes/ReadFailures are the concurrent availability poller's
+	// tallies: reads of known-ingested serials through the router while
+	// the handoffs ran. ReadFailures must be zero.
+	ReadProbes   int `json:"read_probes"`
+	ReadFailures int `json:"read_failures"`
+	// Router-path throughput against a direct node connection, per wire
+	// format (records/s; overhead = 1 - routed/direct).
+	DirectJSONRate   float64 `json:"direct_json_records_per_sec"`
+	RoutedJSONRate   float64 `json:"routed_json_records_per_sec"`
+	DirectBinaryRate float64 `json:"direct_binary_records_per_sec"`
+	RoutedBinaryRate float64 `json:"routed_binary_records_per_sec"`
 }
 
 // Check is one named verification verdict.

@@ -88,6 +88,43 @@ func serialSet(entries []fleet.DriveEntry) map[string]struct{} {
 	return set
 }
 
+// MergeStates folds the canonical states of disjoint cluster nodes
+// into one fleet-wide canonical state, comparable against a single
+// shadow. The node states must partition the fleet: a serial appearing
+// on two nodes is a split-brain and an error. Models, normalizer and
+// monitor config come from the first state (every node of a cluster
+// serves the same trained models); quality ledgers sum, drives
+// concatenate and re-sort, and the fleet clock is the newest node's.
+func MergeStates(states ...*fleet.State) (*fleet.State, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("loadgen: merging zero states")
+	}
+	merged := &fleet.State{
+		MonitorCfg: states[0].MonitorCfg,
+		Models:     states[0].Models,
+		Norm:       states[0].Norm,
+	}
+	seen := map[string]struct{}{}
+	for _, st := range states {
+		for _, e := range st.Drives {
+			if _, dup := seen[e.Serial]; dup {
+				return nil, fmt.Errorf("loadgen: serial %s present on two nodes — split-brain", e.Serial)
+			}
+			seen[e.Serial] = struct{}{}
+			merged.Drives = append(merged.Drives, e)
+		}
+		merged.Quality.Merge(&st.Quality)
+		if st.HasHour && (!merged.HasHour || st.MaxHour > merged.MaxHour) {
+			merged.MaxHour = st.MaxHour
+		}
+		merged.HasHour = merged.HasHour || st.HasHour
+	}
+	sort.Slice(merged.Drives, func(i, j int) bool {
+		return merged.Drives[i].Serial < merged.Drives[j].Serial
+	})
+	return merged, nil
+}
+
 // CompareAlerts requires two alert-key streams to be equal. Ordered
 // comparison asserts record-for-record identity in sequence; unordered
 // comparison (for streams collected across concurrent clients, where

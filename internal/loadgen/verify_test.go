@@ -189,3 +189,46 @@ func TestWorkloadFromDrivesDefaultBatchSize(t *testing.T) {
 		t.Fatalf("batch layout %d, want [200 50]", len(queues[0]))
 	}
 }
+
+func TestMergeStatesPartition(t *testing.T) {
+	dep := testDeployment(t)
+	mk := func(shards int, obs []fleet.Observation) *fleet.Store {
+		cfg := dep.fleetConfig()
+		cfg.Shards = shards
+		s, err := fleet.New(dep.Models, dep.Norm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.IngestBatch(obs)
+		return s
+	}
+	whole := []fleet.Observation{
+		{Serial: "d-1", Record: rrerRecord(0, 0.9)},
+		{Serial: "d-2", Record: rrerRecord(1, 0.5)},
+		{Serial: "d-3", Record: rrerRecord(2, 0.7)},
+	}
+	// Three disjoint single-drive nodes at different shard counts must
+	// merge into exactly the state of one store fed everything.
+	all := mk(4, whole)
+	var parts []*fleet.State
+	for i, o := range whole {
+		parts = append(parts, CanonicalState(mk(i+1, []fleet.Observation{o})))
+	}
+	merged, err := MergeStates(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareStates("whole", "merged", CanonicalState(all), merged); err != nil {
+		t.Fatalf("merged partition diverges from the whole: %v", err)
+	}
+	// A serial on two nodes is a split-brain, not a mergeable state.
+	dup := CanonicalState(mk(2, whole[:1]))
+	if _, err := MergeStates(parts[0], dup); err == nil {
+		t.Fatal("split-brain duplicate serial merged without error")
+	} else if !strings.Contains(err.Error(), "d-1") {
+		t.Fatalf("split-brain error does not name the serial: %v", err)
+	}
+	if _, err := MergeStates(); err == nil {
+		t.Fatal("merging zero states succeeded")
+	}
+}

@@ -1,0 +1,93 @@
+package route
+
+import (
+	"testing"
+)
+
+// FuzzMapDiff checks the conservation law of a map diff: every serial is
+// owned by exactly one node under each map, and the diff contains a
+// serial exactly once iff its owner changed, with From/To matching the
+// two maps' own placement. The fuzzer derives a node-set mutation
+// (join, leave, or reweight) and a serial universe from raw bytes.
+func FuzzMapDiff(f *testing.F) {
+	f.Add(uint8(5), uint8(0), []byte("ld-000001\x00ld-000002\x00drive-x"))
+	f.Add(uint8(2), uint8(1), []byte("a\x00b\x00c\x00d"))
+	f.Add(uint8(8), uint8(2), []byte("serial"))
+	f.Fuzz(func(t *testing.T, nNodes, mutation uint8, raw []byte) {
+		n := 2 + int(nNodes%7) // 2..8 nodes
+		old := &Map{Epoch: 1, Nodes: testNodes(n)}
+
+		next := &Map{Epoch: 2, Nodes: testNodes(n)}
+		switch mutation % 3 {
+		case 0: // join
+			next.Nodes = append(next.Nodes, Node{ID: "joined", URL: "http://joined"})
+		case 1: // leave
+			next.Nodes = next.Nodes[:n-1]
+		case 2: // reweight
+			next.Nodes[0].Weight = 3
+		}
+		if err := old.Validate(); err != nil {
+			t.Fatalf("old map invalid: %v", err)
+		}
+		if err := next.Validate(); err != nil {
+			t.Fatalf("next map invalid: %v", err)
+		}
+
+		// Serial universe: split raw bytes on NUL, drop empties, dedup.
+		seen := map[string]bool{}
+		var serials []string
+		start := 0
+		for i := 0; i <= len(raw); i++ {
+			if i == len(raw) || raw[i] == 0 {
+				if i > start {
+					s := string(raw[start:i])
+					if !seen[s] {
+						seen[s] = true
+						serials = append(serials, s)
+					}
+				}
+				start = i + 1
+			}
+		}
+
+		moves := Diff(old, next, serials)
+		inDiff := make(map[string]Move, len(moves))
+		for _, mv := range moves {
+			if _, dup := inDiff[mv.Serial]; dup {
+				t.Fatalf("serial %q appears twice in diff", mv.Serial)
+			}
+			inDiff[mv.Serial] = mv
+		}
+		for _, s := range serials {
+			b := []byte(s)
+			oi, ni := old.OwnerIndex(b), next.OwnerIndex(b)
+			if oi < 0 || oi >= len(old.Nodes) || ni < 0 || ni >= len(next.Nodes) {
+				t.Fatalf("serial %q: owner index out of range (%d, %d)", s, oi, ni)
+			}
+			from, to := old.Nodes[oi].ID, next.Nodes[ni].ID
+			mv, moved := inDiff[s]
+			if (from != to) != moved {
+				t.Fatalf("serial %q: owner %s→%s but in-diff=%v", s, from, to, moved)
+			}
+			if moved && (mv.From != from || mv.To != to) {
+				t.Fatalf("serial %q: diff says %s→%s, maps say %s→%s", s, mv.From, mv.To, from, to)
+			}
+		}
+
+		// Grouping must conserve the moves: total serials across
+		// transfers equals len(moves), every (from,to) matches.
+		total := 0
+		for _, tr := range GroupMoves(moves) {
+			total += len(tr.Serials)
+			for _, s := range tr.Serials {
+				mv, ok := inDiff[s]
+				if !ok || mv.From != tr.From || mv.To != tr.To {
+					t.Fatalf("transfer %s→%s contains serial %q with move %+v", tr.From, tr.To, s, mv)
+				}
+			}
+		}
+		if total != len(moves) {
+			t.Fatalf("transfers carry %d serials, diff has %d", total, len(moves))
+		}
+	})
+}

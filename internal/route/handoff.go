@@ -1,0 +1,360 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"disksig/internal/fleet"
+	"disksig/internal/persist"
+	"disksig/internal/quality"
+)
+
+// errRebalanceBusy is returned when a migration is already in flight.
+var errRebalanceBusy = errors.New("route: a rebalance is already in progress")
+
+// transferChunkBytes is the handoff stream's chunk size. Small enough
+// that a torn connection resumes cheaply, big enough that a realistic
+// shard image moves in a handful of requests.
+const transferChunkBytes = 256 << 10
+
+var transferCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// RebalanceStats summarizes a completed map migration.
+type RebalanceStats struct {
+	Epoch      uint64  `json:"epoch"`
+	Moved      int     `json:"moved"`     // serials that changed owner
+	Transfers  int     `json:"transfers"` // (source, target) streams
+	DualWrites int64   `json:"dual_writes"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// Rebalance migrates the cluster from the current map to next with live
+// traffic flowing:
+//
+//  1. copy stage — ingest of moving serials gates (bounded wait), so
+//     each mover's record stream is frozen on its old owner;
+//  2. every current node exports its state, the router filters out the
+//     entries that change owner and streams them to their new owners
+//     over the resumable CRC-framed transfer API;
+//  3. dual-write stage — the gate opens and moving records are written
+//     to both owners (acked by the old one) for a short dwell;
+//  4. the map epoch flips atomically (the routing lock drains every
+//     in-flight request, so no batch straddles two maps), after which
+//     the old owners drop their moved serials.
+//
+// A failure before the flip rolls the router back to the old map. A
+// target that already committed a transfer keeps those entries, but the
+// old map never routes to it for them; they are inert remnants that the
+// next successful migration's ownership filter steps around.
+func (rt *Router) Rebalance(ctx context.Context, next *Map) (*RebalanceStats, error) {
+	if !rt.rebalanceMu.TryLock() {
+		return nil, errRebalanceBusy
+	}
+	defer rt.rebalanceMu.Unlock()
+
+	if err := next.Validate(); err != nil {
+		return nil, err
+	}
+	cur := rt.snapshot().cur
+	if next.Epoch <= cur.Epoch {
+		return nil, fmt.Errorf("route: new map epoch %d is not newer than current epoch %d", next.Epoch, cur.Epoch)
+	}
+	start := time.Now()
+	rt.m.rebalances.Add(1)
+
+	// Enter the copy stage: moving-serial ingest gates from here on.
+	copyDone := make(chan struct{})
+	rt.mu.Lock()
+	rt.next, rt.stage, rt.copyDone = next, stageCopy, copyDone
+	rt.mu.Unlock()
+	rt.probe.setNodes(unionNodes(cur.Nodes, next.Nodes))
+	stats := &RebalanceStats{Epoch: next.Epoch}
+
+	abort := func(err error) (*RebalanceStats, error) {
+		rt.mu.Lock()
+		rt.next, rt.stage, rt.copyDone = nil, stageIdle, nil
+		rt.mu.Unlock()
+		// Release any batches parked at the gate; they re-route by the
+		// old map, which is still correct.
+		close(copyDone)
+		rt.probe.setNodes(cur.Nodes)
+		if rt.cfg.Log != nil {
+			rt.cfg.Log.Printf("rebalance to epoch %d aborted: %v", next.Epoch, err)
+		}
+		return stats, err
+	}
+
+	// Bulk copy: export each current node, carve out its movers, stream
+	// them to their new owners. Mover streams are frozen by the gate, so
+	// the export is complete for every moving serial.
+	for _, src := range cur.Nodes {
+		st, err := rt.exportNode(ctx, src)
+		if err != nil {
+			return abort(fmt.Errorf("exporting node %s: %w", src.ID, err))
+		}
+		perTarget := map[string][]fleet.DriveEntry{}
+		for _, e := range st.Drives {
+			serial := []byte(e.Serial)
+			if cur.Nodes[cur.OwnerIndex(serial)].ID != src.ID {
+				// Not this node's serial under the current map: a remnant
+				// of an earlier aborted migration. Leave it alone.
+				continue
+			}
+			to := next.Nodes[next.OwnerIndex(serial)].ID
+			if to == src.ID {
+				continue
+			}
+			perTarget[to] = append(perTarget[to], e)
+			stats.Moved++
+		}
+		for _, tgt := range next.Nodes {
+			entries := perTarget[tgt.ID]
+			if len(entries) == 0 {
+				continue
+			}
+			// Clear remnants of an earlier aborted migration first: the
+			// import conflicts on any serial the target already tracks, and
+			// under the current map these serials belong to src, so any
+			// copy on the target is stale by definition.
+			serials := make([]string, len(entries))
+			for i, e := range entries {
+				serials[i] = e.Serial
+			}
+			if err := rt.dropSerials(ctx, tgt, serials, false); err != nil {
+				return abort(fmt.Errorf("clearing stale entries on node %s: %w", tgt.ID, err))
+			}
+			sub := &fleet.State{
+				MonitorCfg: st.MonitorCfg,
+				Models:     st.Models,
+				Norm:       st.Norm,
+				Drives:     entries,
+				Quality:    quality.Report{},
+				MaxHour:    st.MaxHour,
+				HasHour:    st.HasHour,
+			}
+			id := fmt.Sprintf("rebalance-%d-%s-%s", next.Epoch, src.ID, tgt.ID)
+			if err := rt.streamState(ctx, tgt, id, sub); err != nil {
+				return abort(fmt.Errorf("streaming %d drives %s → %s: %w", len(entries), src.ID, tgt.ID, err))
+			}
+			stats.Transfers++
+		}
+	}
+
+	// Open the gate into the dual-write stage. The write lock drains
+	// in-flight batches split under the copy-stage map first.
+	dualBase := rt.m.dualWrites.Load()
+	rt.mu.Lock()
+	rt.stage = stageDual
+	rt.mu.Unlock()
+	close(copyDone)
+
+	// Dwell: let the dual-write window absorb live mover traffic before
+	// cutting over, bounded so an idle cluster still converges.
+	dwell := time.NewTimer(rt.cfg.DualWriteMax)
+	defer dwell.Stop()
+dwell:
+	for rt.m.dualWrites.Load()-dualBase < int64(rt.cfg.DualWriteMin) {
+		select {
+		case <-dwell.C:
+			break dwell
+		case <-ctx.Done():
+			break dwell
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	stats.DualWrites = rt.m.dualWrites.Load() - dualBase
+
+	// Cut over: the write lock drains every in-flight dual-write, then
+	// the new map becomes the only map — one epoch, one owner per serial.
+	rt.mu.Lock()
+	rt.cur, rt.next, rt.stage, rt.copyDone = next, nil, stageIdle, nil
+	rt.mu.Unlock()
+	rt.probe.setNodes(next.Nodes)
+
+	// Retire from each old node every serial the new map assigns
+	// elsewhere. The list comes from a fresh post-flip export, not the
+	// bulk-copy one: a serial first seen during the dual-write window
+	// was written to both owners but never bulk-copied, and only a
+	// post-flip inventory catches that copy on the old owner.
+	for _, src := range cur.Nodes {
+		st, err := rt.exportNode(ctx, src)
+		if err != nil {
+			return stats, fmt.Errorf("inventorying node %s after cutover: %w", src.ID, err)
+		}
+		var serials []string
+		for _, e := range st.Drives {
+			if next.Nodes[next.OwnerIndex([]byte(e.Serial))].ID != src.ID {
+				serials = append(serials, e.Serial)
+			}
+		}
+		if len(serials) == 0 {
+			continue
+		}
+		if err := rt.dropSerials(ctx, src, serials, true); err != nil {
+			return stats, fmt.Errorf("dropping %d moved serials from node %s: %w", len(serials), src.ID, err)
+		}
+	}
+
+	stats.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+	if rt.cfg.Log != nil {
+		rt.cfg.Log.Printf("rebalance: epoch %d→%d moved=%d transfers=%d dual_writes=%d dur=%.0fms",
+			cur.Epoch, next.Epoch, stats.Moved, stats.Transfers, stats.DualWrites, stats.DurationMs)
+	}
+	return stats, nil
+}
+
+// unionNodes merges two node lists by ID, first list winning.
+func unionNodes(a, b []Node) []Node {
+	seen := map[string]bool{}
+	out := make([]Node, 0, len(a)+len(b))
+	for _, lists := range [2][]Node{a, b} {
+		for _, n := range lists {
+			if !seen[n.ID] {
+				seen[n.ID] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// exportNode pulls a node's full bootstrap-image state.
+func (rt *Router) exportNode(ctx context.Context, n Node) (*fleet.State, error) {
+	resp, body, err := rt.forward(ctx, n, "GET", "/v1/admin/export", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("export status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	st, _, _, err := persist.DecodeBootstrap(body)
+	return st, err
+}
+
+// streamState encodes a state subset and streams it to the target node
+// over the resumable transfer API, then commits the import. A chunk the
+// target already has (409 with its expected offset) re-syncs the cursor
+// instead of failing — the resume path a torn connection needs.
+func (rt *Router) streamState(ctx context.Context, tgt Node, id string, st *fleet.State) error {
+	img, err := persist.EncodeBootstrap(st, 0, persist.Position{})
+	if err != nil {
+		return err
+	}
+	offset := 0
+	for offset < len(img) {
+		end := offset + transferChunkBytes
+		if end > len(img) {
+			end = len(img)
+		}
+		sent, err := rt.postChunk(ctx, tgt, id, offset, img[offset:end])
+		if err != nil {
+			return err
+		}
+		offset = sent
+	}
+	resp, body, err := rt.forward(ctx, tgt, "POST", "/v1/admin/transfer/"+id+"/commit", "", nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("commit status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// postChunk sends one CRC-sealed chunk and returns the target's next
+// expected offset (from either a 200 or a 409 resume answer).
+func (rt *Router) postChunk(ctx context.Context, tgt Node, id string, offset int, payload []byte) (int, error) {
+	sum := crc32.Checksum(payload, transferCRC)
+	chunk := make([]byte, 0, len(payload)+4)
+	chunk = append(chunk, payload...)
+	chunk = append(chunk, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+
+	var lastErr error
+	wait := 2 * time.Millisecond
+	for attempt := 0; attempt < rt.cfg.ForwardAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+			if wait *= 2; wait > rt.cfg.MaxRetryWait {
+				wait = rt.cfg.MaxRetryWait
+			}
+		}
+		urls := rt.probe.candidates(tgt)
+		u := urls[attempt%len(urls)]
+		req, err := http.NewRequestWithContext(ctx, "POST", u+"/v1/admin/transfer/"+id, bytes.NewReader(chunk))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("X-Transfer-Offset", strconv.Itoa(offset))
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var doc struct {
+				Offset int `json:"offset"`
+			}
+			if err := json.Unmarshal(body, &doc); err != nil {
+				return 0, fmt.Errorf("unreadable transfer ack: %v", err)
+			}
+			return doc.Offset, nil
+		case http.StatusConflict:
+			var doc struct {
+				Expected int `json:"expected"`
+			}
+			if err := json.Unmarshal(body, &doc); err != nil {
+				return 0, fmt.Errorf("unreadable transfer resume answer: %v", err)
+			}
+			return doc.Expected, nil
+		case http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("node %s transfer answered 503", tgt.ID)
+			continue
+		default:
+			return 0, fmt.Errorf("transfer chunk status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+	}
+	return 0, fmt.Errorf("transfer chunk to node %s failed after %d attempts: %w", tgt.ID, rt.cfg.ForwardAttempts, lastErr)
+}
+
+// dropSerials removes serials from a node. With strict set, every
+// serial must actually have been dropped (retiring movers from their
+// old owner); without it, absent serials are fine (clearing remnants).
+func (rt *Router) dropSerials(ctx context.Context, n Node, serials []string, strict bool) error {
+	body, err := json.Marshal(map[string][]string{"serials": serials})
+	if err != nil {
+		return err
+	}
+	resp, rb, err := rt.forward(ctx, n, "POST", "/v1/admin/drop", "application/json", body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("drop status %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+	}
+	var doc struct {
+		Dropped int `json:"dropped"`
+	}
+	if err := json.Unmarshal(rb, &doc); err != nil {
+		return fmt.Errorf("unreadable drop answer: %v", err)
+	}
+	if strict && doc.Dropped != len(serials) {
+		return fmt.Errorf("dropped %d of %d moved serials", doc.Dropped, len(serials))
+	}
+	return nil
+}

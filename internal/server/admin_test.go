@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"disksig/internal/fleet"
+	"disksig/internal/monitor"
+	"disksig/internal/persist"
+)
+
+// sealChunk frames a payload slice as one transfer chunk: payload +
+// CRC-32C trailer.
+func sealChunk(payload []byte) []byte {
+	sum := crc32.Checksum(payload, transferCRC)
+	return append(append([]byte{}, payload...),
+		byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+}
+
+func postChunk(t *testing.T, url, id string, offset int, chunk []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/admin/transfer/"+id, bytes.NewReader(chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TransferOffsetHeader, strconv.Itoa(offset))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestTransferHandoff walks the whole handoff plane HTTP-level: export
+// from a populated node, stream to an empty node in chunks (with a
+// resume mid-way), commit, verify the drives answer on the target, then
+// drop from the source.
+func TestTransferHandoff(t *testing.T) {
+	mcfg := monitor.Config{Smoothing: 1}
+	src := testServer(t, fleet.Config{Shards: 4, Monitor: mcfg}, Config{})
+	dst := testServer(t, fleet.Config{Shards: 2, Monitor: mcfg}, Config{})
+	tsSrc := httptest.NewServer(src.Handler())
+	defer tsSrc.Close()
+	tsDst := httptest.NewServer(dst.Handler())
+	defer tsDst.Close()
+
+	body := ingestBody(t,
+		[3]any{"SER-1", 0, 0.9},
+		[3]any{"SER-1", 1, 0.8},
+		[3]any{"SER-2", 0, 0.9},
+	)
+	resp, err := http.Post(tsSrc.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Export.
+	resp, err = http.Get(tsSrc.URL + "/v1/admin/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != persist.BootstrapContentType {
+		t.Fatalf("export Content-Type %q", ct)
+	}
+	var img bytes.Buffer
+	if _, err := img.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st, _, _, err := persist.DecodeBootstrap(img.Bytes())
+	if err != nil {
+		t.Fatalf("exported image does not decode: %v", err)
+	}
+	if len(st.Drives) != 2 {
+		t.Fatalf("exported %d drives, want 2", len(st.Drives))
+	}
+
+	// Stream in two chunks; repeat the first to prove 409-resume.
+	const id = "handoff-test"
+	half := img.Len() / 2
+	c1, c2 := img.Bytes()[:half], img.Bytes()[half:]
+	resp = postChunk(t, tsDst.URL, id, 0, sealChunk(c1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 1 status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postChunk(t, tsDst.URL, id, 0, sealChunk(c1)) // duplicate
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate chunk status %d, want 409", resp.StatusCode)
+	}
+	doc := decodeJSON(t, resp.Body)
+	resp.Body.Close()
+	if int(doc["expected"].(float64)) != half {
+		t.Fatalf("409 expected=%v, want %d", doc["expected"], half)
+	}
+	resp = postChunk(t, tsDst.URL, id, half, sealChunk(c2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk 2 status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Commit and query the moved drive on the target.
+	resp, err = http.Post(tsDst.URL+"/v1/admin/transfer/"+id+"/commit", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit status %d", resp.StatusCode)
+	}
+	doc = decodeJSON(t, resp.Body)
+	resp.Body.Close()
+	if int(doc["imported"].(float64)) != 2 {
+		t.Fatalf("imported %v, want 2", doc["imported"])
+	}
+	resp, err = http.Get(tsDst.URL + "/v1/drives/SER-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("moved drive status %d", resp.StatusCode)
+	}
+	doc = decodeJSON(t, resp.Body)
+	resp.Body.Close()
+	if doc["last_hour"].(float64) != 1 {
+		t.Fatalf("moved drive last_hour %v, want 1", doc["last_hour"])
+	}
+
+	// Re-commit of a consumed session is 404; re-import conflicts 409.
+	resp, _ = http.Post(tsDst.URL+"/v1/admin/transfer/"+id+"/commit", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-commit status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postChunk(t, tsDst.URL, "again", 0, sealChunk(img.Bytes()))
+	resp.Body.Close()
+	resp, _ = http.Post(tsDst.URL+"/v1/admin/transfer/again/commit", "", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting import status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Drop from the source; the drive must stop answering there.
+	drop, _ := json.Marshal(map[string]any{"serials": []string{"SER-1", "SER-2", "SER-GONE"}})
+	resp, err = http.Post(tsSrc.URL+"/v1/admin/drop", "application/json", bytes.NewReader(drop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc = decodeJSON(t, resp.Body)
+	resp.Body.Close()
+	if int(doc["dropped"].(float64)) != 2 || int(doc["requested"].(float64)) != 3 {
+		t.Fatalf("drop = %v, want dropped 2 of 3", doc)
+	}
+	resp, _ = http.Get(tsSrc.URL + "/v1/drives/SER-1")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("dropped drive still answers %d on source", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestTransferChunkValidation(t *testing.T) {
+	srv := testServer(t, fleet.Config{Shards: 2}, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Bad offset header.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/admin/transfer/x", bytes.NewReader(sealChunk([]byte("abc"))))
+	req.Header.Set(TransferOffsetHeader, "nope")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad offset status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Chunk shorter than its trailer.
+	resp = postChunk(t, ts.URL, "x", 0, []byte{1, 2})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short chunk status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Corrupt CRC.
+	chunk := sealChunk([]byte("payload"))
+	chunk[len(chunk)-1] ^= 1
+	resp = postChunk(t, ts.URL, "x", 0, chunk)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt chunk status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Garbage image fails commit with 400 and consumes the session.
+	resp = postChunk(t, ts.URL, "garbage", 0, sealChunk([]byte("not a bootstrap image")))
+	resp.Body.Close()
+	resp, _ = http.Post(ts.URL+"/v1/admin/transfer/garbage/commit", "", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage commit status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Post(ts.URL+"/v1/admin/transfer/garbage/commit", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("consumed garbage session status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Abort is idempotent.
+	resp = postChunk(t, ts.URL, "gone", 0, sealChunk([]byte("x")))
+	resp.Body.Close()
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest("DELETE", ts.URL+"/v1/admin/transfer/gone", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("abort %d status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Session cap.
+	for i := 0; i < maxTransferSessions; i++ {
+		resp = postChunk(t, ts.URL, fmt.Sprintf("s%d", i), 0, sealChunk([]byte("x")))
+		resp.Body.Close()
+	}
+	resp = postChunk(t, ts.URL, "one-too-many", 0, sealChunk([]byte("x")))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap session status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Malformed drop body.
+	resp, _ = http.Post(ts.URL+"/v1/admin/drop", "application/json", bytes.NewReader([]byte(`{"nope":1}`)))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad drop status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -645,12 +645,17 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	case lag <= rp.opts.ReadyLag:
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status": "ready", "role": role.String(),
-			"lag_ms": float64(lag) / float64(time.Millisecond),
+			"lag_ms":       float64(lag) / float64(time.Millisecond),
+			"ready_lag_ms": float64(rp.opts.ReadyLag) / float64(time.Millisecond),
 		})
 	default:
+		// A stale follower names both the lag it measured and the gate it
+		// failed, so the router and operators can see *how far* behind it
+		// is, not just that it is.
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "stale", "role": role.String(),
-			"lag_ms": float64(lag) / float64(time.Millisecond),
+			"lag_ms":       float64(lag) / float64(time.Millisecond),
+			"ready_lag_ms": float64(rp.opts.ReadyLag) / float64(time.Millisecond),
 		})
 	}
 }

@@ -377,15 +377,21 @@ func TestReadinessReflectsRoleAndLag(t *testing.T) {
 		t.Fatalf("primary ready = %d, want 200", code)
 	}
 
-	// A fresh follower is ready; one past its ReadyLag is stale.
+	// A fresh follower is ready; one past its ReadyLag is stale. Both
+	// answers carry the measured lag AND the gate it is judged against,
+	// so a router can see how far behind a follower is.
 	fresh := testServer(t, fleet.Config{}, Config{Replication: &ReplicationOptions{Role: RoleFollower, Term: 1}})
 	if code, doc := ready(fresh); code != http.StatusOK || doc["role"] != "follower" {
 		t.Fatalf("fresh follower ready = %d %v", code, doc)
+	} else if doc["ready_lag_ms"].(float64) <= 0 {
+		t.Fatalf("fresh follower does not report its gate: %v", doc)
 	}
 	stale := testServer(t, fleet.Config{}, Config{Replication: &ReplicationOptions{Role: RoleFollower, Term: 1, ReadyLag: time.Millisecond}})
 	time.Sleep(10 * time.Millisecond)
 	if code, doc := ready(stale); code != http.StatusServiceUnavailable {
 		t.Fatalf("stale follower ready = %d %v, want 503", code, doc)
+	} else if doc["ready_lag_ms"].(float64) != 1 || doc["lag_ms"].(float64) <= doc["ready_lag_ms"].(float64) {
+		t.Fatalf("stale follower must report lag vs gate: %v", doc)
 	}
 
 	// Mid-promotion, the node takes no traffic.

@@ -101,6 +101,10 @@ type Server struct {
 	http     *http.Server
 	snapStop chan struct{}
 
+	// xfers holds in-progress resumable state transfers (admin.go).
+	xferMu sync.Mutex
+	xfers  map[string]*transferBuf
+
 	// testHoldIngest, when set, is called by the ingest handler after
 	// decoding and before responding — the shutdown-drain test uses it
 	// to keep a request in flight deterministically.
@@ -130,6 +134,12 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.Persist != nil {
 		limited.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
 	}
+	// The handoff plane: state export, resumable transfer-in, drop-out.
+	limited.HandleFunc("GET /v1/admin/export", s.handleExport)
+	limited.HandleFunc("POST /v1/admin/transfer/{id}", s.handleTransferChunk)
+	limited.HandleFunc("POST /v1/admin/transfer/{id}/commit", s.handleTransferCommit)
+	limited.HandleFunc("DELETE /v1/admin/transfer/{id}", s.handleTransferAbort)
+	limited.HandleFunc("POST /v1/admin/drop", s.handleDrop)
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", s.limitConcurrency(limited))

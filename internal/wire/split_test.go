@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"hash/crc32"
+	"testing"
+
+	"disksig/internal/quality"
+)
+
+// TestSplitFrameRoundTrip checks the router contract: splitting a frame
+// into parts and decoding each part yields exactly the original records,
+// in original order within each part.
+func TestSplitFrameRoundTrip(t *testing.T) {
+	obs := testObs(50)
+	frame := EncodeBatch(obs)
+	const parts = 3
+	assign := func(serial []byte) int {
+		return int(serial[len(serial)-1]) % parts
+	}
+	var rep quality.Report
+	bodies, err := SplitFrame(frame, parts, assign, &rep)
+	if err != nil {
+		t.Fatalf("SplitFrame: %v", err)
+	}
+	if rep.RowsRead != 0 {
+		t.Fatalf("well-formed frame touched the ledger: %+v", rep)
+	}
+
+	var d Decoder
+	got := 0
+	next := make([]int, parts) // per-part cursor into the expected order
+	for p, body := range bodies {
+		if body == nil {
+			continue
+		}
+		var partRep quality.Report
+		decoded, err := d.Decode(body, &partRep)
+		if err != nil {
+			t.Fatalf("part %d: decode: %v", p, err)
+		}
+		if partRep.RowsRead != 0 {
+			t.Fatalf("part %d quarantined: %+v", p, partRep)
+		}
+		for _, o := range decoded {
+			// Find the next original record assigned to this part.
+			for next[p] < len(obs) && assign([]byte(obs[next[p]].Serial)) != p {
+				next[p]++
+			}
+			if next[p] >= len(obs) {
+				t.Fatalf("part %d has extra record %q", p, o.Serial)
+			}
+			want := obs[next[p]]
+			if o.Serial != want.Serial || o.Record.Hour != want.Record.Hour || !nanEqual(o.Record.Values, want.Record.Values) {
+				t.Fatalf("part %d: got %q h%d, want %q h%d", p, o.Serial, o.Record.Hour, want.Serial, want.Record.Hour)
+			}
+			next[p]++
+			got++
+		}
+	}
+	if got != len(obs) {
+		t.Fatalf("parts carry %d records, frame had %d", got, len(obs))
+	}
+}
+
+// A negative assignment omits the record; an empty selection returns all
+// parts nil.
+func TestSplitFrameOmit(t *testing.T) {
+	obs := testObs(10)
+	frame := EncodeBatch(obs)
+	keep := obs[4].Serial
+	bodies, err := SplitFrame(frame, 2, func(serial []byte) int {
+		if string(serial) == keep {
+			return 1
+		}
+		return -1
+	}, nil)
+	if err != nil {
+		t.Fatalf("SplitFrame: %v", err)
+	}
+	if bodies[0] != nil {
+		t.Fatal("part 0 should be empty")
+	}
+	var d Decoder
+	var rep quality.Report
+	decoded, err := d.Decode(bodies[1], &rep)
+	if err != nil || len(decoded) != 1 || decoded[0].Serial != keep {
+		t.Fatalf("part 1: %v, %d records", err, len(decoded))
+	}
+
+	none, err := SplitFrame(frame, 2, func([]byte) int { return -1 }, nil)
+	if err != nil {
+		t.Fatalf("SplitFrame all-omit: %v", err)
+	}
+	if none[0] != nil || none[1] != nil {
+		t.Fatal("all-omit split produced parts")
+	}
+}
+
+// Structurally defective record headers (the ones Decode quarantines
+// before reading triples) must quarantine at the split, and well-formed
+// neighbors must still forward.
+func TestSplitFrameQuarantinesDefectiveHeaders(t *testing.T) {
+	// Hand-build: one zero-length-serial record, then one good record.
+	body := []byte{Version}
+	body = appendU32(body, 2)
+	body = appendU16(body, 0) // slen 0 → BadField serial
+	body = appendU32(body, 5)
+	body = appendU16(body, 0)
+	body = appendU16(body, 3) // good record "abc", no triples
+	body = appendU32(body, 7)
+	body = appendU16(body, 0)
+	body = append(body, "abc"...)
+	frame := appendU32(body, crc32.Checksum(body, castagnoli))
+
+	var rep quality.Report
+	bodies, err := SplitFrame(frame, 1, func([]byte) int { return 0 }, &rep)
+	if err != nil {
+		t.Fatalf("SplitFrame: %v", err)
+	}
+	if rep.RowsRead != 1 || rep.RowsQuarantined != 1 {
+		t.Fatalf("ledger: %+v", rep)
+	}
+	var d Decoder
+	var decRep quality.Report
+	decoded, err := d.Decode(bodies[0], &decRep)
+	if err != nil || len(decoded) != 1 || decoded[0].Serial != "abc" {
+		t.Fatalf("forwarded part: %v, %d records", err, len(decoded))
+	}
+
+	// A nil report must not panic when assign never sees the record.
+	if _, err := SplitFrame(frame, 1, func([]byte) int { return 0 }, nil); err != nil {
+		t.Fatalf("nil-report split: %v", err)
+	}
+}
+
+// Frame-level failures must match Decode's judgment exactly: same error
+// class for the same bytes.
+func TestSplitFrameErrorsMatchDecode(t *testing.T) {
+	obs := testObs(5)
+	good := EncodeBatch(obs)
+	cases := map[string][]byte{
+		"short":    good[:minFrameSize-1],
+		"version":  append([]byte{99}, good[1:]...),
+		"crc":      append(append([]byte{}, good[:len(good)-1]...), good[len(good)-1]^1),
+		"count":    corruptCount(good),
+		"torn":     tornTail(good),
+		"trailing": trailingBytes(good),
+	}
+	for name, frame := range cases {
+		var d Decoder
+		var decRep, splitRep quality.Report
+		_, decErr := d.Decode(frame, &decRep)
+		_, splitErr := SplitFrame(frame, 2, func([]byte) int { return 0 }, &splitRep)
+		if decErr == nil || splitErr == nil {
+			t.Fatalf("%s: decode err %v, split err %v; both must fail", name, decErr, splitErr)
+		}
+		fe1, ok1 := IsFrameError(decErr)
+		fe2, ok2 := IsFrameError(splitErr)
+		if !ok1 || !ok2 || fe1.Kind != fe2.Kind {
+			t.Fatalf("%s: decode %v (frame=%v), split %v (frame=%v)", name, decErr, ok1, splitErr, ok2)
+		}
+		if splitRep.RowsRead != 0 {
+			t.Fatalf("%s: frame-level failure touched the ledger: %+v", name, splitRep)
+		}
+	}
+
+	if _, err := SplitFrame(good, 0, func([]byte) int { return 0 }, nil); err == nil {
+		t.Fatal("zero parts accepted")
+	}
+	if _, err := SplitFrame(good, 1, func([]byte) int { return 5 }, nil); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+}
+
+// corruptCount rewrites the record count to exceed what the body holds
+// and re-seals the CRC so only the count check can object.
+func corruptCount(frame []byte) []byte {
+	f := append([]byte{}, frame[:len(frame)-trailerSize]...)
+	huge := appendU32(f[:1], 1<<30)
+	huge = append(huge, f[headerSize:]...)
+	return appendU32(huge, crc32.Checksum(huge, castagnoli))
+}
+
+// tornTail drops the last record's final byte and re-seals the CRC.
+func tornTail(frame []byte) []byte {
+	f := append([]byte{}, frame[:len(frame)-trailerSize-1]...)
+	return appendU32(f, crc32.Checksum(f, castagnoli))
+}
+
+// trailingBytes appends garbage after the last record and re-seals.
+func trailingBytes(frame []byte) []byte {
+	f := append([]byte{}, frame[:len(frame)-trailerSize]...)
+	f = append(f, 0xde, 0xad)
+	return appendU32(f, crc32.Checksum(f, castagnoli))
+}
