@@ -40,6 +40,12 @@
 //	         draining, each cut over live mid-stream; the merged cluster
 //	         state must match the shadow record-for-record, the drained
 //	         node must end empty, and concurrent reads must never fail.
+//	drift    the failure mix of the fleet shifts mid-stream; an online
+//	         retraining cycle harvests the retained telemetry, the
+//	         candidate must beat the serving models in a held-out shadow
+//	         evaluation and be hot-swapped while a concurrent client
+//	         keeps ingesting with zero errors; a kill + warm restart
+//	         must come back on the promoted version matching the shadow.
 //
 // Exit status is non-zero if any scenario check fails.
 package main
@@ -64,7 +70,7 @@ func main() {
 	log.SetPrefix("diskload: ")
 
 	var (
-		scenario  = flag.String("scenario", "all", "scenario to run: steady, compare, ramp, chaos, failover, rebalance or all")
+		scenario  = flag.String("scenario", "all", "scenario to run: steady, compare, ramp, chaos, failover, rebalance, drift or all")
 		scaleFlag = flag.String("scale", "small", "fleet scale preset for training and workload")
 		seed      = flag.Int64("seed", 1, "seed for training, workload generation and fault injection")
 		clients   = flag.Int("clients", 4, "concurrent HTTP clients (steady and chaos)")
@@ -81,6 +87,7 @@ func main() {
 		stateDir  = flag.String("state-dir", "", "chaos scenario state directory; empty uses a scratch directory")
 		format    = flag.String("format", "json", "ingest wire format of steady/ramp/chaos batches: json or binary")
 		cmpBatch  = flag.Int("compare-batch", 1000, "compare scenario batch size (amortizes per-request HTTP overhead)")
+		margin    = flag.Float64("shadow-margin", 0, "drift scenario promotion margin: candidate F1 must beat serving F1 by at least this much")
 	)
 	flag.Parse()
 
@@ -89,9 +96,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "steady", "compare", "ramp", "chaos", "failover", "rebalance", "all":
+	case "steady", "compare", "ramp", "chaos", "failover", "rebalance", "drift", "all":
 	default:
-		log.Fatalf("unknown -scenario %q (want steady, compare, ramp, chaos, failover, rebalance or all)", *scenario)
+		log.Fatalf("unknown -scenario %q (want steady, compare, ramp, chaos, failover, rebalance, drift or all)", *scenario)
 	}
 	wireFormat, err := loadgen.ParseFormat(*format)
 	if err != nil {
@@ -138,6 +145,7 @@ func main() {
 		SoakFor:         *soak,
 		RampMaxInFlight: *inflight,
 		CompareBatch:    *cmpBatch,
+		ShadowMargin:    *margin,
 	}
 
 	ctx := context.Background()
@@ -214,6 +222,18 @@ func main() {
 	if *scenario == "rebalance" || *scenario == "all" {
 		run("rebalance", loadgen.RunRebalance)
 	}
+	if *scenario == "drift" || *scenario == "all" {
+		dir, err := os.MkdirTemp("", "diskload-drift-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		dcfg := cfg
+		dcfg.DriftStateDir = dir
+		run("drift", func(ctx context.Context, d loadgen.Deployment, _ loadgen.ScenarioConfig) (*loadgen.ScenarioReport, error) {
+			return loadgen.RunDrift(ctx, d, dcfg)
+		})
+	}
 
 	if *report != "" {
 		if err := rep.WriteFile(*report); err != nil {
@@ -262,6 +282,13 @@ func printScenario(sr *loadgen.ScenarioReport, elapsed time.Duration) {
 			rb.DrainMs, rb.DrainMoved, rb.DrainTransfers, rb.DrainDualWrites, rb.GatedRequests)
 		log.Printf("  rebalance reads: %d probes, %d failures; router overhead: json %.0f -> %.0f rec/s, binary %.0f -> %.0f rec/s",
 			rb.ReadProbes, rb.ReadFailures, rb.DirectJSONRate, rb.RoutedJSONRate, rb.DirectBinaryRate, rb.RoutedBinaryRate)
+	}
+	if d := sr.Drift; d != nil {
+		log.Printf("  drift: v%d -> v%d promoted (fp %s), serving F1 %.3f/recall %.3f -> candidate F1 %.3f/recall %.3f, agreement %.3f",
+			d.ServingVersion, d.PromotedVersion, d.Fingerprint,
+			d.ServingF1, d.ServingRecall, d.CandidateF1, d.CandidateRecall, d.Agreement)
+		log.Printf("  drift timing: train %dms, promote (swap pause) %dms; %d filler batches during retrain, %d non-200",
+			d.TrainMs, d.PromoteMs, d.FillerBatches, d.FillerNon200)
 	}
 	for _, c := range sr.FailedChecks() {
 		log.Printf("  check FAILED: %s", c)

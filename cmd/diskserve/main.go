@@ -66,6 +66,7 @@ import (
 	"disksig/internal/core"
 	"disksig/internal/dataset"
 	"disksig/internal/fleet"
+	"disksig/internal/learn"
 	"disksig/internal/monitor"
 	"disksig/internal/persist"
 	"disksig/internal/quality"
@@ -99,6 +100,10 @@ func main() {
 		cluster   = flag.String("cluster", "", "cluster map JSON file (required with -route)")
 		promAfter = flag.Duration("promote-after", 5*time.Second, "follower self-promotes after the primary is continuously unreachable this long; 0 disables auto-promotion")
 		selftest  = flag.Bool("selftest", false, "replay a synthetic held-out fleet through the HTTP layer end-to-end, kill and restore a persisted store mid-replay, verify both against in-process replays, and exit")
+
+		histHours    = flag.Int("history-hours", 0, "per-drive telemetry hours retained for online retraining; 0 disables retraining-from-history")
+		retrainEvery = flag.Duration("retrain-every", 0, "background online-retraining period; 0 retrains only via POST /v1/admin/retrain (requires -history-hours)")
+		shadowMargin = flag.Float64("shadow-margin", 0, "shadow-evaluation F1 margin a retrained candidate must beat the serving models by before promotion")
 	)
 	flag.Parse()
 
@@ -128,10 +133,11 @@ func main() {
 	}
 	qcfg := quality.Config{Policy: policy, MaxBadRows: *maxBad}
 	fcfg := fleet.Config{
-		Shards:   *shards,
-		TTLHours: *ttl,
-		Workers:  *workers,
-		Monitor:  monitor.Config{},
+		Shards:       *shards,
+		TTLHours:     *ttl,
+		Workers:      *workers,
+		Monitor:      monitor.Config{},
+		HistoryHours: *histHours,
 	}
 
 	var mgr *persist.Manager
@@ -212,6 +218,52 @@ func main() {
 		}
 	}
 
+	if mgr != nil {
+		// A promotion saves the model artifact before the swapped snapshot
+		// commits; a crash between the two leaves the artifact one version
+		// ahead of the snapshot. Re-applying it on boot makes promotion
+		// effectively atomic across restarts.
+		if art, lerr := persist.LoadModels(mgr.Dir()); lerr == nil {
+			if art.Version > store.ModelVersion() {
+				if err := store.SwapModels(art.Models, art.Norm, art.Version); err != nil {
+					log.Fatalf("re-applying model artifact v%d: %v", art.Version, err)
+				}
+				log.Printf("re-applied promoted model artifact v%d (fingerprint %s)", art.Version, art.Fingerprint)
+			}
+		} else if !os.IsNotExist(lerr) {
+			log.Fatalf("loading model artifact from %s: %v (move it aside to serve the snapshot's models)", mgr.Dir(), lerr)
+		}
+	}
+
+	var retrainer *learn.Retrainer
+	if *histHours > 0 {
+		retrainer = &learn.Retrainer{
+			Store: store,
+			Cfg: learn.Config{
+				Core:   core.Config{Seed: *seed, Workers: *workers, Quality: qcfg},
+				Margin: *shadowMargin,
+			},
+			Promote: func(art *persist.ModelArtifact) error {
+				if mgr == nil {
+					return store.SwapModels(art.Models, art.Norm, art.Version)
+				}
+				// Artifact first, then swap + snapshot under the same
+				// exclusive gate: the snapshot following a promotion always
+				// carries the promoted version, and the WAL never crosses it.
+				if _, err := persist.SaveModels(mgr.Dir(), art); err != nil {
+					return err
+				}
+				_, err := mgr.SnapshotWith(store, func() error {
+					return store.SwapModels(art.Models, art.Norm, art.Version)
+				})
+				return err
+			},
+		}
+		log.Printf("online retraining enabled: %d history hours, shadow margin %.3f", *histHours, *shadowMargin)
+	} else if *retrainEvery > 0 {
+		log.Fatal("-retrain-every needs -history-hours > 0: retraining harvests from retained telemetry")
+	}
+
 	if ropts == nil && mgr != nil && !*selftest {
 		// A durable primary serves the replication surface, so a follower
 		// can bootstrap from it at any time.
@@ -225,6 +277,8 @@ func main() {
 		Persist:       mgr,
 		SnapshotEvery: *snapEvery,
 		Replication:   ropts,
+		Retrain:       retrainer,
+		RetrainEvery:  *retrainEvery,
 	}
 	if *selftest {
 		// The selftest replays thousands of requests; per-request access

@@ -38,6 +38,12 @@ type Config struct {
 	// GOMAXPROCS. Like everywhere else in the pipeline it is a resource
 	// bound, never a result knob.
 	Workers int
+	// HistoryHours retains each drive's most recent kept records (one
+	// per distinct hour, keep-latest on repeats) as retraining
+	// telemetry; <= 0 retains nothing. It is a deployment knob like
+	// Shards: restoring a state into a store with a smaller cap
+	// truncates to the newest records, and a cap of 0 drops history.
+	HistoryHours int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +74,10 @@ type Observation struct {
 // meaningful to callers).
 type Alert struct {
 	Serial string
+	// ModelVersion is the version of the model set that scored the
+	// record and raised this alert. The swap barrier guarantees a batch
+	// is scored by exactly one version.
+	ModelVersion int
 	monitor.Alert
 }
 
@@ -88,6 +98,10 @@ type BatchResult struct {
 	// Quality is this batch's quarantine ledger delta: RowsRead equals
 	// Ingested, and RowsRead = RowsKept() + RowsQuarantined.
 	Quality quality.Report
+	// ModelVersion is the model-set version that scored every record of
+	// this batch. The swap barrier excludes hot swaps for the duration
+	// of a batch, so a single version always applies.
+	ModelVersion int
 }
 
 // shard is one lock stripe: a monitor plus the serial <-> local-ID
@@ -99,17 +113,51 @@ type shard struct {
 	ids     map[string]int
 	serials []string
 	maxHour int
+	// history holds each drive's newest kept records (cap histCap, ring
+	// semantics), the raw telemetry the retrainer harvests. Quarantined
+	// and dropped records never enter it: it mirrors exactly the records
+	// that shaped monitor state.
+	history map[int][]smart.Record
+	histCap int
+}
+
+// recordHistory appends a kept record to a drive's history ring. A
+// repeated hour replaces the tail (keep-latest, matching the monitor's
+// smoothing-window semantics); a full ring slides in place.
+func (sh *shard) recordHistory(id int, rec smart.Record) {
+	if sh.histCap <= 0 {
+		return
+	}
+	h := sh.history[id]
+	switch {
+	case len(h) > 0 && h[len(h)-1].Hour == rec.Hour:
+		h[len(h)-1] = rec
+	case len(h) < sh.histCap:
+		h = append(h, rec)
+	default:
+		copy(h, h[1:])
+		h[len(h)-1] = rec
+	}
+	sh.history[id] = h
 }
 
 // Store is the sharded fleet-state store.
 type Store struct {
 	cfg Config
+	// swapMu is the model-swap barrier: Ingest/IngestBatch/ExportState
+	// hold it shared, SwapModels holds it exclusively. No batch is ever
+	// scored by two model versions, and no export straddles a swap.
+	swapMu sync.RWMutex
 	// models and norm are retained (read-only) so ExportState can emit a
-	// self-contained snapshot that restores without retraining.
+	// self-contained snapshot that restores without retraining. Guarded
+	// by swapMu once the store is live.
 	models []monitor.GroupModel
 	norm   *smart.Normalizer
-	shards []*shard
-	mask   uint64
+	// version numbers the serving model set, starting at 1 for a
+	// freshly trained store; every promoted swap must increase it.
+	version int
+	shards  []*shard
+	mask    uint64
 	// scratch pools the per-batch fan-out buffers of IngestBatch so the
 	// steady-state ingest hot path allocates nothing per batch.
 	scratch sync.Pool
@@ -158,9 +206,11 @@ func New(models []monitor.GroupModel, norm *smart.Normalizer, cfg Config) (*Stor
 		if err != nil {
 			return nil, fmt.Errorf("fleet: building shard %d: %w", i, err)
 		}
-		shards[i] = &shard{mon: mon, ids: map[string]int{}, maxHour: math.MinInt}
+		shards[i] = &shard{mon: mon, ids: map[string]int{}, maxHour: math.MinInt,
+			history: map[int][]smart.Record{}, histCap: cfg.HistoryHours}
 	}
-	return &Store{cfg: cfg, models: models, norm: norm, shards: shards, mask: uint64(cfg.Shards - 1)}, nil
+	return &Store{cfg: cfg, models: models, norm: norm, version: 1,
+		shards: shards, mask: uint64(cfg.Shards - 1)}, nil
 }
 
 // FromCharacterization builds a store directly from a pipeline run that
@@ -197,10 +247,16 @@ func (s *Store) Shards() int { return len(s.shards) }
 // drive's severity escalates. Defective telemetry is quarantined by the
 // shard monitor and accounted in Quality.
 func (s *Store) Ingest(serial string, rec smart.Record) *Alert {
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
 	sh := s.shards[s.shardIndex(serial)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.ingestLocked(serial, rec)
+	a := sh.ingestLocked(serial, rec)
+	if a != nil {
+		a.ModelVersion = s.version
+	}
+	return a
 }
 
 func (sh *shard) ingestLocked(serial string, rec smart.Record) *Alert {
@@ -213,7 +269,11 @@ func (sh *shard) ingestLocked(serial string, rec smart.Record) *Alert {
 	if rec.Hour > sh.maxHour {
 		sh.maxHour = rec.Hour
 	}
-	if a := sh.mon.Ingest(id, rec); a != nil {
+	a, kept := sh.mon.IngestKept(id, rec)
+	if kept {
+		sh.recordHistory(id, rec)
+	}
+	if a != nil {
 		return &Alert{Serial: serial, Alert: *a}
 	}
 	return nil
@@ -225,7 +285,9 @@ func (sh *shard) ingestLocked(serial string, rec smart.Record) *Alert {
 // are in submission order, so the result is identical to calling Ingest
 // sequentially — sharding and workers change only the wall clock.
 func (s *Store) IngestBatch(obs []Observation) BatchResult {
-	res := BatchResult{Ingested: len(obs)}
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
+	res := BatchResult{Ingested: len(obs), ModelVersion: s.version}
 	if len(obs) == 0 {
 		return res
 	}
@@ -261,6 +323,7 @@ func (s *Store) IngestBatch(obs []Observation) BatchResult {
 	res.Alerts = make([]Alert, len(sc.merged))
 	for i, ia := range sc.merged {
 		res.Alerts[i] = ia.alert
+		res.Alerts[i].ModelVersion = s.version
 	}
 	for si := range sc.quality {
 		d := &sc.quality[si]
@@ -322,6 +385,8 @@ func (s *Store) Drive(serial string) (DriveHealth, bool) {
 // Remove discards a decommissioned drive's state, reporting whether the
 // drive was tracked.
 func (s *Store) Remove(serial string) bool {
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
 	sh := s.shards[s.shardIndex(serial)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -330,6 +395,7 @@ func (s *Store) Remove(serial string) bool {
 		return false
 	}
 	delete(sh.ids, serial)
+	delete(sh.history, id)
 	return sh.mon.Forget(id)
 }
 
@@ -370,6 +436,8 @@ func (s *Store) EvictStale() int {
 	if s.cfg.TTLHours <= 0 {
 		return 0
 	}
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
 	max, ok := s.MaxHour()
 	if !ok {
 		return 0
@@ -389,6 +457,7 @@ func (s *Store) EvictStale() int {
 			if st.LastHour < cutoff {
 				sh.mon.Forget(st.DriveID)
 				delete(sh.ids, sh.serials[st.DriveID])
+				delete(sh.history, st.DriveID)
 				n++
 			}
 		}

@@ -15,6 +15,10 @@ import (
 type DriveEntry struct {
 	Serial string
 	State  monitor.DriveState
+	// History holds the drive's newest kept records (ascending hours),
+	// the retraining telemetry retained under Config.HistoryHours. Nil
+	// when history retention is off.
+	History []smart.Record
 }
 
 // State is the serializable whole-fleet state: everything needed to
@@ -32,6 +36,10 @@ type State struct {
 	Models []monitor.GroupModel
 	// Norm is the fleet normalizer fitted during training.
 	Norm *smart.Normalizer
+	// ModelVersion is the serving model-set version the state was
+	// exported under. Old snapshots decode as 0; Restore maps that to 1
+	// (the version every freshly trained store starts at).
+	ModelVersion int
 	// Drives holds per-drive state sorted by ascending serial.
 	Drives []DriveEntry
 	// Quality is the merged fleet ledger, kept as a restore-time
@@ -50,10 +58,13 @@ type State struct {
 // must quiesce ingestion (the persistence layer's snapshot gate does)
 // if a consistent point-in-time image is required.
 func (s *Store) ExportState() *State {
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
 	st := &State{
-		MonitorCfg: s.cfg.Monitor,
-		Models:     s.models,
-		Norm:       s.norm,
+		MonitorCfg:   s.cfg.Monitor,
+		Models:       s.models,
+		Norm:         s.norm,
+		ModelVersion: s.version,
 	}
 	perShard := parallel.Map(s.cfg.Workers, len(s.shards), func(si int) []DriveEntry {
 		sh := s.shards[si]
@@ -63,7 +74,11 @@ func (s *Store) ExportState() *State {
 		entries := make([]DriveEntry, 0, len(sh.ids))
 		for serial, id := range sh.ids {
 			if ds, ok := drives[id]; ok {
-				entries = append(entries, DriveEntry{Serial: serial, State: ds})
+				e := DriveEntry{Serial: serial, State: ds}
+				if h := sh.history[id]; len(h) > 0 {
+					e.History = append([]smart.Record(nil), h...)
+				}
+				entries = append(entries, e)
 			}
 		}
 		return entries
@@ -79,6 +94,26 @@ func (s *Store) ExportState() *State {
 
 func sortDriveEntries(entries []DriveEntry) {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Serial < entries[j].Serial })
+}
+
+// importHistory validates one drive's exported retraining history and
+// installs it, truncating to the shard's cap — HistoryHours is a
+// deployment knob, so a restore into a smaller cap keeps the newest
+// records and a cap of 0 keeps none.
+func (sh *shard) importHistory(id int, serial string, hist []smart.Record) error {
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Hour <= hist[i-1].Hour {
+			return fmt.Errorf("drive %s history hours not strictly increasing at index %d", serial, i)
+		}
+	}
+	if sh.histCap <= 0 || len(hist) == 0 {
+		return nil
+	}
+	if len(hist) > sh.histCap {
+		hist = hist[len(hist)-sh.histCap:]
+	}
+	sh.history[id] = append([]smart.Record(nil), hist...)
+	return nil
 }
 
 // Restore rebuilds a store from an exported State. The shard count,
@@ -98,6 +133,9 @@ func Restore(st *State, cfg Config) (*Store, error) {
 	store, err := New(st.Models, st.Norm, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: restoring: %w", err)
+	}
+	if st.ModelVersion > 0 {
+		store.version = st.ModelVersion
 	}
 	perShard := make([][]DriveEntry, len(store.shards))
 	seen := make(map[string]bool, len(st.Drives))
@@ -120,6 +158,9 @@ func Restore(st *State, cfg Config) (*Store, error) {
 			sh.serials = append(sh.serials, e.Serial)
 			if err := sh.mon.ImportDrive(id, e.State); err != nil {
 				return fmt.Errorf("fleet: restoring drive %s: %w", e.Serial, err)
+			}
+			if err := sh.importHistory(id, e.Serial, e.History); err != nil {
+				return fmt.Errorf("fleet: restoring: %w", err)
 			}
 			if e.State.Tracked && e.State.LastHour > sh.maxHour {
 				sh.maxHour = e.State.LastHour
@@ -166,6 +207,8 @@ func (s *Store) ImportEntries(st *State) (int, error) {
 	if st == nil {
 		return 0, fmt.Errorf("fleet: importing nil state")
 	}
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
 	if len(st.Drives) > 0 && !st.HasHour {
 		return 0, fmt.Errorf("fleet: importing: state has %d drives but no max hour", len(st.Drives))
 	}
@@ -202,6 +245,10 @@ func (s *Store) ImportEntries(st *State) (int, error) {
 				sh.serials = sh.serials[:id]
 				sh.mu.Unlock()
 				return imported, fmt.Errorf("fleet: importing drive %s: %w", e.Serial, err)
+			}
+			if err := sh.importHistory(id, e.Serial, e.History); err != nil {
+				sh.mu.Unlock()
+				return imported, fmt.Errorf("fleet: importing: %w", err)
 			}
 			if e.State.Tracked && e.State.LastHour > sh.maxHour {
 				sh.maxHour = e.State.LastHour

@@ -115,6 +115,11 @@ type PhaseStats struct {
 	RecordsQuarantined int     `json:"records_quarantined"`
 	RecordsPerSec      float64 `json:"records_per_sec"`
 
+	// ModelVersions counts acknowledged batches by the model version
+	// that scored them ("v1", "v2", ...). Every batch carries exactly one
+	// version — the swap-barrier evidence of the drift scenario.
+	ModelVersions map[string]int `json:"model_versions,omitempty"`
+
 	Latency Quantiles `json:"latency_ms"`
 
 	// AlertKeys are the alerts acknowledged in ingest responses, in
@@ -197,10 +202,11 @@ func statusClassOf(code int) string {
 
 // ingestResponse is the decoded POST /v1/ingest acknowledgment.
 type ingestResponse struct {
-	Ingested    int `json:"ingested"`
-	Kept        int `json:"kept"`
-	Quarantined int `json:"quarantined"`
-	Alerts      []struct {
+	Ingested     int `json:"ingested"`
+	Kept         int `json:"kept"`
+	Quarantined  int `json:"quarantined"`
+	ModelVersion int `json:"model_version"`
+	Alerts       []struct {
 		Serial      string  `json:"serial"`
 		Hour        int     `json:"hour"`
 		Severity    string  `json:"severity"`
@@ -216,6 +222,7 @@ type clientStats struct {
 	requests, batches, retries int
 	status                     map[string]int
 	sent, kept, quarantined    int
+	versions                   map[int]int
 	latenciesMs                []float64
 	alerts                     []string
 	err                        error
@@ -321,6 +328,12 @@ func (d *Driver) Run(ctx context.Context, phase Phase, queues [][]*Batch) (*Phas
 		stats.RecordsSent += st.sent
 		stats.RecordsKept += st.kept
 		stats.RecordsQuarantined += st.quarantined
+		for v, n := range st.versions {
+			if stats.ModelVersions == nil {
+				stats.ModelVersions = map[string]int{}
+			}
+			stats.ModelVersions[fmt.Sprintf("v%d", v)] += n
+		}
 		lat = append(lat, st.latenciesMs...)
 		stats.AlertKeys = append(stats.AlertKeys, st.alerts...)
 	}
@@ -387,6 +400,10 @@ func (d *Driver) sendBatch(ctx context.Context, b *Batch, st *clientStats, maxWa
 			st.sent += doc.Ingested
 			st.kept += doc.Kept
 			st.quarantined += doc.Quarantined
+			if st.versions == nil {
+				st.versions = map[int]int{}
+			}
+			st.versions[doc.ModelVersion]++
 			for _, a := range doc.Alerts {
 				st.alerts = append(st.alerts, AlertKey(a.Serial, a.Hour, a.Severity, a.Group, a.Type, a.Degradation))
 			}

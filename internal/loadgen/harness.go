@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"disksig/internal/fleet"
+	"disksig/internal/learn"
 	"disksig/internal/monitor"
 	"disksig/internal/persist"
 	"disksig/internal/server"
@@ -145,6 +146,37 @@ func MetricsInvariant(baseURL string, wantIngested int64) (ingested, kept, quara
 			fmt.Errorf("/metrics rows_ingested = %d, want %d", in.Ingested, wantIngested)
 	}
 	return in.Ingested, in.Kept, in.Quarantined, nil
+}
+
+// AdminRetrain triggers POST /v1/admin/retrain and returns the cycle's
+// result. The call is synchronous: it returns once the cycle (and any
+// promotion) has completed server-side.
+func AdminRetrain(baseURL string) (*learn.Result, error) {
+	resp, err := http.Post(baseURL+"/v1/admin/retrain", "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("admin retrain: status %d", resp.StatusCode)
+	}
+	res := &learn.Result{}
+	if err := json.NewDecoder(resp.Body).Decode(res); err != nil {
+		return nil, fmt.Errorf("decoding retrain result: %w", err)
+	}
+	return res, nil
+}
+
+// ActiveModelVersion GETs /v1/models/status and returns the serving
+// model version.
+func ActiveModelVersion(baseURL string) (int, error) {
+	var st struct {
+		ActiveVersion int `json:"active_version"`
+	}
+	if err := fetchJSON(baseURL+"/v1/models/status", &st); err != nil {
+		return 0, err
+	}
+	return st.ActiveVersion, nil
 }
 
 // AdminSnapshot triggers POST /v1/admin/snapshot on a persisted server.

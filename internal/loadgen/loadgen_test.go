@@ -389,7 +389,15 @@ func TestScenariosEndToEnd(t *testing.T) {
 		t.Fatalf("rebalance recorded no proxy-overhead rates: %+v", rb.Rebalance)
 	}
 
-	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, fc, r, c, fo, rb}}
+	dcfg := cfg
+	dcfg.DriftStateDir = t.TempDir()
+	dr, err := RunDrift(ctx, dep, dcfg)
+	requirePassed("drift", dr, err)
+	if dr.Drift == nil || dr.Drift.PromotedVersion != 2 || dr.Drift.FillerNon200 != 0 {
+		t.Fatalf("drift retraining cycle = %+v", dr.Drift)
+	}
+
+	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, fc, r, c, fo, rb, dr}}
 	if !rep.Passed() {
 		t.Fatal("aggregate report not passed")
 	}

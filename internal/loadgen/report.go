@@ -65,6 +65,9 @@ type ScenarioReport struct {
 	// Recovery describes the chaos scenario's warm restart.
 	Recovery *RecoveryReport `json:"recovery,omitempty"`
 
+	// Drift describes the drift scenario's retraining cycle.
+	Drift *DriftReport `json:"drift,omitempty"`
+
 	// Failover describes the failover scenario's primary kill.
 	Failover *FailoverReport `json:"failover,omitempty"`
 
@@ -83,6 +86,28 @@ type RecoveryReport struct {
 	WALRows        int     `json:"wal_rows_replayed"`
 	ShardsBefore   int     `json:"shards_before"`
 	ShardsAfter    int     `json:"shards_after"`
+}
+
+// DriftReport measures the drift scenario's online-retraining cycle:
+// the shadow-evaluation scores that justified the promotion, the
+// training fingerprint, and how long training and the promotion (the
+// artifact save + hot swap + snapshot, the only ingest pause) took.
+type DriftReport struct {
+	ServingVersion  int     `json:"serving_version"`
+	PromotedVersion int     `json:"promoted_version"`
+	Fingerprint     string  `json:"fingerprint"`
+	FailedDrives    int     `json:"failed_drives"`
+	GoodDrives      int     `json:"good_drives"`
+	EvalDrives      int     `json:"eval_drives"`
+	ServingF1       float64 `json:"serving_f1"`
+	ServingRecall   float64 `json:"serving_recall"`
+	CandidateF1     float64 `json:"candidate_f1"`
+	CandidateRecall float64 `json:"candidate_recall"`
+	Agreement       float64 `json:"agreement"`
+	TrainMs         int64   `json:"train_ms"`
+	PromoteMs       int64   `json:"promote_ms"`
+	FillerBatches   int     `json:"filler_batches"`
+	FillerNon200    int     `json:"filler_non_200"`
 }
 
 // FailoverReport measures the failover scenario: how long the follower

@@ -56,6 +56,14 @@ type ScenarioConfig struct {
 	// ChaosStateDir is the chaos scenario's durable state directory
 	// (required for RunChaos).
 	ChaosStateDir string
+	// DriftStateDir is the drift scenario's durable state directory
+	// (required for RunDrift); the promoted model artifact and the
+	// swapped snapshot land there.
+	DriftStateDir string
+	// ShadowMargin is the drift scenario's promotion margin: the
+	// retrained candidate must beat the serving models' F1 by at least
+	// this much on the held-out cohort. 0 promotes on ties.
+	ShadowMargin float64
 	// FailoverDir is the failover scenario's root state directory
 	// (required for RunFailover); the primary and follower each get a
 	// subdirectory.

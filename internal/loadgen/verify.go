@@ -100,9 +100,10 @@ func MergeStates(states ...*fleet.State) (*fleet.State, error) {
 		return nil, fmt.Errorf("loadgen: merging zero states")
 	}
 	merged := &fleet.State{
-		MonitorCfg: states[0].MonitorCfg,
-		Models:     states[0].Models,
-		Norm:       states[0].Norm,
+		MonitorCfg:   states[0].MonitorCfg,
+		Models:       states[0].Models,
+		Norm:         states[0].Norm,
+		ModelVersion: states[0].ModelVersion,
 	}
 	seen := map[string]struct{}{}
 	for _, st := range states {

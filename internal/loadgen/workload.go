@@ -91,6 +91,11 @@ type WorkloadConfig struct {
 	// Format is the wire format batch bodies are prebuilt in; the zero
 	// value means FormatJSON.
 	Format Format
+	// Drift generates the fleet from synth.BackupWorkloadConfig instead
+	// of the default mix: the failure-mode fractions flip toward
+	// bad-sector failures, the cohort shift the drift scenario ingests
+	// against models trained on the default mix.
+	Drift bool
 }
 
 // DefaultWorkloadConfig is the scenario workload: a held-out small
@@ -156,6 +161,9 @@ type Batch struct {
 func BuildWorkload(cfg WorkloadConfig) (*Workload, error) {
 	cfg = cfg.withDefaults()
 	gen := synth.DefaultConfig(cfg.Scale)
+	if cfg.Drift {
+		gen = synth.BackupWorkloadConfig(cfg.Scale)
+	}
 	gen.Seed = cfg.Seed + cfg.FleetSeedOffset
 	ds, err := synth.Generate(gen)
 	if err != nil {

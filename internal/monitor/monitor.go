@@ -41,7 +41,18 @@ type GroupModel struct {
 	WindowD float64
 	// Predictor scores normalized records.
 	Predictor Predictor
+	// Note records a training-quality caveat (e.g. a degenerate
+	// signature window clamped to MinWindowHours). Informational only;
+	// empty for a clean model.
+	Note string
 }
+
+// MinWindowHours is the floor for a group's signature window. A tiny
+// group can characterize with a degenerate MedianD of 0 (every member
+// failed abruptly within one sample), which would make time-to-failure
+// inversion divide by zero and New reject the model set. Such windows
+// are clamped here instead of failing fleet startup.
+const MinWindowHours = 24.0
 
 // Severity grades a monitored drive's state.
 type Severity int
@@ -229,13 +240,21 @@ func ModelsFromCharacterization(ch *core.Characterization) ([]GroupModel, error)
 		if gr.Prediction == nil {
 			return nil, fmt.Errorf("monitor: group %d has no trained predictor (pipeline ran with SkipPrediction)", gr.Group.Number)
 		}
-		models = append(models, GroupModel{
+		gm := GroupModel{
 			Group:     gr.Group.Number,
 			Type:      gr.Group.Type,
 			Form:      gr.Summary.MajorityForm,
 			WindowD:   float64(gr.Summary.MedianD),
 			Predictor: gr.Prediction.Tree,
-		})
+		}
+		if gm.WindowD <= 0 {
+			// A degenerate window (tiny group, abrupt failures) would
+			// fail New's validation and take the whole fleet down with
+			// it; clamp and note instead.
+			gm.Note = fmt.Sprintf("degenerate signature window %v clamped to %v", gm.WindowD, MinWindowHours)
+			gm.WindowD = MinWindowHours
+		}
+		models = append(models, gm)
 	}
 	return models, nil
 }
@@ -259,6 +278,17 @@ func FromCharacterization(ch *core.Characterization, cfg Config) (*Monitor, erro
 // hour replaces the previous sample instead of widening the window.
 // Every such event is counted in Quality.
 func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
+	a, _ := m.IngestKept(driveID, rec)
+	return a
+}
+
+// IngestKept scores one record like Ingest and additionally reports
+// whether the record was kept — it entered (or, for a repeated hour,
+// replaced the tail of) the smoothing window — as opposed to being
+// quarantined or dropped. Callers that retain raw telemetry for
+// retraining use the kept flag to mirror exactly the records that
+// shaped monitor state.
+func (m *Monitor) IngestKept(driveID int, rec smart.Record) (*Alert, bool) {
 	// Only non-finite values poison the window: finite out-of-range
 	// values are clamped by the normalizer and score fine. The scan is
 	// inlined (rather than quality.CheckValues) so a clean record — the
@@ -276,7 +306,7 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 	}
 	if bad {
 		m.addRows(driveID, 1, 1)
-		return nil
+		return nil, false
 	}
 
 	st, ok := m.drives[driveID]
@@ -297,14 +327,19 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 				Detail: fmt.Sprintf("hour %d after hour %d", rec.Hour, st.lastHour),
 			})
 			m.addRows(driveID, 1, 1)
-			return nil
+			return nil, false
 		case rec.Hour == st.lastHour:
-			// Keep-latest: the repeat supersedes the previous sample.
+			// Keep-latest: the repeat supersedes the previous sample. It
+			// is kept-with-issue, not quarantined — the record mutates
+			// the smoothing window (it replaces the superseded score),
+			// so counting it quarantined would hide a state change from
+			// the kept count and break read = kept + quarantined as an
+			// accounting of records that reached the scoring path.
 			m.note(driveID, quality.Issue{
 				Kind: quality.DuplicateTimestamp, Drive: strconv.Itoa(driveID),
 				Detail: fmt.Sprintf("hour %d repeated", rec.Hour),
 			})
-			m.addRows(driveID, 1, 1)
+			m.addRows(driveID, 1, 0)
 			replace = true
 		default:
 			m.addRows(driveID, 1, 0)
@@ -346,11 +381,11 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 			Type:           gm.Type,
 			Degradation:    deg,
 			HoursToFailure: hoursToFailure(gm, deg),
-		}
+		}, true
 	}
 	// De-escalate silently: transient dips recover without alert spam.
 	st.severity = severity
-	return nil
+	return nil, true
 }
 
 // ledger returns (creating if needed) a drive's quality ledger.

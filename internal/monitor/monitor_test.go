@@ -7,9 +7,12 @@ import (
 	"testing"
 
 	"disksig/internal/core"
+	"disksig/internal/predict"
 	"disksig/internal/quality"
 	"disksig/internal/regression"
+	"disksig/internal/signature"
 	"disksig/internal/smart"
+	"disksig/internal/tree"
 )
 
 // rampPredictor scores records by their RRER value directly, making test
@@ -199,6 +202,48 @@ func TestFromCharacterizationRejectsSkipPrediction(t *testing.T) {
 	}
 }
 
+// TestModelsFromCharacterizationClampsDegenerateWindow pins the fix for
+// the zero-window bug: a tiny group whose members all failed within one
+// sample has MedianD == 0, which used to make New reject the entire
+// model set ("invalid window") and fail fleet startup.
+func TestModelsFromCharacterizationClampsDegenerateWindow(t *testing.T) {
+	stump, err := tree.Train([][]float64{{0}, {1}, {0}, {1}}, []float64{0, 1, 0, 1}, tree.Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := &core.Characterization{
+		Results: []*core.GroupResult{
+			{
+				Group:      &core.Group{Number: 1, Type: core.Logical},
+				Summary:    &signature.GroupSummary{MajorityForm: regression.FormQuadratic, MedianD: 0},
+				Prediction: &predict.DegradationResult{Tree: stump},
+			},
+			{
+				Group:      &core.Group{Number: 2, Type: core.BadSector},
+				Summary:    &signature.GroupSummary{MajorityForm: regression.FormLinear, MedianD: 120},
+				Prediction: &predict.DegradationResult{Tree: stump},
+			},
+		},
+	}
+	models, err := ModelsFromCharacterization(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if models[0].WindowD != MinWindowHours {
+		t.Errorf("degenerate window = %v, want clamp to %v", models[0].WindowD, MinWindowHours)
+	}
+	if models[0].Note == "" {
+		t.Error("clamped model carries no quality note")
+	}
+	if models[1].WindowD != 120 || models[1].Note != "" {
+		t.Errorf("healthy group altered: window %v note %q", models[1].WindowD, models[1].Note)
+	}
+	// The clamped set must pass New's validation (no fleet-wide failure).
+	if _, err := New(models, testNormalizer(), Config{}); err != nil {
+		t.Errorf("New rejected clamped model set: %v", err)
+	}
+}
+
 func TestSnapshotAndJSON(t *testing.T) {
 	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 1})
 	if err != nil {
@@ -312,9 +357,47 @@ func TestIngestDuplicateHourKeepsLatest(t *testing.T) {
 	if m.Quality().Count(quality.DuplicateTimestamp) != 1 {
 		t.Error("duplicate hour not counted")
 	}
-	// The duplicate counts as quarantined (the superseded sample).
-	if q := m.Quality(); q.RowsRead != 5 || q.RowsQuarantined != 1 {
-		t.Errorf("quality accounting = %d read / %d quarantined", q.RowsRead, q.RowsQuarantined)
+	// The duplicate is kept-with-issue, not quarantined: it replaced the
+	// superseded sample in the smoothing window, so it must show up in
+	// the kept count. Only flagged, never dropped.
+	if q := m.Quality(); q.RowsRead != 5 || q.RowsQuarantined != 0 || q.RowsKept() != 5 {
+		t.Errorf("quality accounting = %d read / %d kept / %d quarantined, want 5/5/0",
+			q.RowsRead, q.RowsKept(), q.RowsQuarantined)
+	}
+}
+
+// TestLedgerInvariantWithDirtyStream pins read = kept + quarantined +
+// dropped across every dirty-record class, and that records which
+// mutated monitor state (clean, duplicate-replacement) are exactly the
+// kept ones.
+func TestLedgerInvariantWithDirtyStream(t *testing.T) {
+	m, err := New(testModels(), testNormalizer(), Config{Smoothing: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest(4, record(0, 0.9))     // kept
+	m.Ingest(4, record(1, 0.9))     // kept
+	m.Ingest(4, record(1, 0.8))     // duplicate: kept-with-issue (replaces)
+	m.Ingest(4, record(0, -0.9))    // stale: quarantined
+	m.Ingest(4, nonFiniteRecord(2)) // non-finite: quarantined
+	m.Ingest(4, record(2, 0.7))     // kept
+	q := m.Quality()
+	if q.RowsRead != q.RowsKept()+q.RowsQuarantined+q.RowsDropped {
+		t.Fatalf("ledger invariant broken: read=%d kept=%d quarantined=%d dropped=%d",
+			q.RowsRead, q.RowsKept(), q.RowsQuarantined, q.RowsDropped)
+	}
+	if q.RowsRead != 6 || q.RowsKept() != 4 || q.RowsQuarantined != 2 {
+		t.Fatalf("accounting = %d read / %d kept / %d quarantined, want 6/4/2",
+			q.RowsRead, q.RowsKept(), q.RowsQuarantined)
+	}
+	if q.Count(quality.DuplicateTimestamp) != 1 {
+		t.Errorf("DuplicateTimestamp = %d, want 1 (flagged even though kept)", q.Count(quality.DuplicateTimestamp))
+	}
+	// The kept count equals the records that reached the scoring path:
+	// drive state reflects exactly 3 distinct hours with hour 1 replaced.
+	st, ok := m.Status(4)
+	if !ok || st.LastHour != 2 {
+		t.Fatalf("drive status = %+v, %v", st, ok)
 	}
 }
 

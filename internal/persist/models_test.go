@@ -1,0 +1,170 @@
+package persist
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"disksig/internal/fleet"
+)
+
+func testArtifact(version int) *ModelArtifact {
+	return &ModelArtifact{
+		Version:        version,
+		Fingerprint:    "deadbeefcafef00d",
+		TrainedMaxHour: 480,
+		FailedDrives:   12,
+		GoodDrives:     88,
+		Models:         testModels(),
+		Norm:           testNormalizer(),
+		Notes:          []string{"group 2: window clamped to 24h"},
+	}
+}
+
+func TestModelArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testArtifact(3)
+	size, err := SaveModels(dir, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(ModelsPath(dir)); err != nil || fi.Size() != size {
+		t.Fatalf("artifact on disk = %v bytes (%v), SaveModels reported %d", fi.Size(), err, size)
+	}
+	got, err := LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-tripped artifact = %+v, want %+v", got, want)
+	}
+	// A newer artifact replaces the old one atomically.
+	if _, err := SaveModels(dir, testArtifact(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadModels(dir); err != nil || got.Version != 4 {
+		t.Fatalf("after re-save: version %d (%v), want 4", got.Version, err)
+	}
+	if _, err := os.Stat(ModelsPath(dir) + ".tmp"); !os.IsNotExist(err) {
+		t.Error("models.tmp left behind after commit")
+	}
+	// Nil artifact is an input error, not a file write.
+	if _, err := SaveModels(dir, nil); err == nil {
+		t.Error("SaveModels(nil) succeeded")
+	}
+}
+
+func TestLoadModelsMissing(t *testing.T) {
+	_, err := LoadModels(t.TempDir())
+	if !os.IsNotExist(err) {
+		t.Fatalf("LoadModels on an empty dir = %v, want os.IsNotExist", err)
+	}
+}
+
+func TestLoadModelsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := SaveModels(dir, testArtifact(2)); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(ModelsPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(ModelsPath(dir), pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Flip one payload byte: the checksum must catch it.
+	corrupt := append([]byte(nil), pristine...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if err := os.WriteFile(ModelsPath(dir), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModels(dir); err == nil || os.IsNotExist(err) {
+		t.Fatalf("flipped byte loaded: %v", err)
+	}
+
+	// Truncation: the size check must catch it before decoding.
+	restore()
+	if err := os.WriteFile(ModelsPath(dir), pristine[:len(pristine)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModels(dir); err == nil || os.IsNotExist(err) {
+		t.Fatalf("truncated artifact loaded: %v", err)
+	}
+
+	// Wrong magic: refused outright.
+	restore()
+	bad := append([]byte(nil), pristine...)
+	bad[0] = 'X'
+	if err := os.WriteFile(ModelsPath(dir), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModels(dir); err == nil || os.IsNotExist(err) {
+		t.Fatalf("bad magic loaded: %v", err)
+	}
+
+	// Corruption errors must never look like "no artifact yet": the boot
+	// path treats os.IsNotExist as benign and everything else as fatal.
+	restore()
+	if _, err := LoadModels(dir); err != nil {
+		t.Fatalf("pristine artifact failed to load after restore: %v", err)
+	}
+}
+
+// TestSnapshotWithSwap covers the crash-consistent promotion path: the
+// swap runs inside the snapshot gate, so the committed snapshot carries
+// the new version and a restore comes back on it.
+func TestSnapshotWithSwap(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	store := testStore(t, fleet.Config{Shards: 4})
+	for h := 0; h < 5; h++ {
+		store.Ingest("SER-1", record(h, 0.9))
+	}
+	next := []fleet.Observation{{Serial: "SER-1", Record: record(5, 0.9)}}
+
+	if _, err := mgr.SnapshotWith(store, func() error {
+		return store.SwapModels(testModels(), testNormalizer(), 2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Post-promotion traffic lands in the new epoch's WAL.
+	if _, _, err := mgr.LogBatch(next, func() fleet.BatchResult {
+		return store.IngestBatch(next)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, _, err := mgr.Restore(fleet.Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := restored.ModelVersion(); v != 2 {
+		t.Fatalf("restored ModelVersion = %d, want 2", v)
+	}
+	if !reflect.DeepEqual(store.ExportState(), restored.ExportState()) {
+		t.Fatal("restored state differs from live state after promotion")
+	}
+
+	// A failing mutate aborts the snapshot: nothing newer is committed,
+	// and a restore still sees the promoted version from before.
+	if _, err := mgr.SnapshotWith(store, func() error {
+		return store.SwapModels(testModels(), testNormalizer(), 2) // refused: not newer
+	}); err == nil {
+		t.Fatal("SnapshotWith committed despite a failing mutate")
+	}
+	restored2, _, err := mgr.Restore(fleet.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := restored2.ModelVersion(); v != 2 {
+		t.Fatalf("after aborted snapshot, restored ModelVersion = %d, want 2", v)
+	}
+}

@@ -256,9 +256,27 @@ func (m *Manager) LogBatch(obs []fleet.Observation, apply func() fleet.BatchResu
 // then resets the WAL to the next epoch. Ingestion (LogBatch) is held
 // out for the duration of the state export and the commit.
 func (m *Manager) Snapshot(s *fleet.Store) (SnapshotInfo, error) {
+	return m.SnapshotWith(s, nil)
+}
+
+// SnapshotWith runs mutate — typically a model hot swap — inside the
+// exclusive snapshot gate and immediately captures the mutated store.
+// Coupling the two makes a promotion crash-consistent: every WAL frame
+// is logged under the model version of the snapshot that precedes it,
+// so replay never crosses a swap. If the process dies after mutate but
+// before the snapshot commits, the WAL still matches the old snapshot
+// (the swap simply didn't become durable); if it dies between commit
+// and WAL reset, the stale-epoch WAL is discarded as usual. A mutate
+// error aborts the snapshot with the store unchanged on disk.
+func (m *Manager) SnapshotWith(s *fleet.Store, mutate func() error) (SnapshotInfo, error) {
 	m.gate.Lock()
 	defer m.gate.Unlock()
 
+	if mutate != nil {
+		if err := mutate(); err != nil {
+			return SnapshotInfo{}, err
+		}
+	}
 	start := time.Now()
 	st := s.ExportState()
 	newEpoch := m.epoch + 1

@@ -58,17 +58,21 @@ func newProber(client *http.Client, every time.Duration) *prober {
 }
 
 // setNodes replaces the probed node set (the union of the current and
-// next maps during a migration). Unknown nodes start optimistic: their
-// primary URL is active and assumed ready until a probe says otherwise,
-// so a router is usable the moment it starts.
+// next maps during a migration). Unknown nodes start pessimistic —
+// Ready: false, so they are not forwarding targets — and are probed
+// synchronously before setNodes returns: a node joining mid-rebalance
+// may still be bootstrapping (replaying a snapshot, warming models),
+// and the old optimistic default let the router forward batches into
+// its startup window. Known nodes keep their latest probe result.
 func (p *prober) setNodes(nodes []Node) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	next := make(map[string]Node, len(nodes))
+	var unknown []Node
 	for _, n := range nodes {
 		next[n.ID] = n
 		if _, ok := p.state[n.ID]; !ok {
-			p.state[n.ID] = NodeHealth{ID: n.ID, Active: n.URL, Ready: true}
+			p.state[n.ID] = NodeHealth{ID: n.ID, Active: n.URL}
+			unknown = append(unknown, n)
 		}
 	}
 	for id := range p.state {
@@ -77,6 +81,16 @@ func (p *prober) setNodes(nodes []Node) {
 		}
 	}
 	p.nodes = next
+	p.mu.Unlock()
+	// Probe outside the lock: a slow node must not freeze health reads.
+	for _, n := range unknown {
+		h := p.probeNode(n)
+		p.mu.Lock()
+		if _, ok := p.nodes[n.ID]; ok {
+			p.state[n.ID] = h
+		}
+		p.mu.Unlock()
+	}
 }
 
 // run polls until stop closes.

@@ -1,0 +1,80 @@
+package route
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// bootNode is a deliberately-slow-to-ready node: /healthz/ready answers
+// 503 until ready is flipped, like a server still replaying a snapshot.
+type bootNode struct {
+	ready atomic.Bool
+	ts    *httptest.Server
+}
+
+func startBootNode(t *testing.T) *bootNode {
+	t.Helper()
+	n := &bootNode{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz/ready", func(w http.ResponseWriter, r *http.Request) {
+		if !n.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"status":"starting"}`))
+			return
+		}
+		w.Write([]byte(`{"status":"ready","role":"standalone"}`))
+	})
+	n.ts = httptest.NewServer(mux)
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+// TestSetNodesProbesUnknownNodesSynchronously pins the fix for the
+// optimistic-ready race: a node added by setNodes used to be assumed
+// Ready before its first probe, so a rebalance could forward batches to
+// a node that was still bootstrapping.
+func TestSetNodesProbesUnknownNodesSynchronously(t *testing.T) {
+	boot := startBootNode(t)
+	p := newProber(&http.Client{Timeout: 2 * time.Second}, time.Hour)
+
+	p.setNodes([]Node{{ID: "boot", URL: boot.ts.URL}})
+	h, ok := p.health("boot")
+	if !ok {
+		t.Fatal("no health entry after setNodes")
+	}
+	if h.Ready {
+		t.Fatal("bootstrapping node reported Ready before its first successful probe")
+	}
+	if h.LastError == "" {
+		t.Error("failed first probe left no LastError")
+	}
+
+	// The node finishes bootstrapping. A re-set of the same membership
+	// must not reset it to unknown, and the next sweep turns it ready.
+	boot.ready.Store(true)
+	p.setNodes([]Node{{ID: "boot", URL: boot.ts.URL}})
+	if h, _ := p.health("boot"); h.Ready {
+		t.Fatal("known node re-probed by setNodes before its sweep")
+	}
+	p.probeAll()
+	if h, _ := p.health("boot"); !h.Ready || h.Role != "standalone" {
+		t.Fatalf("node not ready after probe sweep: %+v", h)
+	}
+
+	// A node that is already up when it joins is ready the moment
+	// setNodes returns — the synchronous probe, not optimism.
+	up := startBootNode(t)
+	up.ready.Store(true)
+	p.setNodes([]Node{{ID: "boot", URL: boot.ts.URL}, {ID: "up", URL: up.ts.URL}})
+	if h, _ := p.health("up"); !h.Ready {
+		t.Fatalf("already-up joiner not ready after setNodes: %+v", h)
+	}
+	// And the router never forwards to a not-ready joiner's URL blindly:
+	// activeURL still resolves (fallback), but Ready gates usage.
+	if got := p.activeURL(Node{ID: "boot", URL: boot.ts.URL}); got == "" {
+		t.Fatal("activeURL empty for known node")
+	}
+}

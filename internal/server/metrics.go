@@ -2,6 +2,7 @@ package server
 
 import (
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -27,9 +28,31 @@ type metrics struct {
 
 	alertsBySeverity [4]atomic.Int64 // indexed by monitor.Severity
 
+	retrains        atomic.Int64 // completed retraining cycles
+	retrainFailures atomic.Int64
+	promotions      atomic.Int64 // cycles that swapped a new version in
+
+	// batchesByVersion counts ingest batches per model version that
+	// scored them — the counter that proves no batch straddled a swap.
+	// Swaps are rare and the map tiny, so a mutex (not an atomic) is
+	// fine here; the per-batch cost is one uncontended lock.
+	verMu            sync.Mutex
+	batchesByVersion map[int]int64
+
 	latencyBuckets [len(latencyBoundsMs) + 1]atomic.Int64
 	latencyCount   atomic.Int64
 	latencySumUs   atomic.Int64
+}
+
+// observeBatchVersion counts one ingest batch against the model version
+// that scored it.
+func (m *metrics) observeBatchVersion(v int) {
+	m.verMu.Lock()
+	if m.batchesByVersion == nil {
+		m.batchesByVersion = map[int]int64{}
+	}
+	m.batchesByVersion[v]++
+	m.verMu.Unlock()
 }
 
 func (m *metrics) observeRequest(status int, elapsed time.Duration) {
@@ -68,6 +91,12 @@ func (m *metrics) snapshot() map[string]any {
 		}
 		buckets["le_"+label] = m.latencyBuckets[i].Load()
 	}
+	byVersion := map[string]int64{}
+	m.verMu.Lock()
+	for v, n := range m.batchesByVersion {
+		byVersion["v"+strconv.Itoa(v)] = n
+	}
+	m.verMu.Unlock()
 	latency := map[string]any{
 		"count":      m.latencyCount.Load(),
 		"buckets_ms": buckets,
@@ -93,6 +122,12 @@ func (m *metrics) snapshot() map[string]any {
 			"watch":    m.alertsBySeverity[1].Load(),
 			"warning":  m.alertsBySeverity[2].Load(),
 			"critical": m.alertsBySeverity[3].Load(),
+		},
+		"models": map[string]any{
+			"retrains":           m.retrains.Load(),
+			"retrain_failures":   m.retrainFailures.Load(),
+			"promotions":         m.promotions.Load(),
+			"batches_by_version": byVersion,
 		},
 		"latency": latency,
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"disksig/internal/fleet"
+	"disksig/internal/learn"
 	"disksig/internal/monitor"
 	"disksig/internal/parallel"
 	"disksig/internal/persist"
@@ -74,6 +75,16 @@ type Config struct {
 	// follower's confirmation; a follower applies shipped frames and
 	// sends writers to the leader with a 503 hint. nil means standalone.
 	Replication *ReplicationOptions
+	// Retrain, when set, enables the online-learning surface: POST
+	// /v1/admin/retrain runs a retraining cycle on demand and
+	// GET /v1/models/status reports the serving model set and the last
+	// cycle's outcome. The retrainer's Promote hook decides what a
+	// promotion does (typically persist + hot swap).
+	Retrain *learn.Retrainer
+	// RetrainEvery starts a background retraining ticker at this period
+	// when Retrain is set; <= 0 disables the ticker (cycles then run
+	// only via the admin endpoint).
+	RetrainEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -97,9 +108,15 @@ type Server struct {
 	sem   *parallel.Semaphore
 	repl  *replication
 
-	mu       sync.Mutex
-	http     *http.Server
-	snapStop chan struct{}
+	mu          sync.Mutex
+	http        *http.Server
+	snapStop    chan struct{}
+	retrainStop chan struct{}
+
+	// lastRetrain is the most recent retraining cycle's outcome, served
+	// by GET /v1/models/status.
+	retrainMu   sync.Mutex
+	lastRetrain *learn.Result
 
 	// xfers holds in-progress resumable state transfers (admin.go).
 	xferMu sync.Mutex
@@ -134,6 +151,10 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.Persist != nil {
 		limited.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
 	}
+	limited.HandleFunc("GET /v1/models/status", s.handleModelStatus)
+	if s.cfg.Retrain != nil {
+		limited.HandleFunc("POST /v1/admin/retrain", s.handleRetrain)
+	}
 	// The handoff plane: state export, resumable transfer-in, drop-out.
 	limited.HandleFunc("GET /v1/admin/export", s.handleExport)
 	limited.HandleFunc("POST /v1/admin/transfer/{id}", s.handleTransferChunk)
@@ -165,7 +186,8 @@ func (s *Server) Handler() http.Handler {
 // Serve accepts connections on l until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown, like net/http. The
 // first Serve also starts the background snapshot ticker when
-// persistence is configured with SnapshotEvery > 0.
+// persistence is configured with SnapshotEvery > 0, and the background
+// retraining ticker when a retrainer is configured with RetrainEvery > 0.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.http == nil {
@@ -177,6 +199,10 @@ func (s *Server) Serve(l net.Listener) error {
 	if s.snapStop == nil && s.cfg.Persist != nil && s.cfg.SnapshotEvery > 0 {
 		s.snapStop = make(chan struct{})
 		go s.snapshotLoop(s.snapStop)
+	}
+	if s.retrainStop == nil && s.cfg.Retrain != nil && s.cfg.RetrainEvery > 0 {
+		s.retrainStop = make(chan struct{})
+		go s.retrainLoop(s.retrainStop)
 	}
 	srv := s.http
 	s.mu.Unlock()
@@ -226,6 +252,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.snapStop != nil {
 		close(s.snapStop)
 		s.snapStop = nil
+	}
+	if s.retrainStop != nil {
+		close(s.retrainStop)
+		s.retrainStop = nil
 	}
 	srv := s.http
 	s.mu.Unlock()
@@ -435,11 +465,12 @@ func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
 // map[string]any, so the hot path hands the encoder a shape it can walk
 // without per-field boxing.
 type ingestAck struct {
-	Ingested    int            `json:"ingested"`
-	Kept        int            `json:"kept"`
-	Quarantined int            `json:"quarantined"`
-	Alerts      []alertPayload `json:"alerts"`
-	Quality     ledgerPayload  `json:"quality"`
+	Ingested     int            `json:"ingested"`
+	Kept         int            `json:"kept"`
+	Quarantined  int            `json:"quarantined"`
+	ModelVersion int            `json:"model_version"`
+	Alerts       []alertPayload `json:"alerts"`
+	Quality      ledgerPayload  `json:"quality"`
 }
 
 // finishIngest applies decoded observations to the store (through the
@@ -501,12 +532,14 @@ func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, obs []flee
 	s.m.rowsIngested.Add(int64(ingested))
 	s.m.rowsKept.Add(int64(rep.RowsKept()))
 	s.m.rowsQuarantined.Add(int64(rep.RowsQuarantined))
+	s.m.observeBatchVersion(res.ModelVersion)
 	ack := ingestAck{
-		Ingested:    ingested,
-		Kept:        rep.RowsKept(),
-		Quarantined: rep.RowsQuarantined,
-		Alerts:      make([]alertPayload, len(res.Alerts)),
-		Quality:     ledgerPayloadOf(rep),
+		Ingested:     ingested,
+		Kept:         rep.RowsKept(),
+		Quarantined:  rep.RowsQuarantined,
+		ModelVersion: res.ModelVersion,
+		Alerts:       make([]alertPayload, len(res.Alerts)),
+		Quality:      ledgerPayloadOf(rep),
 	}
 	for i, a := range res.Alerts {
 		s.m.alertsBySeverity[int(a.Severity)].Add(1)
@@ -595,6 +628,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"max_hour": sum.MaxHour,
 		"shards":   shards,
 	}
+	if mm, ok := doc["models"].(map[string]any); ok {
+		mm["active_version"] = s.store.ModelVersion()
+	}
 	doc["in_flight"] = s.sem.InFlight()
 	if s.cfg.Persist != nil {
 		ps := s.cfg.Persist.Stats()
@@ -641,16 +677,18 @@ type alertPayload struct {
 	Type           string   `json:"type"`
 	Degradation    float64  `json:"degradation"`
 	HoursToFailure *float64 `json:"hours_to_failure"`
+	ModelVersion   int      `json:"model_version"`
 }
 
 func alertPayloadOf(a fleet.Alert) alertPayload {
 	p := alertPayload{
-		Serial:      a.Serial,
-		Hour:        a.Hour,
-		Severity:    a.Severity.String(),
-		Group:       a.Group,
-		Type:        a.Type.String(),
-		Degradation: a.Degradation,
+		Serial:       a.Serial,
+		Hour:         a.Hour,
+		Severity:     a.Severity.String(),
+		Group:        a.Group,
+		Type:         a.Type.String(),
+		Degradation:  a.Degradation,
+		ModelVersion: a.ModelVersion,
 	}
 	if !math.IsInf(a.HoursToFailure, 0) && !math.IsNaN(a.HoursToFailure) {
 		ttf := a.HoursToFailure
