@@ -46,6 +46,15 @@
 //	         evaluation and be hot-swapped while a concurrent client
 //	         keeps ingesting with zero errors; a kill + warm restart
 //	         must come back on the promoted version matching the shadow.
+//	mixed    a heterogeneous HDD+SSD fleet: per-class characterization
+//	         must recover each class's group structure with zero
+//	         cross-class contamination, and the mixed stream must
+//	         survive the chaos kill/warm-restart schedule with the
+//	         per-class roll-ups accounting for every drive.
+//	backblaze a real-format Backblaze daily dump (HDD and SSD rows,
+//	         defective rows included) is read under the lenient quality
+//	         policy — the reader ledger must balance exactly — and
+//	         replayed through the serving stack against a shadow.
 //
 // Exit status is non-zero if any scenario check fails.
 package main
@@ -70,7 +79,7 @@ func main() {
 	log.SetPrefix("diskload: ")
 
 	var (
-		scenario  = flag.String("scenario", "all", "scenario to run: steady, compare, ramp, chaos, failover, rebalance, drift or all")
+		scenario  = flag.String("scenario", "all", "scenario to run: steady, compare, ramp, chaos, failover, rebalance, drift, mixed, backblaze or all")
 		scaleFlag = flag.String("scale", "small", "fleet scale preset for training and workload")
 		seed      = flag.Int64("seed", 1, "seed for training, workload generation and fault injection")
 		clients   = flag.Int("clients", 4, "concurrent HTTP clients (steady and chaos)")
@@ -88,6 +97,7 @@ func main() {
 		format    = flag.String("format", "json", "ingest wire format of steady/ramp/chaos batches: json or binary")
 		cmpBatch  = flag.Int("compare-batch", 1000, "compare scenario batch size (amortizes per-request HTTP overhead)")
 		margin    = flag.Float64("shadow-margin", 0, "drift scenario promotion margin: candidate F1 must beat serving F1 by at least this much")
+		bbPath    = flag.String("backblaze", "testdata/backblaze_sample.csv", "Backblaze-format CSV the backblaze scenario replays")
 	)
 	flag.Parse()
 
@@ -96,9 +106,9 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *scenario {
-	case "steady", "compare", "ramp", "chaos", "failover", "rebalance", "drift", "all":
+	case "steady", "compare", "ramp", "chaos", "failover", "rebalance", "drift", "mixed", "backblaze", "all":
 	default:
-		log.Fatalf("unknown -scenario %q (want steady, compare, ramp, chaos, failover, rebalance, drift or all)", *scenario)
+		log.Fatalf("unknown -scenario %q (want steady, compare, ramp, chaos, failover, rebalance, drift, mixed, backblaze or all)", *scenario)
 	}
 	wireFormat, err := loadgen.ParseFormat(*format)
 	if err != nil {
@@ -235,6 +245,31 @@ func main() {
 		})
 	}
 
+	if *scenario == "mixed" || *scenario == "all" {
+		// The mixed scenario trains its own per-class models; it only
+		// borrows the deployment's sizing and monitor config.
+		dir := *stateDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "diskload-mixed-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+		}
+		mcfg := cfg
+		mcfg.ChaosStateDir = dir
+		run("mixed", func(ctx context.Context, d loadgen.Deployment, _ loadgen.ScenarioConfig) (*loadgen.ScenarioReport, error) {
+			return loadgen.RunMixed(ctx, d, mcfg)
+		})
+	}
+	if *scenario == "backblaze" || *scenario == "all" {
+		bcfg := cfg
+		bcfg.BackblazePath = *bbPath
+		run("backblaze", func(ctx context.Context, d loadgen.Deployment, _ loadgen.ScenarioConfig) (*loadgen.ScenarioReport, error) {
+			return loadgen.RunBackblaze(ctx, d, bcfg)
+		})
+	}
+
 	if *report != "" {
 		if err := rep.WriteFile(*report); err != nil {
 			log.Fatal(err)
@@ -289,6 +324,15 @@ func printScenario(sr *loadgen.ScenarioReport, elapsed time.Duration) {
 			d.ServingF1, d.ServingRecall, d.CandidateF1, d.CandidateRecall, d.Agreement)
 		log.Printf("  drift timing: train %dms, promote (swap pause) %dms; %d filler batches during retrain, %d non-200",
 			d.TrainMs, d.PromoteMs, d.FillerBatches, d.FillerNon200)
+	}
+	if m := sr.Mixed; m != nil {
+		log.Printf("  mixed: %d HDD + %d SSD groups (contamination %d), %d HDD + %d SSD drives, rows hdd=%d ssd=%d",
+			m.HDDGroups, m.SSDGroups, m.Contamination, m.HDDDrives, m.SSDDrives, m.HDDRows, m.SSDRows)
+	}
+	if b := sr.Backblaze; b != nil {
+		log.Printf("  backblaze: %d rows read = %d kept + %d quarantined + %d dropped; %d drives (%d HDD, %d SSD), ingest hdd=%d ssd=%d",
+			b.RowsRead, b.RowsKept, b.RowsQuarantined, b.RowsDropped,
+			b.Drives, b.HDDDrives, b.SSDDrives, b.IngestHDD, b.IngestSSD)
 	}
 	for _, c := range sr.FailedChecks() {
 		log.Printf("  check FAILED: %s", c)

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"disksig/internal/dataset"
+	"disksig/internal/smart"
+)
+
+// MixedCharacterization is the output of the class-partitioned pipeline:
+// one full Characterization per device class present in the fleet. Each
+// class is normalized, clustered and modeled on its own partition — its
+// own Eq. (1) extrema, its own signature groups — so SSD wear magnitudes
+// can never flatten HDD spans and neither class's cluster structure
+// bleeds into the other's.
+type MixedCharacterization struct {
+	// ByClass holds one characterization per device class, nil for
+	// classes with no drives in the fleet.
+	ByClass [smart.NumClasses]*Characterization
+}
+
+// CharacterizeMixed partitions a heterogeneous fleet by device class and
+// runs the complete characterization pipeline independently on each
+// partition. Deterministic in cfg at any worker count, exactly like
+// Characterize.
+func CharacterizeMixed(ds *dataset.Dataset, cfg Config) (*MixedCharacterization, error) {
+	return CharacterizeMixedCtx(context.Background(), ds, cfg)
+}
+
+// CharacterizeMixedCtx is CharacterizeMixed with cancellation.
+func CharacterizeMixedCtx(ctx context.Context, ds *dataset.Dataset, cfg Config) (*MixedCharacterization, error) {
+	var failed, good [smart.NumClasses][]*smart.Profile
+	for _, p := range ds.Failed {
+		if !p.Class.Valid() {
+			return nil, fmt.Errorf("core: failed drive %d has invalid device class %d", p.DriveID, p.Class)
+		}
+		failed[p.Class] = append(failed[p.Class], p)
+	}
+	for _, p := range ds.Good {
+		if !p.Class.Valid() {
+			return nil, fmt.Errorf("core: good drive %d has invalid device class %d", p.DriveID, p.Class)
+		}
+		good[p.Class] = append(good[p.Class], p)
+	}
+	mc := &MixedCharacterization{}
+	// The two classes run sequentially: each pipeline is internally
+	// parallel up to cfg.Workers already, and a fixed class order keeps
+	// any shared resource bound meaningful.
+	for c := smart.DeviceClass(0); c < smart.NumClasses; c++ {
+		if len(failed[c])+len(good[c]) == 0 {
+			continue
+		}
+		if len(failed[c]) == 0 {
+			return nil, fmt.Errorf("core: class %v has %d good drives but no failures to characterize", c, len(good[c]))
+		}
+		// dataset.New fits the partition's own normalizer: the class-keyed
+		// bounds that keep cross-class magnitudes apart.
+		ch, err := CharacterizeCtx(ctx, dataset.New(failed[c], good[c]), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: characterizing %v partition: %w", c, err)
+		}
+		mc.ByClass[c] = ch
+	}
+	return mc, nil
+}
+
+// Classes returns the device classes present, in enum order.
+func (mc *MixedCharacterization) Classes() []smart.DeviceClass {
+	var out []smart.DeviceClass
+	for c, ch := range mc.ByClass {
+		if ch != nil {
+			out = append(out, smart.DeviceClass(c))
+		}
+	}
+	return out
+}
+
+// Contamination counts drives that ended up in the wrong class
+// partition — profiles whose Class differs from the partition that
+// clustered them. The partitioning is keyed on Class directly, so any
+// nonzero count means the pipeline's class isolation is broken; scenario
+// checks assert it is exactly zero.
+func (mc *MixedCharacterization) Contamination() int {
+	n := 0
+	for c, ch := range mc.ByClass {
+		if ch == nil {
+			continue
+		}
+		for _, p := range ch.Dataset.Failed {
+			if p.Class != smart.DeviceClass(c) {
+				n++
+			}
+		}
+		for _, p := range ch.Dataset.Good {
+			if p.Class != smart.DeviceClass(c) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"disksig/internal/dataset"
+	"disksig/internal/smart"
+	"disksig/internal/synth"
+)
+
+func mixedFleet(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := synth.GenerateMixed(synth.DefaultMixedFleet(synth.ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestCharacterizeMixedPartitionsCleanly(t *testing.T) {
+	ds := mixedFleet(t)
+	mc, err := CharacterizeMixed(ds, Config{Seed: 1, SkipPrediction: true, GoodSample: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := mc.Classes()
+	if len(classes) != 2 || classes[0] != smart.HDD || classes[1] != smart.SSD {
+		t.Fatalf("classes = %v, want [hdd ssd]", classes)
+	}
+	if n := mc.Contamination(); n != 0 {
+		t.Fatalf("cross-class contamination = %d drives", n)
+	}
+	// Each class must recover real per-class structure on its own
+	// partition — at least two signature groups, a fitted normalizer, and
+	// only its own drives.
+	var wantFailed, wantGood [smart.NumClasses]int
+	for _, p := range ds.Failed {
+		wantFailed[p.Class]++
+	}
+	for _, p := range ds.Good {
+		wantGood[p.Class]++
+	}
+	for _, c := range classes {
+		ch := mc.ByClass[c]
+		if len(ch.Results) < 2 {
+			t.Errorf("%v partition found %d groups, want >= 2", c, len(ch.Results))
+		}
+		if !ch.Dataset.Norm.Fitted() {
+			t.Errorf("%v partition normalizer not fitted", c)
+		}
+		if len(ch.Dataset.Failed) != wantFailed[c] || len(ch.Dataset.Good) != wantGood[c] {
+			t.Errorf("%v partition holds %d failed / %d good drives, want %d / %d",
+				c, len(ch.Dataset.Failed), len(ch.Dataset.Good), wantFailed[c], wantGood[c])
+		}
+	}
+}
+
+// TestCharacterizeMixedWorkerEquivalence extends the pipeline's
+// determinism guarantee to the class-partitioned path: identical
+// per-class categorizations at any worker count, on freshly generated
+// fleets so each run rebuilds its own lazy views.
+func TestCharacterizeMixedWorkerEquivalence(t *testing.T) {
+	run := func(workers int) *MixedCharacterization {
+		t.Helper()
+		ds, err := synth.GenerateMixed(synth.DefaultMixedFleet(synth.ScaleSmall))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := CharacterizeMixed(ds, Config{Seed: 1, SkipPrediction: true, GoodSample: 1000, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc
+	}
+	a, b := run(1), run(7)
+	for _, c := range []smart.DeviceClass{smart.HDD, smart.SSD} {
+		ca, cb := a.ByClass[c], b.ByClass[c]
+		if ca == nil || cb == nil {
+			t.Fatalf("%v partition missing: %v vs %v", c, ca != nil, cb != nil)
+		}
+		if ca.Categorization.K != cb.Categorization.K {
+			t.Fatalf("%v K differs: %d vs %d", c, ca.Categorization.K, cb.Categorization.K)
+		}
+		for i := range ca.Categorization.Elbow {
+			if ca.Categorization.Elbow[i] != cb.Categorization.Elbow[i] {
+				t.Errorf("%v elbow point %d differs: %+v vs %+v", c, i, ca.Categorization.Elbow[i], cb.Categorization.Elbow[i])
+			}
+		}
+		for i := range ca.Categorization.GroupOf {
+			if ca.Categorization.GroupOf[i] != cb.Categorization.GroupOf[i] {
+				t.Fatalf("%v group assignment differs at drive %d", c, i)
+			}
+		}
+		for i, ga := range ca.Results {
+			gb := cb.Results[i]
+			if ga.Group.Number != gb.Group.Number || ga.Group.CentroidDrive != gb.Group.CentroidDrive {
+				t.Errorf("%v group %d identity differs", c, i+1)
+			}
+			if ga.Summary.MajorityForm != gb.Summary.MajorityForm || ga.Summary.MedianD != gb.Summary.MedianD {
+				t.Errorf("%v group %d summary differs", c, ga.Group.Number)
+			}
+		}
+	}
+}
+
+func TestCharacterizeMixedErrors(t *testing.T) {
+	ds := mixedFleet(t)
+	// An invalid class anywhere in the fleet aborts before any pipeline
+	// work: silently mis-partitioning would poison both classes' models.
+	bad := dataset.New(ds.Failed, ds.Good)
+	orig := bad.Failed[0].Class
+	bad.Failed[0].Class = smart.DeviceClass(9)
+	if _, err := CharacterizeMixed(bad, Config{Seed: 1, SkipPrediction: true}); err == nil {
+		t.Error("invalid device class accepted")
+	}
+	bad.Failed[0].Class = orig
+
+	// A class with good drives but no failures cannot be characterized —
+	// there is nothing to cluster — and must fail loudly rather than
+	// leave the class silently unserved.
+	var failed, good []*smart.Profile
+	for _, p := range ds.Failed {
+		if p.Class == smart.HDD {
+			failed = append(failed, p)
+		}
+	}
+	for _, p := range ds.Good {
+		good = append(good, p)
+	}
+	if _, err := CharacterizeMixed(dataset.New(failed, good), Config{Seed: 1, SkipPrediction: true}); err == nil {
+		t.Error("good-only SSD partition accepted")
+	}
+}

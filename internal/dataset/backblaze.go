@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"disksig/internal/quality"
@@ -32,6 +33,68 @@ var backblazeColumns = []struct {
 	{"smart_195_normalized", smart.HER},
 	{"smart_197_normalized", smart.CPSC},
 	{"smart_197_raw", smart.RawCPSC},
+}
+
+// backblazeSSDColumns maps the SMART columns flash drives actually
+// populate in Backblaze dumps onto the SSD attribute registry (see
+// smart.InfoFor): 173 wear leveling, 5 retired NAND blocks, 171/172
+// program/erase fails, 170 reserved blocks, 187 reported uncorrectable,
+// 195 uncorrectable ECC, 183 SATA downshifts, plus the shared
+// environmental columns 9 and 194. The raw slots carry program/erase
+// cycles (173_raw) and reserved blocks used (170_raw).
+var backblazeSSDColumns = []struct {
+	column string
+	attr   smart.Attr
+}{
+	{"smart_173_normalized", smart.RRER}, // WLC
+	{"smart_5_normalized", smart.RSC},    // RNBC
+	{"smart_171_normalized", smart.SER},  // PFC
+	{"smart_187_normalized", smart.RUE},
+	{"smart_170_normalized", smart.HFW},  // RBR
+	{"smart_172_normalized", smart.HER},  // EFC
+	{"smart_195_normalized", smart.CPSC}, // UECC
+	{"smart_183_normalized", smart.SUT},  // SSDR
+	{"smart_173_raw", smart.RawRSC},      // R-PEC
+	{"smart_170_raw", smart.RawCPSC},     // R-RBU
+	{"smart_9_normalized", smart.POH},
+	{"smart_194_normalized", smart.TC},
+}
+
+// ssdMarkerColumns are the wear columns only flash firmware reports: a
+// row carrying any of them is an SSD row even when the model string
+// doesn't say so.
+var ssdMarkerColumns = []string{
+	"smart_173_normalized", "smart_173_raw",
+	"smart_170_normalized", "smart_170_raw",
+	"smart_171_normalized", "smart_172_normalized",
+	"smart_183_normalized",
+}
+
+// classColumns returns the column mapping for one device class.
+func classColumns(c smart.DeviceClass) []struct {
+	column string
+	attr   smart.Attr
+} {
+	if c == smart.SSD {
+		return backblazeSSDColumns
+	}
+	return backblazeColumns
+}
+
+// detectRowClass classifies one raw CSV row: the model string naming an
+// SSD wins, otherwise any populated wear column marks the row SSD, and
+// everything else is the legacy HDD population.
+func detectRowClass(row []string, col map[string]int) smart.DeviceClass {
+	if idx, ok := col["model"]; ok && idx < len(row) &&
+		strings.Contains(strings.ToLower(row[idx]), "ssd") {
+		return smart.SSD
+	}
+	for _, name := range ssdMarkerColumns {
+		if idx, ok := col[name]; ok && idx < len(row) && row[idx] != "" {
+			return smart.SSD
+		}
+	}
+	return smart.HDD
 }
 
 // Backblaze-style daily SMART dumps are the most common public disk
@@ -71,6 +134,7 @@ type bbRow struct {
 	vals    smart.Values
 	present [smart.NumAttrs]bool
 	failed  bool
+	class   smart.DeviceClass
 }
 
 // ReadBackblazeCSVQ is ReadBackblazeCSV under an explicit quality
@@ -101,6 +165,7 @@ func ReadBackblazeCSVQ(r io.Reader, cfg quality.Config) (*Dataset, *quality.Repo
 	}
 
 	drives := map[string][]bbRow{}
+	classBySerial := map[string]smart.DeviceClass{}
 	var serials []string
 
 	// quarantineRow accounts for one rejected row; under Strict the
@@ -205,9 +270,24 @@ rows:
 			continue
 		}
 
-		br := bbRow{date: date, failed: rowFailed}
+		class := detectRowClass(row, col)
+		if known, seen := classBySerial[serial]; seen && known != class {
+			// A serial flip-flopping between classes is defective
+			// telemetry, not a population change: quarantine the row
+			// rather than mix wear semantics into a rotational profile
+			// (or vice versa).
+			if err := quarantineRow(quality.Issue{
+				Kind: quality.BadField, Line: line, Drive: serial, Field: "device_class",
+				Detail: fmt.Sprintf("row is %s but drive is %s", class, known),
+			}); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+
+		br := bbRow{date: date, failed: rowFailed, class: class}
 		repairedFields := 0
-		for _, m := range backblazeColumns {
+		for _, m := range classColumns(class) {
 			idx, ok := col[m.column]
 			if !ok || idx >= len(row) || row[idx] == "" {
 				continue
@@ -221,7 +301,7 @@ rows:
 			case math.IsNaN(v) || math.IsInf(v, 0):
 				iss = quality.Issue{Kind: quality.NonFinite, Line: line, Drive: serial,
 					Field: m.column, Detail: fmt.Sprintf("value %v", v)}
-			case !smart.InBounds(m.attr, v):
+			case !smart.InBoundsFor(class, m.attr, v):
 				iss = quality.Issue{Kind: quality.OutOfRange, Line: line, Drive: serial,
 					Field: m.column, Detail: fmt.Sprintf("value %g", v)}
 			default:
@@ -250,6 +330,7 @@ rows:
 		rep.AddRows(1, 0, repairedFields)
 		if _, ok := drives[serial]; !ok {
 			serials = append(serials, serial)
+			classBySerial[serial] = class
 		}
 		drives[serial] = append(drives[serial], br)
 	}
@@ -340,7 +421,7 @@ rows:
 			if !ok || acc.failed != pass {
 				continue
 			}
-			p := &smart.Profile{DriveID: id, Failed: acc.failed, Records: acc.records}
+			p := &smart.Profile{DriveID: id, Class: classBySerial[serial], Failed: acc.failed, Records: acc.records}
 			id++
 			if acc.failed {
 				failed = append(failed, p)
@@ -360,8 +441,18 @@ rows:
 func (d *Dataset) WriteBackblazeCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"date", "serial_number", "model", "capacity_bytes", "failure"}
-	for _, m := range backblazeColumns {
-		header = append(header, m.column)
+	colIdx := map[string]int{}
+	for _, table := range [][]struct {
+		column string
+		attr   smart.Attr
+	}{backblazeColumns, backblazeSSDColumns} {
+		for _, m := range table {
+			if _, ok := colIdx[m.column]; ok {
+				continue
+			}
+			colIdx[m.column] = len(header)
+			header = append(header, m.column)
+		}
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("dataset: writing Backblaze header: %w", err)
@@ -370,17 +461,25 @@ func (d *Dataset) WriteBackblazeCSV(w io.Writer) error {
 	row := make([]string, len(header))
 	emit := func(p *smart.Profile) error {
 		serial := fmt.Sprintf("SN%08d", p.DriveID)
+		model := "DSIG-SYNTH"
+		if p.Class == smart.SSD {
+			model = "DSIG-SYNTH-SSD"
+		}
+		cols := classColumns(p.Class)
 		for i, r := range p.Records {
+			for j := range row {
+				row[j] = ""
+			}
 			row[0] = epoch.AddDate(0, 0, r.Hour).Format("2006-01-02")
 			row[1] = serial
-			row[2] = "DSIG-SYNTH"
+			row[2] = model
 			row[3] = "4000000000000"
 			row[4] = "0"
 			if p.Failed && i == p.Len()-1 {
 				row[4] = "1"
 			}
-			for j, m := range backblazeColumns {
-				row[5+j] = strconv.FormatFloat(r.Values[m.attr], 'g', -1, 64)
+			for _, m := range cols {
+				row[colIdx[m.column]] = strconv.FormatFloat(r.Values[m.attr], 'g', -1, 64)
 			}
 			if err := cw.Write(row); err != nil {
 				return err

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"disksig/internal/quality"
 	"disksig/internal/smart"
 )
 
@@ -151,6 +152,124 @@ func TestBackblazeRoundTrip(t *testing.T) {
 			if p.Records[j].Values != q.Records[j].Values {
 				t.Fatalf("failed[%d] record %d values differ", i, j)
 			}
+		}
+	}
+}
+
+// backblazeSSDFixture is a mixed dump: SN-FLASH is an SSD (model string
+// plus wear columns) wearing out toward failure; SN-DISK is a healthy
+// HDD whose wear columns are empty.
+func backblazeSSDFixture() string {
+	var b strings.Builder
+	b.WriteString("date,serial_number,model,capacity_bytes,failure," +
+		"smart_1_normalized,smart_5_normalized,smart_9_normalized," +
+		"smart_173_normalized,smart_173_raw,smart_170_normalized,smart_170_raw," +
+		"smart_187_normalized,smart_194_normalized\n")
+	for day := 0; day < 4; day++ {
+		fail := 0
+		if day == 3 {
+			fail = 1
+		}
+		fmt.Fprintf(&b, "2026-07-%02d,SN-FLASH,Vendor SSD 1T,1000000000000,%d,,98,95,%d,%d,100,%d,100,60\n",
+			day+1, fail, 100-day*20, day*500, day)
+		fmt.Fprintf(&b, "2026-07-%02d,SN-DISK,ModelX,4000000000000,0,100,100,97,,,,,100,65\n",
+			day+1)
+	}
+	return b.String()
+}
+
+func TestReadBackblazeSSD(t *testing.T) {
+	ds, err := ReadBackblazeCSV(strings.NewReader(backblazeSSDFixture()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Failed) != 1 || len(ds.Good) != 1 {
+		t.Fatalf("population = %d/%d", len(ds.Failed), len(ds.Good))
+	}
+	flash, disk := ds.Failed[0], ds.Good[0]
+	if flash.Class != smart.SSD {
+		t.Fatalf("SSD drive classified %v", flash.Class)
+	}
+	if disk.Class != smart.HDD {
+		t.Fatalf("HDD drive classified %v", disk.Class)
+	}
+	// smart_173 lands in the wear-leveling slot, its raw twin in R-PEC,
+	// and smart_170_raw in reserved-blocks-used.
+	fr := flash.FailureRecord()
+	if fr.Values[smart.RRER] != 40 {
+		t.Errorf("failure WLC = %v, want 40", fr.Values[smart.RRER])
+	}
+	if fr.Values[smart.RawRSC] != 1500 {
+		t.Errorf("failure R-PEC = %v, want 1500", fr.Values[smart.RawRSC])
+	}
+	if fr.Values[smart.RawCPSC] != 3 {
+		t.Errorf("failure R-RBU = %v, want 3", fr.Values[smart.RawCPSC])
+	}
+	// smart_1 (an HDD-only column) is ignored on SSD rows: the slot
+	// carries wear-leveling health, not read-error health.
+	if flash.Records[0].Values[smart.RRER] != 100 {
+		t.Errorf("first WLC = %v, want 100", flash.Records[0].Values[smart.RRER])
+	}
+}
+
+func TestReadBackblazeClassConflict(t *testing.T) {
+	// Without a model column, class detection rides on the wear columns:
+	// SN-X's first two rows carry smart_173 (SSD), the third doesn't
+	// (HDD) — a class flip-flop, so the third row is quarantined and the
+	// drive survives as a two-record SSD.
+	csv := "date,serial_number,failure,smart_173_normalized\n" +
+		"2026-07-01,SN-X,0,90\n" +
+		"2026-07-02,SN-X,0,80\n" +
+		"2026-07-03,SN-X,0,\n"
+	ds, rep, err := ReadBackblazeCSVQ(strings.NewReader(csv), quality.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsQuarantined != 1 {
+		t.Fatalf("quarantined %d rows, want 1", rep.RowsQuarantined)
+	}
+	p := ds.Good[0]
+	if p.Class != smart.SSD || p.Len() != 2 {
+		t.Fatalf("drive = class %v with %d records, want 2-record SSD", p.Class, p.Len())
+	}
+}
+
+func TestBackblazeMixedRoundTrip(t *testing.T) {
+	ssd := &smart.Profile{DriveID: 0, Class: smart.SSD, Failed: true}
+	for h := 0; h < 4; h++ {
+		var v smart.Values
+		for a := range v {
+			v[a] = float64(100 - h*10)
+		}
+		v[smart.RawRSC] = float64(h * 700) // P/E cycles
+		v[smart.RawCPSC] = float64(h)      // reserved blocks used
+		ssd.Records = append(ssd.Records, smart.Record{Hour: h, Values: v})
+	}
+	hdd := makeProfile(1, false, 0, 4, 50)
+	d := New([]*smart.Profile{ssd}, []*smart.Profile{hdd})
+
+	var buf strings.Builder
+	if err := d.WriteBackblazeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBackblazeCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Failed) != 1 || len(back.Good) != 1 {
+		t.Fatalf("population = %d/%d", len(back.Failed), len(back.Good))
+	}
+	if back.Failed[0].Class != smart.SSD || back.Good[0].Class != smart.HDD {
+		t.Fatalf("classes = %v/%v", back.Failed[0].Class, back.Good[0].Class)
+	}
+	for j := range ssd.Records {
+		if back.Failed[0].Records[j].Values != ssd.Records[j].Values {
+			t.Fatalf("SSD record %d values differ after round trip", j)
+		}
+	}
+	for j := range hdd.Records {
+		if back.Good[0].Records[j].Values != hdd.Records[j].Values {
+			t.Fatalf("HDD record %d values differ after round trip", j)
 		}
 	}
 }

@@ -24,6 +24,9 @@ func assertSanitized(t *testing.T, ds *Dataset, rep *quality.Report) {
 		if len(p.Records) < min {
 			t.Fatalf("drive %d kept with %d records, min is %d", p.DriveID, len(p.Records), min)
 		}
+		if !p.Class.Valid() {
+			t.Fatalf("drive %d kept with invalid class %d", p.DriveID, p.Class)
+		}
 		last := p.Records[0].Hour - 1
 		for _, r := range p.Records {
 			if r.Hour <= last {
@@ -44,6 +47,14 @@ func FuzzReadBackblazeCSV(f *testing.F) {
 	f.Add("date,serial_number,model,capacity_bytes,failure\nnot-a-date,S1,M,1,2\n")
 	f.Add("date,serial_number,model,capacity_bytes,failure,smart_9_normalized\n" +
 		"2026-07-01,S1,M,1,0,NaN\n2026-07-01,S1,M,1,0,1e99\n\"unterminated")
+	f.Add(backblazeSSDFixture())
+	// SSD rows detected by wear columns alone (no model, no capacity),
+	// including an out-of-bounds raw P/E count.
+	f.Add("date,serial_number,failure,smart_173_normalized,smart_173_raw\n" +
+		"2026-07-01,F1,0,100,500\n2026-07-02,F1,0,95,9e9\n2026-07-03,F1,1,90,1500\n")
+	// A drive that flip-flops between classes mid-stream.
+	f.Add("date,serial_number,failure,smart_1_normalized,smart_173_normalized\n" +
+		"2026-07-01,X,0,100,\n2026-07-02,X,0,,90\n2026-07-03,X,0,100,\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		ds, rep, err := ReadBackblazeCSVQ(strings.NewReader(input), quality.Config{Policy: quality.Lenient})
 		if err != nil {

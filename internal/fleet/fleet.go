@@ -66,6 +66,10 @@ func nextPowerOfTwo(n int) int {
 // ingestion.
 type Observation struct {
 	Serial string
+	// Class is the drive's device class; the zero value is HDD, so
+	// observations from class-unaware sources score against the legacy
+	// models unchanged.
+	Class  smart.DeviceClass
 	Record smart.Record
 }
 
@@ -148,11 +152,11 @@ type Store struct {
 	// hold it shared, SwapModels holds it exclusively. No batch is ever
 	// scored by two model versions, and no export straddles a swap.
 	swapMu sync.RWMutex
-	// models and norm are retained (read-only) so ExportState can emit a
+	// models and norms are retained (read-only) so ExportState can emit a
 	// self-contained snapshot that restores without retraining. Guarded
 	// by swapMu once the store is live.
 	models []monitor.GroupModel
-	norm   *smart.Normalizer
+	norms  monitor.ClassNorms
 	// version numbers the serving model set, starting at 1 for a
 	// freshly trained store; every promoted swap must increase it.
 	version int
@@ -198,18 +202,32 @@ func (s *Store) getScratch() *batchScratch {
 // New builds a store whose shards each score drives with the given group
 // models and normalizer (shared read-only across shards; predictors must
 // be safe for concurrent Predict calls, which trees and forests are).
+// The models must be HDD-class; a mixed fleet uses NewMulti.
 func New(models []monitor.GroupModel, norm *smart.Normalizer, cfg Config) (*Store, error) {
+	for _, m := range models {
+		if m.Class != smart.HDD {
+			return nil, fmt.Errorf("fleet: group %d is %v-class; a mixed model set needs NewMulti", m.Group, m.Class)
+		}
+	}
+	return NewMulti(models, monitor.ClassNorms{HDD: norm}, cfg)
+}
+
+// NewMulti builds a store serving a heterogeneous fleet: models carry
+// their device class and norms holds one fitted normalizer per served
+// class. Observations are scored only against models of their own
+// class.
+func NewMulti(models []monitor.GroupModel, norms monitor.ClassNorms, cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
 	shards := make([]*shard, cfg.Shards)
 	for i := range shards {
-		mon, err := monitor.New(models, norm, cfg.Monitor)
+		mon, err := monitor.NewMulti(models, norms, cfg.Monitor)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: building shard %d: %w", i, err)
 		}
 		shards[i] = &shard{mon: mon, ids: map[string]int{}, maxHour: math.MinInt,
 			history: map[int][]smart.Record{}, histCap: cfg.HistoryHours}
 	}
-	return &Store{cfg: cfg, models: models, norm: norm, version: 1,
+	return &Store{cfg: cfg, models: models, norms: norms, version: 1,
 		shards: shards, mask: uint64(cfg.Shards - 1)}, nil
 }
 
@@ -221,6 +239,16 @@ func FromCharacterization(ch *core.Characterization, cfg Config) (*Store, error)
 		return nil, err
 	}
 	return New(models, ch.Dataset.Norm, cfg)
+}
+
+// FromMixed builds a store directly from a class-partitioned pipeline
+// run: per-class model sets and per-class normalizers.
+func FromMixed(mc *core.MixedCharacterization, cfg Config) (*Store, error) {
+	models, norms, err := monitor.ModelsFromMixed(mc)
+	if err != nil {
+		return nil, err
+	}
+	return NewMulti(models, norms, cfg)
 }
 
 // fnv1a is the 64-bit FNV-1a hash of the serial, the shard-selection
@@ -252,14 +280,14 @@ func (s *Store) Ingest(serial string, rec smart.Record) *Alert {
 	sh := s.shards[s.shardIndex(serial)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	a := sh.ingestLocked(serial, rec)
+	a := sh.ingestLocked(serial, smart.HDD, rec)
 	if a != nil {
 		a.ModelVersion = s.version
 	}
 	return a
 }
 
-func (sh *shard) ingestLocked(serial string, rec smart.Record) *Alert {
+func (sh *shard) ingestLocked(serial string, class smart.DeviceClass, rec smart.Record) *Alert {
 	id, ok := sh.ids[serial]
 	if !ok {
 		id = len(sh.serials)
@@ -269,7 +297,7 @@ func (sh *shard) ingestLocked(serial string, rec smart.Record) *Alert {
 	if rec.Hour > sh.maxHour {
 		sh.maxHour = rec.Hour
 	}
-	a, kept := sh.mon.IngestKept(id, rec)
+	a, kept := sh.mon.IngestClass(id, class, rec)
 	if kept {
 		sh.recordHistory(id, rec)
 	}
@@ -308,7 +336,7 @@ func (s *Store) IngestBatch(obs []Observation) BatchResult {
 		defer sh.mu.Unlock()
 		before := snapshotCounters(sh.mon.Quality())
 		for _, i := range idxs {
-			if a := sh.ingestLocked(obs[i].Serial, obs[i].Record); a != nil {
+			if a := sh.ingestLocked(obs[i].Serial, obs[i].Class, obs[i].Record); a != nil {
 				sc.alerts[si] = append(sc.alerts[si], indexedAlert{idx: i, alert: *a})
 			}
 		}

@@ -32,10 +32,15 @@ type State struct {
 	// built under; restore reuses it (a different smoothing cap would
 	// invalidate the serialized score windows).
 	MonitorCfg monitor.Config
-	// Models are the trained per-group scoring models.
+	// Models are the trained per-group scoring models; each carries its
+	// device class (zero value HDD for pre-class snapshots).
 	Models []monitor.GroupModel
-	// Norm is the fleet normalizer fitted during training.
+	// Norm is the HDD-partition normalizer fitted during training.
 	Norm *smart.Normalizer
+	// SSDNorm is the SSD-partition normalizer; nil for a pure-HDD fleet,
+	// which keeps the encoding of pre-class snapshots unchanged (gob
+	// omits nil pointer fields).
+	SSDNorm *smart.Normalizer
 	// ModelVersion is the serving model-set version the state was
 	// exported under. Old snapshots decode as 0; Restore maps that to 1
 	// (the version every freshly trained store starts at).
@@ -63,7 +68,8 @@ func (s *Store) ExportState() *State {
 	st := &State{
 		MonitorCfg:   s.cfg.Monitor,
 		Models:       s.models,
-		Norm:         s.norm,
+		Norm:         s.norms.HDD,
+		SSDNorm:      s.norms.SSD,
 		ModelVersion: s.version,
 	}
 	perShard := parallel.Map(s.cfg.Workers, len(s.shards), func(si int) []DriveEntry {
@@ -130,7 +136,7 @@ func Restore(st *State, cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("fleet: restoring nil state")
 	}
 	cfg.Monitor = st.MonitorCfg
-	store, err := New(st.Models, st.Norm, cfg)
+	store, err := NewMulti(st.Models, monitor.ClassNorms{HDD: st.Norm, SSD: st.SSDNorm}, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: restoring: %w", err)
 	}

@@ -13,6 +13,19 @@ type ShardStats struct {
 	Drives int
 }
 
+// ClassSummary is one device class's share of the fleet roll-up.
+type ClassSummary struct {
+	// Drives is the number of tracked drives of this class.
+	Drives int
+	// BySeverity counts the class's drives per severity name.
+	BySeverity map[string]int
+	// AtRisk lists the class's most degraded drives, ascending by
+	// degradation (ties by serial), capped by the Summary call's topN —
+	// the per-class triage list: an SSD cliff and a slowly degrading
+	// HDD must not compete for the same dashboard slots.
+	AtRisk []DriveHealth
+}
+
 // Summary is the fleet-wide roll-up served by /v1/fleet/summary.
 type Summary struct {
 	// Drives is the number of tracked drives.
@@ -26,6 +39,9 @@ type Summary struct {
 	// their most pessimistic group model — the alert roll-up that tells
 	// an operator which failure mode is trending.
 	ByType map[string]int
+	// ByClass rolls the fleet up per device class, keyed by class name.
+	// Classes with no tracked drives have no entry.
+	ByClass map[string]*ClassSummary
 	// Shards is the per-shard occupancy.
 	Shards []ShardStats
 	// AtRisk lists the most degraded drives, ascending by degradation
@@ -42,9 +58,11 @@ func (s *Store) Summary(topN int) Summary {
 		MaxHour:    -1,
 		BySeverity: map[string]int{},
 		ByType:     map[string]int{},
+		ByClass:    map[string]*ClassSummary{},
 		Shards:     make([]ShardStats, len(s.shards)),
 	}
 	var all []DriveHealth
+	perClass := map[string][]DriveHealth{}
 	for si, sh := range s.shards {
 		sh.mu.Lock()
 		snap := sh.mon.Snapshot()
@@ -58,23 +76,42 @@ func (s *Store) Summary(topN int) Summary {
 			if st.Severity >= monitor.Watch {
 				sum.ByType[st.Type.String()]++
 			}
+			cname := st.Class.String()
+			cs := sum.ByClass[cname]
+			if cs == nil {
+				cs = &ClassSummary{BySeverity: map[string]int{}}
+				sum.ByClass[cname] = cs
+			}
+			cs.Drives++
+			cs.BySeverity[st.Severity.String()]++
 			if topN > 0 {
-				all = append(all, DriveHealth{Serial: sh.serials[st.DriveID], DriveStatus: st})
+				dh := DriveHealth{Serial: sh.serials[st.DriveID], DriveStatus: st}
+				all = append(all, dh)
+				perClass[cname] = append(perClass[cname], dh)
 			}
 		}
 		sh.mu.Unlock()
 	}
 	if topN > 0 {
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].Degradation != all[j].Degradation {
-				return all[i].Degradation < all[j].Degradation
-			}
-			return all[i].Serial < all[j].Serial
-		})
-		if len(all) > topN {
-			all = all[:topN]
+		sum.AtRisk = topAtRisk(all, topN)
+		for cname, drives := range perClass {
+			sum.ByClass[cname].AtRisk = topAtRisk(drives, topN)
 		}
-		sum.AtRisk = all
 	}
 	return sum
+}
+
+// topAtRisk sorts drives ascending by degradation (ties by serial) and
+// keeps the worst topN.
+func topAtRisk(all []DriveHealth, topN int) []DriveHealth {
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Degradation != all[j].Degradation {
+			return all[i].Degradation < all[j].Degradation
+		}
+		return all[i].Serial < all[j].Serial
+	})
+	if len(all) > topN {
+		all = all[:topN]
+	}
+	return all
 }

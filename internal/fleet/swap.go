@@ -39,11 +39,52 @@ func (s *Store) Models() []monitor.GroupModel {
 //
 // The swap validates and stages every shard before committing any of
 // them: on error the store still serves the old version unchanged.
+//
+// The incoming set replaces only the model sets of the classes it
+// contains: the online-learning cycle retrains the HDD population from
+// its harvested history, and that promotion must not drop the SSD model
+// set (or vice versa). Classes absent from the incoming set keep their
+// current models and normalizer.
 func (s *Store) SwapModels(models []monitor.GroupModel, norm *smart.Normalizer, version int) error {
+	for _, m := range models {
+		if m.Class != smart.HDD {
+			return fmt.Errorf("fleet: swap group %d is %v-class; a mixed swap needs SwapModelsMulti", m.Group, m.Class)
+		}
+	}
+	return s.SwapModelsMulti(models, monitor.ClassNorms{HDD: norm}, version)
+}
+
+// SwapModelsMulti is SwapModels for class-stamped model sets: each class
+// present in models (with its normalizer in norms) replaces the serving
+// set of that class; absent classes are preserved.
+func (s *Store) SwapModelsMulti(models []monitor.GroupModel, norms monitor.ClassNorms, version int) error {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	if version <= s.version {
 		return fmt.Errorf("fleet: swap to version %d refused: serving version %d is not older", version, s.version)
+	}
+
+	// Merge with the preserved classes: incoming models first (they are
+	// ordered by class already when built by ModelsFromMixed), then the
+	// retained sets of untouched classes in their current order.
+	var incoming [smart.NumClasses]bool
+	for _, m := range models {
+		if !m.Class.Valid() {
+			return fmt.Errorf("fleet: swap to version %d: group %d has invalid class %d", version, m.Group, m.Class)
+		}
+		incoming[m.Class] = true
+	}
+	combined := append([]monitor.GroupModel(nil), models...)
+	mergedNorms := norms
+	for _, m := range s.models {
+		if !incoming[m.Class] {
+			combined = append(combined, m)
+		}
+	}
+	for c := smart.DeviceClass(0); c < smart.NumClasses; c++ {
+		if !incoming[c] {
+			mergedNorms = setNorm(mergedNorms, c, s.norms)
+		}
 	}
 
 	// Stage: build one replacement monitor per shard with every drive
@@ -51,7 +92,7 @@ func (s *Store) SwapModels(models []monitor.GroupModel, norm *smart.Normalizer, 
 	// read shards, so each shard locks while its state is copied out.
 	staged := make([]*monitor.Monitor, len(s.shards))
 	for si, sh := range s.shards {
-		mon, err := monitor.New(models, norm, s.cfg.Monitor)
+		mon, err := monitor.NewMulti(combined, mergedNorms, s.cfg.Monitor)
 		if err != nil {
 			return fmt.Errorf("fleet: swap to version %d: building shard %d: %w", version, si, err)
 		}
@@ -62,7 +103,7 @@ func (s *Store) SwapModels(models []monitor.GroupModel, norm *smart.Normalizer, 
 			if ds.Tracked {
 				// Reset the smoothing windows to one empty window per
 				// new model; everything else carries over.
-				ds.Recent = make([][]float64, len(models))
+				ds.Recent = make([][]float64, len(combined))
 			}
 			if err := mon.ImportDrive(id, ds); err != nil {
 				return fmt.Errorf("fleet: swap to version %d: migrating shard %d drive %d: %w", version, si, id, err)
@@ -77,8 +118,19 @@ func (s *Store) SwapModels(models []monitor.GroupModel, norm *smart.Normalizer, 
 		sh.mon = staged[si]
 		sh.mu.Unlock()
 	}
-	s.models = models
-	s.norm = norm
+	s.models = combined
+	s.norms = mergedNorms
 	s.version = version
 	return nil
+}
+
+// setNorm copies class c's normalizer from src into dst.
+func setNorm(dst monitor.ClassNorms, c smart.DeviceClass, src monitor.ClassNorms) monitor.ClassNorms {
+	switch c {
+	case smart.HDD:
+		dst.HDD = src.HDD
+	case smart.SSD:
+		dst.SSD = src.SSD
+	}
+	return dst
 }

@@ -1,8 +1,10 @@
 package loadgen
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -133,5 +135,52 @@ func TestCompareStatesQualityOnlyDiff(t *testing.T) {
 	}
 	if strings.Contains(err.Error(), "differing drive") || strings.Contains(err.Error(), "missing") {
 		t.Fatalf("CompareStates blamed a drive for a ledger-only diff: %v", err)
+	}
+}
+
+func TestMixedScenarioConfigErrors(t *testing.T) {
+	ctx := context.Background()
+	if rep, err := RunMixed(ctx, Deployment{}, ScenarioConfig{}); err == nil {
+		t.Errorf("RunMixed without a state dir passed: %+v", rep)
+	}
+	if rep, err := RunBackblaze(ctx, Deployment{}, ScenarioConfig{}); err == nil {
+		t.Errorf("RunBackblaze without a path passed: %+v", rep)
+	}
+	cfg := ScenarioConfig{BackblazePath: filepath.Join(t.TempDir(), "missing.csv")}
+	if rep, err := RunBackblaze(ctx, Deployment{}, cfg); err == nil {
+		t.Errorf("RunBackblaze on a missing file passed: %+v", rep)
+	}
+	// A present but unreadable dump (torn mid-quote) must surface the
+	// reader's error, not a partial replay.
+	bad := filepath.Join(t.TempDir(), "torn.csv")
+	if err := os.WriteFile(bad, []byte("date,serial_number,failure\n\"unterminated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := RunBackblaze(ctx, Deployment{}, ScenarioConfig{BackblazePath: bad}); err == nil {
+		t.Errorf("RunBackblaze on a torn dump passed: %+v", rep)
+	}
+}
+
+func TestCheckClassSummaryViolations(t *testing.T) {
+	serve := func(body string) string {
+		return stubServer(t, http.StatusOK, body).URL
+	}
+	var mrep MixedReport
+	for name, body := range map[string]string{
+		"missing class": `{"drives":2,"by_class":{"hdd":{"drives":2,"by_severity":{"watch":2}}}}`,
+		"empty class":   `{"drives":2,"by_class":{"hdd":{"drives":2,"by_severity":{"watch":2}},"ssd":{"drives":0,"by_severity":{}}}}`,
+		"all healthy":   `{"drives":4,"by_class":{"hdd":{"drives":2,"by_severity":{"watch":2}},"ssd":{"drives":2,"by_severity":{"healthy":2}}}}`,
+		"bad total":     `{"drives":9,"by_class":{"hdd":{"drives":2,"by_severity":{"watch":2}},"ssd":{"drives":2,"by_severity":{"warning":2}}}}`,
+	} {
+		if err := checkClassSummary(serve(body), &mrep); err == nil {
+			t.Errorf("%s: checkClassSummary passed", name)
+		}
+	}
+	ok := `{"drives":4,"by_class":{"hdd":{"drives":2,"by_severity":{"watch":2}},"ssd":{"drives":2,"by_severity":{"healthy":1,"critical":1}}}}`
+	if err := checkClassSummary(serve(ok), &mrep); err != nil {
+		t.Errorf("valid summary rejected: %v", err)
+	}
+	if mrep.HDDTracked != 2 || mrep.SSDTracked != 2 {
+		t.Errorf("tracked counts = %d/%d, want 2/2", mrep.HDDTracked, mrep.SSDTracked)
 	}
 }

@@ -397,7 +397,32 @@ func TestScenariosEndToEnd(t *testing.T) {
 		t.Fatalf("drift retraining cycle = %+v", dr.Drift)
 	}
 
-	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, fc, r, c, fo, rb, dr}}
+	mcfg := cfg
+	mcfg.ChaosStateDir = t.TempDir()
+	mx, err := RunMixed(ctx, dep, mcfg)
+	requirePassed("mixed", mx, err)
+	if mx.Mixed == nil || mx.Mixed.Contamination != 0 {
+		t.Fatalf("mixed class isolation = %+v", mx.Mixed)
+	}
+	if mx.Mixed.HDDGroups < 2 || mx.Mixed.SSDGroups < 2 {
+		t.Fatalf("mixed recovered %d HDD / %d SSD groups, want >= 2 each", mx.Mixed.HDDGroups, mx.Mixed.SSDGroups)
+	}
+	if mx.Mixed.HDDRows == 0 || mx.Mixed.SSDRows == 0 {
+		t.Fatalf("mixed per-class ingest counters = %+v", mx.Mixed)
+	}
+
+	bcfg := cfg
+	bcfg.BackblazePath = "../../testdata/backblaze_sample.csv"
+	bb, err := RunBackblaze(ctx, dep, bcfg)
+	requirePassed("backblaze", bb, err)
+	if bb.Backblaze == nil || bb.Backblaze.RowsQuarantined == 0 || bb.Backblaze.RowsDropped == 0 {
+		t.Fatalf("backblaze exercised no defect path: %+v", bb.Backblaze)
+	}
+	if bb.Backblaze.HDDDrives == 0 || bb.Backblaze.SSDDrives == 0 {
+		t.Fatalf("backblaze class detection = %+v", bb.Backblaze)
+	}
+
+	rep := &Report{Schema: "disksig/loadgen/v1", Seed: 3, Scale: "small", Scenarios: []*ScenarioReport{s1, fc, r, c, fo, rb, dr, mx, bb}}
 	if !rep.Passed() {
 		t.Fatal("aggregate report not passed")
 	}

@@ -74,6 +74,12 @@ type ScenarioReport struct {
 	// Rebalance describes the rebalance scenario's live shard handoffs.
 	Rebalance *RebalanceReport `json:"rebalance,omitempty"`
 
+	// Mixed describes the mixed-fleet scenario's per-class outcome.
+	Mixed *MixedReport `json:"mixed,omitempty"`
+
+	// Backblaze describes the real-data replay scenario.
+	Backblaze *BackblazeReport `json:"backblaze,omitempty"`
+
 	Checks []Check `json:"checks"`
 	Passed bool    `json:"passed"`
 }
@@ -151,6 +157,39 @@ type RebalanceReport struct {
 	RoutedJSONRate   float64 `json:"routed_json_records_per_sec"`
 	DirectBinaryRate float64 `json:"direct_binary_records_per_sec"`
 	RoutedBinaryRate float64 `json:"routed_binary_records_per_sec"`
+}
+
+// MixedReport measures the mixed-fleet scenario: the per-class group
+// structure recovered by characterization, the class split of the
+// replayed workload, and the per-class accounting reported by the
+// serving tier.
+type MixedReport struct {
+	HDDGroups     int   `json:"hdd_groups"`
+	SSDGroups     int   `json:"ssd_groups"`
+	Contamination int   `json:"cross_class_contamination"`
+	HDDDrives     int   `json:"hdd_drives"`
+	SSDDrives     int   `json:"ssd_drives"`
+	HDDTracked    int   `json:"hdd_tracked"`
+	SSDTracked    int   `json:"ssd_tracked"`
+	HDDRows       int64 `json:"hdd_rows_ingested"`
+	SSDRows       int64 `json:"ssd_rows_ingested"`
+}
+
+// BackblazeReport measures the real-data replay scenario: the reader's
+// quality accounting over the CSV and what the serving tier tracked
+// after the replay.
+type BackblazeReport struct {
+	RowsRead        int    `json:"rows_read"`
+	RowsKept        int    `json:"rows_kept"`
+	RowsQuarantined int    `json:"rows_quarantined"`
+	RowsDropped     int    `json:"rows_dropped"`
+	Drives          int    `json:"drives"`
+	HDDDrives       int    `json:"hdd_drives"`
+	SSDDrives       int    `json:"ssd_drives"`
+	IngestKept      int64  `json:"ingest_rows_kept"`
+	IngestHDD       int64  `json:"ingest_rows_hdd"`
+	IngestSSD       int64  `json:"ingest_rows_ssd"`
+	Fingerprint     string `json:"state_fingerprint,omitempty"`
 }
 
 // Check is one named verification verdict.

@@ -73,6 +73,9 @@ type ScenarioConfig struct {
 	// amortized so the measured gap is dominated by the decode + scoring
 	// cost, not TCP round trips; <= 0 means 1000.
 	CompareBatch int
+	// BackblazePath is the Backblaze-format daily dump the backblaze
+	// scenario replays (required for RunBackblaze).
+	BackblazePath string
 }
 
 func (c ScenarioConfig) clients() int {

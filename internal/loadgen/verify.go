@@ -103,6 +103,7 @@ func MergeStates(states ...*fleet.State) (*fleet.State, error) {
 		MonitorCfg:   states[0].MonitorCfg,
 		Models:       states[0].Models,
 		Norm:         states[0].Norm,
+		SSDNorm:      states[0].SSDNorm,
 		ModelVersion: states[0].ModelVersion,
 	}
 	seen := map[string]struct{}{}
@@ -196,8 +197,8 @@ func setDiff(a, b []string) []string {
 func StateFingerprint(st *fleet.State) string {
 	h := fnv.New64a()
 	for _, e := range st.Drives {
-		fmt.Fprintf(h, "%s|%v|%d|%v|%d|%v|%v\n",
-			e.Serial, e.State.Tracked, e.State.LastHour, e.State.Seen,
+		fmt.Fprintf(h, "%s|%v|%v|%d|%v|%d|%v|%v\n",
+			e.Serial, e.State.Class, e.State.Tracked, e.State.LastHour, e.State.Seen,
 			e.State.Severity, e.State.Recent, e.State.Ledger)
 	}
 	fmt.Fprintf(h, "q|%d|%d|%d|%v|%v\n",
@@ -224,6 +225,16 @@ type Shadow struct {
 // from the system under test — CanonicalState is layout-independent.
 func NewShadow(models []monitor.GroupModel, norm *smart.Normalizer, cfg fleet.Config) (*Shadow, error) {
 	store, err := fleet.New(models, norm, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: building shadow store: %w", err)
+	}
+	return &Shadow{store: store}, nil
+}
+
+// NewShadowMulti is NewShadow for class-stamped model sets (mixed
+// HDD+SSD fleets).
+func NewShadowMulti(models []monitor.GroupModel, norms monitor.ClassNorms, cfg fleet.Config) (*Shadow, error) {
+	store, err := fleet.NewMulti(models, norms, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: building shadow store: %w", err)
 	}

@@ -22,6 +22,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"disksig/internal/dataset"
 	"disksig/internal/faultinject"
 	"disksig/internal/fleet"
 	"disksig/internal/parallel"
@@ -96,6 +97,11 @@ type WorkloadConfig struct {
 	// bad-sector failures, the cohort shift the drift scenario ingests
 	// against models trained on the default mix.
 	Drift bool
+	// Mixed generates a heterogeneous HDD+SSD fleet
+	// (synth.GenerateMixed) instead of the pure-HDD default; MaxFailed
+	// and MaxGood then cap each class's population independently, so a
+	// mixed workload always carries both classes.
+	Mixed bool
 }
 
 // DefaultWorkloadConfig is the scenario workload: a held-out small
@@ -128,7 +134,10 @@ func (c WorkloadConfig) withDefaults() WorkloadConfig {
 
 // Drive is one drive's post-fault-injection record sequence.
 type Drive struct {
-	Serial  string
+	Serial string
+	// Class is the drive's device class, stamped on every observation
+	// the drive emits (the zero value is HDD).
+	Class   smart.DeviceClass
 	Records []smart.Record
 }
 
@@ -165,7 +174,14 @@ func BuildWorkload(cfg WorkloadConfig) (*Workload, error) {
 		gen = synth.BackupWorkloadConfig(cfg.Scale)
 	}
 	gen.Seed = cfg.Seed + cfg.FleetSeedOffset
-	ds, err := synth.Generate(gen)
+	var ds *dataset.Dataset
+	var err error
+	if cfg.Mixed {
+		mixed := synth.DefaultMixedFleet(cfg.Scale).WithSeed(cfg.Seed + cfg.FleetSeedOffset)
+		ds, err = synth.GenerateMixed(mixed)
+	} else {
+		ds, err = synth.Generate(gen)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: generating workload fleet: %w", err)
 	}
@@ -177,18 +193,24 @@ func BuildWorkload(cfg WorkloadConfig) (*Workload, error) {
 			DuplicateRate: cfg.DuplicateRate,
 			ReorderRate:   cfg.ReorderRate,
 		})
-		drives = append(drives, Drive{Serial: serial, Records: wireNormalize(recs)})
+		drives = append(drives, Drive{Serial: serial, Class: p.Class, Records: wireNormalize(recs)})
 	}
-	for i, p := range ds.Failed {
-		if i >= cfg.MaxFailed {
-			break
+	// Caps are per class so a mixed workload keeps both populations:
+	// a global cap would fill up on the HDD profiles (generated first)
+	// and silently drop every SSD.
+	var nFailed, nGood [smart.NumClasses]int
+	for _, p := range ds.Failed {
+		if nFailed[p.Class] >= cfg.MaxFailed {
+			continue
 		}
+		nFailed[p.Class]++
 		add(p, fmt.Sprintf("%sfailed-%05d%s", cfg.SerialPrefix, p.DriveID, cfg.SerialSuffix))
 	}
-	for i, p := range ds.Good {
-		if i >= cfg.MaxGood {
-			break
+	for _, p := range ds.Good {
+		if nGood[p.Class] >= cfg.MaxGood {
+			continue
 		}
+		nGood[p.Class]++
 		add(p, fmt.Sprintf("%sgood-%05d%s", cfg.SerialPrefix, p.DriveID, cfg.SerialSuffix))
 	}
 	return &Workload{cfg: cfg, Drives: drives}, nil
@@ -227,7 +249,7 @@ func wireNormalize(recs []smart.Record) []smart.Record {
 func (w *Workload) WithSuffix(suffix string) *Workload {
 	drives := make([]Drive, len(w.Drives))
 	for i, d := range w.Drives {
-		drives[i] = Drive{Serial: d.Serial + suffix, Records: d.Records}
+		drives[i] = Drive{Serial: d.Serial + suffix, Class: d.Class, Records: d.Records}
 	}
 	return &Workload{cfg: w.cfg, Drives: drives}
 }
@@ -276,7 +298,7 @@ func (w *Workload) Split(streams int) [][]*Batch {
 					continue
 				}
 				any = true
-				stream = append(stream, fleet.Observation{Serial: d.Serial, Record: d.Records[step]})
+				stream = append(stream, fleet.Observation{Serial: d.Serial, Class: d.Class, Record: d.Records[step]})
 			}
 			if !any {
 				break
@@ -296,10 +318,13 @@ func (w *Workload) Split(streams int) [][]*Batch {
 	return queues
 }
 
-// wireRecord is the POST /v1/ingest wire form of one observation.
+// wireRecord is the POST /v1/ingest wire form of one observation. Class
+// is omitted for HDD observations, so pure-HDD bodies stay byte-identical
+// to pre-class builds (the server parses the absent field as HDD).
 type wireRecord struct {
 	Serial string     `json:"serial"`
 	Hour   int        `json:"hour"`
+	Class  string     `json:"class,omitempty"`
 	Values []*float64 `json:"values"`
 }
 
@@ -316,6 +341,9 @@ func EncodeBatch(obs []fleet.Observation) []byte {
 			}
 		}
 		recs[i] = wireRecord{Serial: o.Serial, Hour: o.Record.Hour, Values: vals}
+		if o.Class != smart.HDD {
+			recs[i].Class = o.Class.String()
+		}
 	}
 	body, err := json.Marshal(map[string]any{"records": recs})
 	if err != nil {

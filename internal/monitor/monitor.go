@@ -30,7 +30,11 @@ type Predictor interface {
 
 // GroupModel is one failure category's trained scoring model.
 type GroupModel struct {
-	// Group is the paper group number.
+	// Class is the device class the model was trained on. Records are
+	// scored only against models of their own class; the zero value
+	// (HDD) keeps pre-class model sets and snapshots valid.
+	Class smart.DeviceClass
+	// Group is the paper group number, unique within its class.
 	Group int
 	// Type is the semantic failure category.
 	Type core.FailureType
@@ -114,7 +118,9 @@ func (c Config) withDefaults() Config {
 // Alert reports an escalation of a monitored drive.
 type Alert struct {
 	DriveID int
-	Hour    int
+	// Class is the drive's device class.
+	Class smart.DeviceClass
+	Hour  int
 	// Severity is the new severity level.
 	Severity Severity
 	// Group and Type identify the most pessimistic failure-mode model.
@@ -141,6 +147,7 @@ func (a Alert) String() string {
 // DriveStatus is the monitor's current view of one drive.
 type DriveStatus struct {
 	DriveID        int
+	Class          smart.DeviceClass
 	LastHour       int
 	Severity       Severity
 	Group          int
@@ -150,19 +157,58 @@ type DriveStatus struct {
 }
 
 type driveState struct {
+	class    smart.DeviceClass
 	lastHour int
 	seen     bool
 	severity Severity
 	// recent holds the last Smoothing raw scores per group model.
+	// Windows of models whose class differs from the drive's stay empty
+	// forever, and an empty window medians to +Inf — other-class models
+	// are therefore structurally excluded from worstGroup.
 	recent [][]float64
+}
+
+// ClassNorms bundles the per-class Eq. (1) normalizers of a mixed
+// fleet. A class with no population (and no models) keeps a nil entry;
+// nil-ness is significant and survives gob (struct pointer fields are
+// simply omitted when nil).
+type ClassNorms struct {
+	HDD *smart.Normalizer
+	SSD *smart.Normalizer
+}
+
+// For returns the normalizer of a class (nil when the class is not
+// served).
+func (cn ClassNorms) For(c smart.DeviceClass) *smart.Normalizer {
+	switch c {
+	case smart.HDD:
+		return cn.HDD
+	case smart.SSD:
+		return cn.SSD
+	}
+	return nil
+}
+
+// set returns a copy with class c's normalizer replaced.
+func (cn ClassNorms) set(c smart.DeviceClass, n *smart.Normalizer) ClassNorms {
+	switch c {
+	case smart.HDD:
+		cn.HDD = n
+	case smart.SSD:
+		cn.SSD = n
+	}
+	return cn
 }
 
 // Monitor scores streaming SMART records.
 type Monitor struct {
 	cfg    Config
 	models []GroupModel
-	norm   *smart.Normalizer
-	drives map[int]*driveState
+	norms  ClassNorms
+	// classModels counts models per device class; records of a class
+	// with no models are quarantined rather than silently scored healthy.
+	classModels [smart.NumClasses]int
+	drives      map[int]*driveState
 	// ledgers holds each drive's contribution to the quality report so
 	// Forget can subtract it exactly. A drive can have a ledger without
 	// being tracked: all of its records were quarantined.
@@ -204,29 +250,52 @@ func (l *DriveLedger) clone() DriveLedger {
 }
 
 // New builds a monitor from trained group models and the fleet
-// normalizer used during training.
+// normalizer used during training. Every model must be HDD-class (the
+// single-class legacy path); use NewMulti for a mixed fleet.
 func New(models []GroupModel, norm *smart.Normalizer, cfg Config) (*Monitor, error) {
+	for _, m := range models {
+		if m.Class != smart.HDD {
+			return nil, fmt.Errorf("monitor: group %d is %v-class; a mixed model set needs NewMulti", m.Group, m.Class)
+		}
+	}
+	return NewMulti(models, ClassNorms{HDD: norm}, cfg)
+}
+
+// NewMulti builds a monitor serving a heterogeneous fleet: models carry
+// their device class, and norms holds one Eq. (1) normalizer per served
+// class. A class is served iff it has at least one model and a fitted
+// normalizer; records of unserved classes are quarantined on ingest.
+func NewMulti(models []GroupModel, norms ClassNorms, cfg Config) (*Monitor, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("monitor: no group models")
 	}
+	var classModels [smart.NumClasses]int
 	for _, m := range models {
+		if !m.Class.Valid() {
+			return nil, fmt.Errorf("monitor: group %d has invalid device class %d", m.Group, m.Class)
+		}
 		if m.Predictor == nil {
-			return nil, fmt.Errorf("monitor: group %d has no predictor", m.Group)
+			return nil, fmt.Errorf("monitor: %v group %d has no predictor", m.Class, m.Group)
 		}
 		if m.WindowD <= 0 {
-			return nil, fmt.Errorf("monitor: group %d has invalid window %v", m.Group, m.WindowD)
+			return nil, fmt.Errorf("monitor: %v group %d has invalid window %v", m.Class, m.Group, m.WindowD)
+		}
+		classModels[m.Class]++
+	}
+	for c := smart.DeviceClass(0); c < smart.NumClasses; c++ {
+		n := norms.For(c)
+		if classModels[c] > 0 && (n == nil || !n.Fitted()) {
+			return nil, fmt.Errorf("monitor: %v models without a fitted %v normalizer", c, c)
 		}
 	}
-	if norm == nil || !norm.Fitted() {
-		return nil, fmt.Errorf("monitor: normalizer missing or unfitted")
-	}
 	return &Monitor{
-		cfg:     cfg.withDefaults(),
-		models:  models,
-		norm:    norm,
-		drives:  map[int]*driveState{},
-		ledgers: map[int]*DriveLedger{},
-		normBuf: make([]float64, smart.NumAttrs),
+		cfg:         cfg.withDefaults(),
+		models:      models,
+		norms:       norms,
+		classModels: classModels,
+		drives:      map[int]*driveState{},
+		ledgers:     map[int]*DriveLedger{},
+		normBuf:     make([]float64, smart.NumAttrs),
 	}, nil
 }
 
@@ -259,6 +328,32 @@ func ModelsFromCharacterization(ch *core.Characterization) ([]GroupModel, error)
 	return models, nil
 }
 
+// ModelsFromMixed extracts the scoring models of a class-partitioned
+// pipeline run, each stamped with its class, along with the per-class
+// normalizers. The combined list is ordered by class then group number,
+// so model sets from the same mixed characterization are always laid
+// out identically.
+func ModelsFromMixed(mc *core.MixedCharacterization) ([]GroupModel, ClassNorms, error) {
+	var models []GroupModel
+	var norms ClassNorms
+	for c := smart.DeviceClass(0); c < smart.NumClasses; c++ {
+		ch := mc.ByClass[c]
+		if ch == nil {
+			continue
+		}
+		cms, err := ModelsFromCharacterization(ch)
+		if err != nil {
+			return nil, ClassNorms{}, fmt.Errorf("monitor: %v models: %w", c, err)
+		}
+		for i := range cms {
+			cms[i].Class = c
+		}
+		models = append(models, cms...)
+		norms = norms.set(c, ch.Dataset.Norm)
+	}
+	return models, norms, nil
+}
+
 // FromCharacterization builds a monitor directly from a pipeline run that
 // included the prediction stage.
 func FromCharacterization(ch *core.Characterization, cfg Config) (*Monitor, error) {
@@ -278,7 +373,7 @@ func FromCharacterization(ch *core.Characterization, cfg Config) (*Monitor, erro
 // hour replaces the previous sample instead of widening the window.
 // Every such event is counted in Quality.
 func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
-	a, _ := m.IngestKept(driveID, rec)
+	a, _ := m.IngestClass(driveID, smart.HDD, rec)
 	return a
 }
 
@@ -289,6 +384,34 @@ func (m *Monitor) Ingest(driveID int, rec smart.Record) *Alert {
 // retraining use the kept flag to mirror exactly the records that
 // shaped monitor state.
 func (m *Monitor) IngestKept(driveID int, rec smart.Record) (*Alert, bool) {
+	return m.IngestClass(driveID, smart.HDD, rec)
+}
+
+// IngestClass is IngestKept with an explicit device class: the record is
+// normalized with its class's normalizer and scored only against models
+// of that class. Records of a class the monitor has no models for, and
+// records that contradict the class a drive first reported with, are
+// quarantined (a serial cannot change hardware mid-stream; one of the
+// two reports is corrupt).
+func (m *Monitor) IngestClass(driveID int, class smart.DeviceClass, rec smart.Record) (*Alert, bool) {
+	if !class.Valid() || m.classModels[class] == 0 {
+		m.note(driveID, quality.Issue{
+			Kind: quality.BadField, Drive: strconv.Itoa(driveID),
+			Field:  "device_class",
+			Detail: fmt.Sprintf("no models for class %v", class),
+		})
+		m.addRows(driveID, 1, 1)
+		return nil, false
+	}
+	if st, ok := m.drives[driveID]; ok && st.class != class {
+		m.note(driveID, quality.Issue{
+			Kind: quality.BadField, Drive: strconv.Itoa(driveID),
+			Field:  "device_class",
+			Detail: fmt.Sprintf("drive is %v, record claims %v", st.class, class),
+		})
+		m.addRows(driveID, 1, 1)
+		return nil, false
+	}
 	// Only non-finite values poison the window: finite out-of-range
 	// values are clamped by the normalizer and score fine. The scan is
 	// inlined (rather than quality.CheckValues) so a clean record — the
@@ -311,7 +434,7 @@ func (m *Monitor) IngestKept(driveID int, rec smart.Record) (*Alert, bool) {
 
 	st, ok := m.drives[driveID]
 	if !ok {
-		st = &driveState{recent: make([][]float64, len(m.models))}
+		st = &driveState{class: class, recent: make([][]float64, len(m.models))}
 		for gi := range st.recent {
 			st.recent[gi] = make([]float64, 0, m.cfg.Smoothing)
 		}
@@ -350,9 +473,12 @@ func (m *Monitor) IngestKept(driveID int, rec smart.Record) (*Alert, bool) {
 	st.seen = true
 	st.lastHour = rec.Hour
 
-	normalized := m.norm.Normalize(rec.Values)
+	normalized := m.norms.For(class).Normalize(rec.Values)
 	copy(m.normBuf, normalized[:])
 	for gi, gm := range m.models {
+		if gm.Class != class {
+			continue
+		}
 		score := gm.Predictor.Predict(m.normBuf)
 		w := st.recent[gi]
 		switch {
@@ -375,6 +501,7 @@ func (m *Monitor) IngestKept(driveID int, rec smart.Record) (*Alert, bool) {
 		gm := m.models[group]
 		return &Alert{
 			DriveID:        driveID,
+			Class:          class,
 			Hour:           rec.Hour,
 			Severity:       severity,
 			Group:          gm.Group,
@@ -508,6 +635,7 @@ func (m *Monitor) Status(driveID int) (DriveStatus, bool) {
 	gm := m.models[group]
 	return DriveStatus{
 		DriveID:        driveID,
+		Class:          st.class,
 		LastHour:       st.lastHour,
 		Severity:       st.severity,
 		Group:          gm.Group,

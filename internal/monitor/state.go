@@ -1,6 +1,10 @@
 package monitor
 
-import "fmt"
+import (
+	"fmt"
+
+	"disksig/internal/smart"
+)
 
 // DriveState is the serializable per-drive state of a monitor: the
 // smoothing windows and severity for tracked drives, plus the drive's
@@ -10,7 +14,10 @@ import "fmt"
 type DriveState struct {
 	// Tracked reports whether the drive has monitor state (smoothing
 	// windows, severity); false for quarantine-only drives.
-	Tracked  bool
+	Tracked bool
+	// Class is the drive's device class. The zero value is HDD, so
+	// snapshots that predate device classes restore as HDD drives.
+	Class    smart.DeviceClass
 	LastHour int
 	Seen     bool
 	Severity Severity
@@ -32,6 +39,7 @@ func (m *Monitor) ExportDrives() map[int]DriveState {
 	for id, st := range m.drives {
 		ds := out[id]
 		ds.Tracked = true
+		ds.Class = st.class
 		ds.LastHour = st.lastHour
 		ds.Seen = st.seen
 		ds.Severity = st.severity
@@ -72,6 +80,9 @@ func (m *Monitor) ImportDrive(driveID int, st DriveState) error {
 		}
 	}
 	if st.Tracked {
+		if !st.Class.Valid() || m.classModels[st.Class] == 0 {
+			return fmt.Errorf("monitor: drive %d has class %v, which this monitor has no models for", driveID, st.Class)
+		}
 		if st.Severity < Healthy || st.Severity > Critical {
 			return fmt.Errorf("monitor: drive %d has invalid severity %d", driveID, int(st.Severity))
 		}
@@ -105,6 +116,7 @@ func (m *Monitor) ImportDrive(driveID int, st DriveState) error {
 			recent[gi] = append([]float64(nil), w...)
 		}
 		m.drives[driveID] = &driveState{
+			class:    st.Class,
 			lastHour: st.LastHour,
 			seen:     st.Seen,
 			severity: st.Severity,

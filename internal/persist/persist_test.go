@@ -479,6 +479,61 @@ func TestWALRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWALRecordClassTail pins the mixed-fleet WAL shape: an all-HDD
+// record encodes byte-identically to the pre-class format (no tail), a
+// mixed record round-trips every class through its tail, and a tail
+// naming an unknown class fails decode.
+func TestWALRecordClassTail(t *testing.T) {
+	hdd := []fleet.Observation{
+		{Serial: "SN-1", Record: record(1, 0.5)},
+		{Serial: "SN-2", Record: record(2, -0.5)},
+	}
+	frame, err := encodeWALRecord(hdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No class tail: 8-byte frame header + count varint + per-obs bytes.
+	per := 1 + 4 + 1 + 8*int(smart.NumAttrs) // slen varint + serial + hour varint + values
+	if want := 8 + 1 + len(hdd)*per; len(frame) != want {
+		t.Fatalf("all-HDD record is %d bytes, want %d (class tail must be absent)", len(frame), want)
+	}
+
+	mixed := []fleet.Observation{
+		{Serial: "SN-1", Record: record(1, 0.5)},
+		{Serial: "SSD-1", Class: smart.SSD, Record: record(2, -0.5)},
+		{Serial: "SN-3", Record: record(3, 0)},
+	}
+	frame, err = encodeWALRecord(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeWALRecord(frame[8:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(mixed) {
+		t.Fatalf("decoded %d observations, want %d", len(got), len(mixed))
+	}
+	for i := range mixed {
+		if got[i].Class != mixed[i].Class || got[i].Serial != mixed[i].Serial {
+			t.Fatalf("observation %d: class %v serial %q, want %v %q",
+				i, got[i].Class, got[i].Serial, mixed[i].Class, mixed[i].Serial)
+		}
+	}
+
+	// An unknown class in the tail is corruption, not a new device type.
+	bad := append([]byte(nil), frame[8:]...)
+	bad[len(bad)-2] = 0x7f
+	if _, err := decodeWALRecord(bad); err == nil {
+		t.Fatal("decode accepted an unknown device class in the tail")
+	}
+
+	// An invalid class never encodes in the first place.
+	if _, err := encodeWALRecord([]fleet.Observation{{Serial: "x", Class: smart.DeviceClass(9)}}); err == nil {
+		t.Fatal("encode accepted an invalid device class")
+	}
+}
+
 func BenchmarkSnapshot(b *testing.B) {
 	dir := b.TempDir()
 	store, err := fleet.New(testModels(), testNormalizer(), fleet.Config{Shards: 16, Workers: 4})

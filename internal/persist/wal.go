@@ -28,6 +28,15 @@ import (
 //	  uvarint serial length | serial bytes
 //	  zigzag varint hour
 //	  smart.NumAttrs x u64 float64 bits (little endian)
+//	class tail (only when any observation is non-HDD):
+//	  one u8 device class per observation, in observation order
+//
+// The class tail keeps mixed fleets replayable without touching the
+// record layout pre-class readers parse: an all-HDD record encodes
+// byte-identically to the old format, and the decoder distinguishes the
+// two shapes by the exact byte count left after the observations — zero
+// means all HDD, exactly count means a class tail, anything else is the
+// corruption it always was.
 //
 // Appends are unbuffered single writes: a record is either fully in the
 // file or it is the torn tail the next restore quarantines. There is no
@@ -118,17 +127,29 @@ func readWALEpoch(path string) (uint64, error) {
 
 // encodeWALRecord frames one batch of observations as a WAL record.
 func encodeWALRecord(obs []fleet.Observation) ([]byte, error) {
-	payload := make([]byte, 0, 64+len(obs)*(16+8*int(smart.NumAttrs)))
+	payload := make([]byte, 0, 64+len(obs)*(17+8*int(smart.NumAttrs)))
 	payload = binary.AppendUvarint(payload, uint64(len(obs)))
+	mixed := false
 	for _, o := range obs {
 		if len(o.Serial) > maxSerialLen {
 			return nil, fmt.Errorf("persist: serial %q exceeds %d bytes", o.Serial[:32]+"...", maxSerialLen)
+		}
+		if !o.Class.Valid() {
+			return nil, fmt.Errorf("persist: observation %q has invalid device class %d", o.Serial, o.Class)
+		}
+		if o.Class != smart.HDD {
+			mixed = true
 		}
 		payload = binary.AppendUvarint(payload, uint64(len(o.Serial)))
 		payload = append(payload, o.Serial...)
 		payload = binary.AppendVarint(payload, int64(o.Record.Hour))
 		for a := 0; a < int(smart.NumAttrs); a++ {
 			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(o.Record.Values[a]))
+		}
+	}
+	if mixed {
+		for _, o := range obs {
+			payload = append(payload, byte(o.Class))
 		}
 	}
 	if len(payload) > maxWALRecord {
@@ -179,7 +200,18 @@ func decodeWALRecord(payload []byte) ([]fleet.Observation, error) {
 		payload = payload[8*int(smart.NumAttrs):]
 		obs = append(obs, o)
 	}
-	if len(payload) != 0 {
+	switch {
+	case len(payload) == 0:
+		// No class tail: every observation is HDD (the zero value).
+	case uint64(len(payload)) == count:
+		for i := range obs {
+			c := smart.DeviceClass(payload[i])
+			if !c.Valid() {
+				return nil, fmt.Errorf("persist: WAL record: observation %d names device class %d", i, payload[i])
+			}
+			obs[i].Class = c
+		}
+	default:
 		return nil, fmt.Errorf("persist: WAL record: %d trailing bytes", len(payload))
 	}
 	return obs, nil

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"disksig/internal/smart"
 )
 
 // latencyBoundsMs are the upper bounds (milliseconds) of the request
@@ -19,9 +21,13 @@ type metrics struct {
 	requestsShed atomic.Int64
 	byStatus     [6]atomic.Int64 // index status/100 (1xx..5xx; 0 unused)
 
-	rowsIngested     atomic.Int64
-	rowsKept         atomic.Int64
-	rowsQuarantined  atomic.Int64
+	rowsIngested    atomic.Int64
+	rowsKept        atomic.Int64
+	rowsQuarantined atomic.Int64
+	// rowsByClass counts decode-kept observations per device class —
+	// the mixed-fleet dashboard's view of which population the ingest
+	// traffic actually is.
+	rowsByClass      [smart.NumClasses]atomic.Int64
 	ingestReqJSON    atomic.Int64 // ingest requests per negotiated format
 	ingestReqBinary  atomic.Int64
 	ingestNotPrimary atomic.Int64 // writes rejected for landing on a non-primary
@@ -114,6 +120,8 @@ func (m *metrics) snapshot() map[string]any {
 			"rows_ingested":        m.rowsIngested.Load(),
 			"rows_kept":            m.rowsKept.Load(),
 			"rows_quarantined":     m.rowsQuarantined.Load(),
+			"rows_hdd":             m.rowsByClass[smart.HDD].Load(),
+			"rows_ssd":             m.rowsByClass[smart.SSD].Load(),
 			"requests_json":        m.ingestReqJSON.Load(),
 			"requests_binary":      m.ingestReqBinary.Load(),
 			"rejected_not_primary": m.ingestNotPrimary.Load(),

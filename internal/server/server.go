@@ -275,8 +275,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // silently coerce the wire value. Such records are quarantined
 // per-record here instead of failing the whole batch.
 type ingestRecord struct {
-	Serial string         `json:"serial"`
-	Hour   int            `json:"hour"`
+	Serial string `json:"serial"`
+	Hour   int    `json:"hour"`
+	// Class names the device class ("hdd" or "ssd"); absent or empty
+	// means HDD, so pre-class agents keep working unchanged. An unknown
+	// name quarantines the record — DisallowUnknownFields already rejects
+	// typo'd field names, so a typo'd value must not slip through either.
+	Class  string         `json:"class,omitempty"`
 	Values []*json.Number `json:"values"`
 }
 
@@ -363,11 +368,18 @@ func (s *Server) handleIngestJSON(w http.ResponseWriter, r *http.Request) {
 	var rep quality.Report
 	obs := make([]fleet.Observation, 0, len(req.Records))
 	for i, rec := range req.Records {
+		class, classErr := smart.ParseClass(rec.Class)
 		switch {
 		case rec.Serial == "":
 			rep.Note(quality.Issue{
 				Kind: quality.BadField, Field: "serial",
 				Detail: fmt.Sprintf("record %d has no serial", i),
+			}, quality.Config{})
+			rep.AddRows(1, 1, 0)
+		case classErr != nil:
+			rep.Note(quality.Issue{
+				Kind: quality.BadField, Field: "device_class", Drive: rec.Serial,
+				Detail: fmt.Sprintf("record %d: %v", i, classErr),
 			}, quality.Config{})
 			rep.AddRows(1, 1, 0)
 		case len(rec.Values) != int(smart.NumAttrs):
@@ -403,6 +415,7 @@ func (s *Server) handleIngestJSON(w http.ResponseWriter, r *http.Request) {
 			}
 			obs = append(obs, fleet.Observation{
 				Serial: rec.Serial,
+				Class:  class,
 				Record: smart.Record{Hour: rec.Hour, Values: v},
 			})
 		}
@@ -532,6 +545,9 @@ func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, obs []flee
 	s.m.rowsIngested.Add(int64(ingested))
 	s.m.rowsKept.Add(int64(rep.RowsKept()))
 	s.m.rowsQuarantined.Add(int64(rep.RowsQuarantined))
+	for i := range obs {
+		s.m.rowsByClass[obs[i].Class].Add(1)
+	}
 	s.m.observeBatchVersion(res.ModelVersion)
 	ack := ingestAck{
 		Ingested:     ingested,
@@ -582,12 +598,25 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	for i, ss := range sum.Shards {
 		shards[i] = map[string]int{"shard": ss.Shard, "drives": ss.Drives}
 	}
+	byClass := map[string]any{}
+	for cname, cs := range sum.ByClass {
+		classRisk := make([]map[string]any, len(cs.AtRisk))
+		for i, dh := range cs.AtRisk {
+			classRisk[i] = driveJSON(dh)
+		}
+		byClass[cname] = map[string]any{
+			"drives":      cs.Drives,
+			"by_severity": cs.BySeverity,
+			"at_risk":     classRisk,
+		}
+	}
 	q := s.store.Quality()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"drives":           sum.Drives,
 		"max_hour":         sum.MaxHour,
 		"by_severity":      sum.BySeverity,
 		"alerting_by_type": sum.ByType,
+		"by_class":         byClass,
 		"at_risk":          atRisk,
 		"shards":           shards,
 		"evicted_now":      evicted,
@@ -657,6 +686,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func driveJSON(dh fleet.DriveHealth) map[string]any {
 	out := map[string]any{
 		"serial":      dh.Serial,
+		"class":       dh.Class.String(),
 		"last_hour":   dh.LastHour,
 		"severity":    dh.Severity.String(),
 		"group":       dh.Group,
@@ -671,6 +701,7 @@ func driveJSON(dh fleet.DriveHealth) map[string]any {
 // map-based drive rendering but encodable without boxing.
 type alertPayload struct {
 	Serial         string   `json:"serial"`
+	Class          string   `json:"class"`
 	Hour           int      `json:"hour"`
 	Severity       string   `json:"severity"`
 	Group          int      `json:"group"`
@@ -683,6 +714,7 @@ type alertPayload struct {
 func alertPayloadOf(a fleet.Alert) alertPayload {
 	p := alertPayload{
 		Serial:       a.Serial,
+		Class:        a.Class.String(),
 		Hour:         a.Hour,
 		Severity:     a.Severity.String(),
 		Group:        a.Group,

@@ -1,0 +1,111 @@
+package smart
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeviceClassNames(t *testing.T) {
+	cases := []struct {
+		in   string
+		want DeviceClass
+	}{
+		{"", HDD}, {"hdd", HDD}, {"HDD", HDD}, {"ssd", SSD}, {"SSD", SSD},
+	}
+	for _, tc := range cases {
+		got, err := ParseClass(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseClass("tape"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+	if HDD.String() != "hdd" || SSD.String() != "ssd" {
+		t.Errorf("class names: %q, %q", HDD, SSD)
+	}
+	if !HDD.Valid() || !SSD.Valid() || NumClasses.Valid() {
+		t.Error("Valid misclassifies a class constant")
+	}
+	if len(Classes()) != int(NumClasses) {
+		t.Errorf("Classes() has %d entries, want %d", len(Classes()), NumClasses)
+	}
+}
+
+func TestClassRegistry(t *testing.T) {
+	for a := Attr(0); a < NumAttrs; a++ {
+		if InfoFor(HDD, a) != InfoOf(a) {
+			t.Errorf("InfoFor(HDD, %v) diverges from InfoOf", a)
+		}
+		lo, hi := BoundsFor(HDD, a)
+		blo, bhi := Bounds(a)
+		if lo != blo || hi != bhi {
+			t.Errorf("BoundsFor(HDD, %v) = [%g, %g], want [%g, %g]", a, lo, hi, blo, bhi)
+		}
+		if InfoFor(SSD, a).Attr != a {
+			t.Errorf("ssd registry slot %v mislabeled as %v", a, InfoFor(SSD, a).Attr)
+		}
+		if InfoFor(SSD, a).ValueKind != InfoOf(a).ValueKind {
+			t.Errorf("slot %v changes ValueKind across classes; wire layouts assume it is shared", a)
+		}
+	}
+	// The SSD raw slots carry P/E cycles and reserved-block counts, which
+	// are physically bounded far below the HDD six-byte counter ceiling.
+	if _, hi := BoundsFor(SSD, RawRSC); hi >= 1e15 {
+		t.Errorf("SSD raw bounds ceiling %g is not class-keyed", hi)
+	}
+	if !InBoundsFor(SSD, RawRSC, 45_000) {
+		t.Error("a realistic P/E cycle count must be in SSD bounds")
+	}
+	if InBoundsFor(SSD, RawRSC, 1e12) {
+		t.Error("an HDD-scale raw counter must be out of SSD bounds")
+	}
+	if InBoundsFor(SSD, RawRSC, math.NaN()) || InBoundsFor(SSD, TC, math.Inf(1)) {
+		t.Error("non-finite values must never be in bounds")
+	}
+}
+
+// TestClassKeyedNormalizerBounds pins the satellite fix: normalizer
+// extrema must be fitted per device class. A global fit over a mixed
+// fleet lets SSD program/erase cycles (tens of thousands in the RawRSC
+// slot) stretch the min-max span so far that every HDD reallocated-
+// sector reading of the same slot flattens into a sliver of [-1, 1];
+// class-keyed fits keep the HDD span fully resolved.
+func TestClassKeyedNormalizerBounds(t *testing.T) {
+	hddVals := []float64{0, 40, 120, 400} // HDD raw reallocated sectors
+	ssdVals := []float64{28_000, 45_000}  // SSD raw P/E cycles, same slot
+	obs := func(n *Normalizer, xs []float64) {
+		for _, x := range xs {
+			var v Values
+			v[RawRSC] = x
+			n.Observe(v)
+		}
+	}
+
+	global := NewNormalizer()
+	obs(global, hddVals)
+	obs(global, ssdVals)
+
+	perClass := [NumClasses]*Normalizer{NewNormalizer(), NewNormalizer()}
+	obs(perClass[HDD], hddVals)
+	obs(perClass[SSD], ssdVals)
+
+	span := func(n *Normalizer) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range hddVals {
+			y := n.NormalizeValue(RawRSC, x)
+			lo, hi = math.Min(lo, y), math.Max(hi, y)
+		}
+		return hi - lo
+	}
+	if s := span(global); s > 0.05 {
+		t.Fatalf("global fit no longer flattens the HDD span (span %.4f): the regression premise changed", s)
+	}
+	if s := span(perClass[HDD]); s < 1.99 {
+		t.Fatalf("class-keyed fit resolves only %.4f of the HDD span; want the full [-1, 1]", s)
+	}
+	// And the SSD partition normalizes on its own wear scale.
+	if y := perClass[SSD].NormalizeValue(RawRSC, 45_000); y != 1 {
+		t.Fatalf("SSD max P/E cycles normalized to %g, want 1", y)
+	}
+}

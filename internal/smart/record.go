@@ -35,6 +35,10 @@ type Record struct {
 type Profile struct {
 	// DriveID uniquely identifies the drive within its dataset.
 	DriveID int
+	// Class is the drive's device class. The zero value is HDD, so
+	// profiles (and gob snapshots) that predate device classes load as
+	// the paper's HDD population.
+	Class DeviceClass
 	// Failed reports whether the drive was replaced due to failure. For
 	// failed drives the last record is the failure record (the paper's
 	// definition: the last recorded health state before replacement).

@@ -1,0 +1,71 @@
+package smart
+
+// SSDRawState is the physical counter state of a flash drive at one
+// sample. The synthetic fleet simulator produces SSDRawState streams;
+// MapSSDToRecord converts them into the 12 attribute slots the way SSD
+// firmware would, using the SSD registry semantics (see ssdInfos).
+type SSDRawState struct {
+	PECycles       float64 // average program/erase cycles per cell
+	RatedPECycles  float64 // vendor endurance rating (cycles)
+	RetiredBlocks  int     // cumulative retired NAND blocks
+	ProgramFails   int     // cumulative program failures
+	EraseFails     int     // cumulative erase failures
+	Uncorrectable  int     // cumulative reported uncorrectable errors
+	UncorrectedECC int     // cumulative uncorrectable ECC events
+	ReservedTotal  int     // size of the reserved (spare) block pool
+	ReservedUsed   int     // reserved blocks consumed by retirement
+	SATADownshifts int     // cumulative interface speed downshifts
+	PowerOnHours   float64 // total powered-on hours
+	TemperatureC   float64 // current controller temperature, Celsius
+}
+
+// Firmware parameters of the SSD health-value mapping. Like the HDD
+// mapping these are linear-with-saturation so degradation trajectories
+// survive Eq. (1) normalization.
+const (
+	retiredBlockPenalty = 0.05 // per retired NAND block
+	programFailPenalty  = 0.4  // per program failure
+	eraseFailPenalty    = 0.5  // per erase failure
+	ueccPenalty         = 0.8  // per uncorrectable ECC event
+	downshiftPenalty    = 2.0  // per SATA downshift
+)
+
+// HealthWLC maps wear (consumed endurance fraction) to the wear-leveling
+// health value: 100 when unworn, decreasing linearly to the floor as the
+// average cell reaches its rated program/erase cycles.
+func HealthWLC(pe, rated float64) float64 {
+	if rated <= 0 {
+		return healthBest
+	}
+	return clampHealth(healthBest - (healthBest-healthWorst)*pe/rated)
+}
+
+// HealthRBR maps reserved-pool consumption to the reserved-blocks-
+// remaining health value: the percentage of the spare pool still free.
+func HealthRBR(used, total int) float64 {
+	if total <= 0 {
+		return healthBest
+	}
+	return clampHealth(healthBest * (1 - float64(used)/float64(total)))
+}
+
+// MapSSDToRecord converts a raw flash-drive state into the 12 attribute
+// slots under the SSD registry: eight R/W wear and error health values,
+// raw program/erase cycles and reserved blocks used, and the two
+// environmental health values shared with HDD.
+func MapSSDToRecord(s SSDRawState) Values {
+	var v Values
+	v[RRER] = HealthWLC(s.PECycles, s.RatedPECycles)
+	v[RSC] = clampHealth(healthBest - retiredBlockPenalty*float64(s.RetiredBlocks))
+	v[SER] = clampHealth(healthBest - programFailPenalty*float64(s.ProgramFails))
+	v[RUE] = HealthRUE(s.Uncorrectable)
+	v[HFW] = HealthRBR(s.ReservedUsed, s.ReservedTotal)
+	v[HER] = clampHealth(healthBest - eraseFailPenalty*float64(s.EraseFails))
+	v[CPSC] = clampHealth(healthBest - ueccPenalty*float64(s.UncorrectedECC))
+	v[SUT] = clampHealth(healthBest - downshiftPenalty*float64(s.SATADownshifts))
+	v[RawRSC] = s.PECycles
+	v[RawCPSC] = float64(s.ReservedUsed)
+	v[POH] = SmoothPOH(s.PowerOnHours)
+	v[TC] = HealthTC(s.TemperatureC)
+	return v
+}

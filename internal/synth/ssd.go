@@ -1,0 +1,365 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"disksig/internal/dataset"
+	"disksig/internal/parallel"
+	"disksig/internal/smart"
+)
+
+// SSD failure modes. Group numbers are per-class labels: the mixed
+// pipeline characterizes each device class separately, so they never
+// collide with the HDD groups 1..3.
+const (
+	// SSDGroupWearOut is gradual wear-out: the cell population exhausts
+	// its rated program/erase cycles while the reserved pool depletes
+	// over a long linear window.
+	SSDGroupWearOut = 1
+	// SSDGroupCliff is sudden death: the drive looks healthy until a
+	// controller/firmware collapse a few hours before failure.
+	SSDGroupCliff = 2
+)
+
+// SSDConfig parameterizes flash sub-fleet generation. The zero value is
+// not valid; use DefaultSSDConfig.
+type SSDConfig struct {
+	// Seed drives all randomness of the SSD sub-fleet.
+	Seed int64
+
+	GoodDrives   int
+	FailedDrives int
+
+	// GoodProfileHours and FailedProfileHours bound the monitoring
+	// lengths, mirroring Config.
+	GoodProfileHours   int
+	FailedProfileHours int
+
+	// CliffFraction is the fraction of failed SSDs that die suddenly
+	// rather than wearing out ("The Life and Death of SSDs and HDDs"
+	// reports sudden death as a substantial minority mode).
+	CliffFraction float64
+
+	// Workers bounds generation parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultSSDConfig returns the SSD sub-fleet configuration for a scale
+// preset with seed 1.
+func DefaultSSDConfig(s Scale) SSDConfig {
+	cfg := SSDConfig{
+		Seed:               1,
+		GoodProfileHours:   168,
+		FailedProfileHours: 480,
+		CliffFraction:      0.4,
+	}
+	switch s {
+	case ScaleSmall:
+		cfg.GoodDrives = 160
+		cfg.FailedDrives = 48
+		cfg.GoodProfileHours = 96
+	case ScaleMedium:
+		cfg.GoodDrives = 1200
+		cfg.FailedDrives = 200
+	case ScalePaper:
+		cfg.GoodDrives = 8000
+		cfg.FailedDrives = 200
+	default:
+		panic(fmt.Sprintf("synth: unknown scale %v", s))
+	}
+	return cfg
+}
+
+// Validate reports whether the SSD configuration is usable.
+func (c SSDConfig) Validate() error {
+	if c.GoodDrives < 0 || c.FailedDrives < 0 {
+		return fmt.Errorf("synth: negative SSD drive counts %d/%d", c.GoodDrives, c.FailedDrives)
+	}
+	if c.GoodDrives+c.FailedDrives == 0 {
+		return fmt.Errorf("synth: empty SSD fleet")
+	}
+	if c.GoodProfileHours < 2 || c.FailedProfileHours < 48 {
+		return fmt.Errorf("synth: SSD profile hours too short (%d good, %d failed)", c.GoodProfileHours, c.FailedProfileHours)
+	}
+	if c.CliffFraction < 0 || c.CliffFraction > 1 {
+		return fmt.Errorf("synth: cliff fraction %v outside [0, 1]", c.CliffFraction)
+	}
+	return nil
+}
+
+// GenerateSSD produces a synthetic flash sub-fleet. Profiles carry
+// Class == smart.SSD and per-class TrueGroup labels; drive IDs start at
+// idBase 0. Deterministic in cfg at any worker count.
+func GenerateSSD(cfg SSDConfig) (*dataset.Dataset, error) {
+	failed, good, err := generateSSDProfiles(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.New(failed, good), nil
+}
+
+// generateSSDProfiles is GenerateSSD without the dataset fit, with drive
+// IDs offset by idBase so a mixed fleet keeps IDs disjoint across
+// classes.
+func generateSSDProfiles(cfg SSDConfig, idBase int) (failed, good []*smart.Profile, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	plans := planSSDDrives(cfg, idBase)
+	profiles := parallel.Map(cfg.Workers, len(plans), func(i int) *smart.Profile {
+		p := plans[i]
+		// The seed stream is offset from the HDD generator's so a mixed
+		// fleet's two sub-populations are independent even at equal seeds.
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(p.id)*7919 + 524287))
+		switch p.group {
+		case SSDGroupWearOut:
+			return wearOutSSD(p.id, p.hours, rng)
+		case SSDGroupCliff:
+			return cliffSSD(p.id, p.hours, rng)
+		default:
+			return goodSSD(p.id, p.hours, rng)
+		}
+	})
+	for _, p := range profiles {
+		if p.Failed {
+			failed = append(failed, p)
+		} else {
+			good = append(good, p)
+		}
+	}
+	return failed, good, nil
+}
+
+// planSSDDrives draws mode assignments and profile lengths with one
+// sequential RNG, mirroring planDrives.
+func planSSDDrives(cfg SSDConfig, idBase int) []drivePlan {
+	rng := rand.New(rand.NewSource(cfg.Seed + 7_368_787))
+	cliffs := int(math.Round(cfg.CliffFraction * float64(cfg.FailedDrives)))
+	groups := make([]int, cfg.FailedDrives)
+	for i := range groups {
+		if i < cliffs {
+			groups[i] = SSDGroupCliff
+		} else {
+			groups[i] = SSDGroupWearOut
+		}
+	}
+	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+
+	plans := make([]drivePlan, 0, cfg.FailedDrives+cfg.GoodDrives)
+	for i := 0; i < cfg.FailedDrives; i++ {
+		hours := cfg.FailedProfileHours
+		// A minority entered monitoring late, as in the HDD fleet, but
+		// every profile keeps at least two days.
+		if rng.Float64() > 0.6 {
+			hours = 48 + rng.Intn(cfg.FailedProfileHours-48+1)
+		}
+		plans = append(plans, drivePlan{id: idBase + i, group: groups[i], hours: hours})
+	}
+	for i := 0; i < cfg.GoodDrives; i++ {
+		hours := cfg.GoodProfileHours
+		if rng.Float64() < 0.15 {
+			hours = cfg.GoodProfileHours/2 + rng.Intn(cfg.GoodProfileHours/2)
+		}
+		plans = append(plans, drivePlan{id: idBase + cfg.FailedDrives + i, group: 0, hours: hours})
+	}
+	return plans
+}
+
+// ssdBaseline is the healthy operating point of one flash drive.
+type ssdBaseline struct {
+	tempC    float64 // resting controller temperature, Celsius
+	ratedPE  float64 // vendor endurance rating, cycles
+	pe0      float64 // average P/E cycles when monitoring began
+	peRate   float64 // cycles accrued per hour under the drive's workload
+	reserved int     // total reserved block pool
+	used0    int     // reserved blocks already consumed
+	retired0 int     // NAND blocks already retired
+	poh0     float64 // drive age when monitoring began
+}
+
+func newSSDBaseline(rng *rand.Rand) ssdBaseline {
+	rated := uniform(rng, 30_000, 60_000)
+	return ssdBaseline{
+		tempC:    uniform(rng, 28, 40),
+		ratedPE:  rated,
+		pe0:      uniform(rng, 0.05, 0.45) * rated,
+		peRate:   uniform(rng, 0.5, 3),
+		reserved: 2000 + rng.Intn(2000),
+		used0:    rng.Intn(40),
+		retired0: rng.Intn(20),
+		poh0:     uniform(rng, 2000, 20000),
+	}
+}
+
+// ssdSample draws the noisy healthy raw state at hour h. Flash drives
+// have no mechanics, so the noise is purely thermal.
+func ssdSample(b ssdBaseline, h int, phase float64, rng *rand.Rand) smart.SSDRawState {
+	diurnal := diurnalTempC * math.Sin(2*math.Pi*(float64(h)+phase)/24)
+	return smart.SSDRawState{
+		PECycles:      b.pe0 + b.peRate*float64(h),
+		RatedPECycles: b.ratedPE,
+		RetiredBlocks: b.retired0,
+		ReservedTotal: b.reserved,
+		ReservedUsed:  b.used0,
+		PowerOnHours:  b.poh0 + float64(h),
+		TemperatureC:  b.tempC + diurnal + rng.NormFloat64()*noiseTempC,
+	}
+}
+
+// goodSSD generates the profile of a flash drive that never fails.
+func goodSSD(id, hours int, rng *rand.Rand) *smart.Profile {
+	b := newSSDBaseline(rng)
+	p := &smart.Profile{DriveID: id, Class: smart.SSD, Failed: false}
+	p.Records = make([]smart.Record, 0, hours)
+	phase := rng.Float64() * 24
+	retired := b.retired0
+	for h := 0; h < hours; h++ {
+		// Rare benign block retirements over the drive's life.
+		if rng.Float64() < 0.001 {
+			retired++
+		}
+		s := ssdSample(b, h, phase, rng)
+		s.RetiredBlocks = retired
+		s.ReservedUsed = b.used0 + (retired - b.retired0)
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: smart.MapSSDToRecord(s)})
+	}
+	return p
+}
+
+// wearOutSSD generates a gradual wear-out failure: the cell population
+// runs out its rated endurance while block retirements consume the
+// reserved pool over a long linear window ending at the failure record.
+func wearOutSSD(id, hours int, rng *rand.Rand) *smart.Profile {
+	b := newSSDBaseline(rng)
+	// A worn starting point: most of the endurance already consumed.
+	b.pe0 = uniform(rng, 0.72, 0.85) * b.ratedPE
+	peEnd := uniform(rng, 0.98, 1.04) * b.ratedPE
+	b.peRate = (peEnd - b.pe0) / float64(hours)
+	window := hours / 2
+	if w := 120 + rng.Intn(200); w < window {
+		window = w
+	}
+	usedEnd := int(uniform(rng, 0.82, 0.98) * float64(b.reserved))
+	retiredEnd := b.retired0 + int(uniform(rng, 1200, 1600))
+	uncorrEnd := int(uniform(rng, 4, 12))
+
+	p := &smart.Profile{DriveID: id, Class: smart.SSD, Failed: true, TrueGroup: SSDGroupWearOut}
+	p.Records = make([]smart.Record, 0, hours)
+	phase := rng.Float64() * 24
+	for h := 0; h < hours; h++ {
+		t := hours - 1 - h // hours remaining until failure
+		var sv float64     // linear severity inside the window
+		if t <= window {
+			sv = 1 - float64(t)/float64(window)
+		}
+		s := ssdSample(b, h, phase, rng)
+		s.RetiredBlocks = b.retired0 + int(float64(retiredEnd-b.retired0)*sv)
+		s.ReservedUsed = b.used0 + int(float64(usedEnd-b.used0)*sv)
+		s.Uncorrectable = int(float64(uncorrEnd) * sv)
+		s.UncorrectedECC = int(uniform(rng, 0, 3) * sv)
+		// Wear raises the program temperature slightly toward the end.
+		s.TemperatureC += 2.5 * sv
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: smart.MapSSDToRecord(s)})
+	}
+	return p
+}
+
+// cliffSSD generates a sudden-death failure: a mid-life drive with no
+// wear signal collapses within a few hours — program and erase
+// failures, uncorrectable ECC, interface downshifts and reserved-pool
+// exhaustion all spike together, and the failure record is the bottom
+// of the cliff.
+func cliffSSD(id, hours int, rng *rand.Rand) *smart.Profile {
+	b := newSSDBaseline(rng)
+	cliff := 2 + rng.Intn(4) // cliff window: the final 2..5 hours
+	pfEnd := int(uniform(rng, 250, 400))
+	efEnd := int(uniform(rng, 120, 220))
+	ueccEnd := int(uniform(rng, 150, 280))
+	uncorrEnd := int(uniform(rng, 70, 110))
+	downEnd := int(uniform(rng, 15, 35))
+
+	p := &smart.Profile{DriveID: id, Class: smart.SSD, Failed: true, TrueGroup: SSDGroupCliff}
+	p.Records = make([]smart.Record, 0, hours)
+	phase := rng.Float64() * 24
+	for h := 0; h < hours; h++ {
+		t := hours - 1 - h
+		s := ssdSample(b, h, phase, rng)
+		if t < cliff {
+			// Cubic collapse: nearly all of the damage lands on the final
+			// two records.
+			x := 1 - float64(t)/float64(cliff)
+			sv := x * x * x
+			s.ProgramFails = int(float64(pfEnd) * sv)
+			s.EraseFails = int(float64(efEnd) * sv)
+			s.UncorrectedECC = int(float64(ueccEnd) * sv)
+			s.Uncorrectable = int(float64(uncorrEnd) * sv)
+			s.SATADownshifts = int(float64(downEnd) * sv)
+			s.ReservedUsed = b.used0 + int(float64(b.reserved-b.used0)*sv)
+			s.TemperatureC += 9 * sv
+		}
+		p.Records = append(p.Records, smart.Record{Hour: h, Values: smart.MapSSDToRecord(s)})
+	}
+	return p
+}
+
+// MixedFleet configures a heterogeneous HDD+SSD fleet.
+type MixedFleet struct {
+	HDD Config
+	SSD SSDConfig
+}
+
+// DefaultMixedFleet returns the mixed-fleet configuration for a scale
+// preset with seed 1 in both sub-fleets.
+func DefaultMixedFleet(s Scale) MixedFleet {
+	return MixedFleet{HDD: DefaultConfig(s), SSD: DefaultSSDConfig(s)}
+}
+
+// WithSeed returns the configuration with both sub-fleet seeds set.
+func (m MixedFleet) WithSeed(seed int64) MixedFleet {
+	m.HDD.Seed = seed
+	m.SSD.Seed = seed
+	return m
+}
+
+// Validate reports whether both sub-fleet configurations are usable.
+func (m MixedFleet) Validate() error {
+	if err := m.HDD.Validate(); err != nil {
+		return err
+	}
+	return m.SSD.Validate()
+}
+
+// GenerateMixed produces one interleaved heterogeneous fleet: the HDD
+// population (Class zero value) and the SSD population (Class stamped,
+// drive IDs offset past the HDD range) in a single dataset. The
+// dataset's global normalizer spans both classes and must not be used
+// for analysis — the mixed characterization pipeline re-partitions by
+// class and fits per-class normalizers (see core.CharacterizeMixed).
+func GenerateMixed(cfg MixedFleet) (*dataset.Dataset, error) {
+	hdd, err := Generate(cfg.HDD)
+	if err != nil {
+		return nil, err
+	}
+	sfailed, sgood, err := generateSSDProfiles(cfg.SSD, cfg.HDD.FailedDrives+cfg.HDD.GoodDrives)
+	if err != nil {
+		return nil, err
+	}
+	failed := append(append([]*smart.Profile{}, hdd.Failed...), sfailed...)
+	good := append(append([]*smart.Profile{}, hdd.Good...), sgood...)
+	return dataset.New(failed, good), nil
+}
+
+// GroupCountClass returns how many failed drives of the given device
+// class were generated with the given per-class mode. Like GroupCount it
+// reads generative labels and must only score the analysis.
+func GroupCountClass(d *dataset.Dataset, class smart.DeviceClass, group int) int {
+	n := 0
+	for _, p := range d.Failed {
+		if p.Class == class && p.TrueGroup == group {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,176 @@
+package synth
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"disksig/internal/smart"
+)
+
+func TestGenerateSSDDeterminism(t *testing.T) {
+	cfg := DefaultSSDConfig(ScaleSmall)
+	a, err := GenerateSSD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := GenerateSSD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 7
+	c, err := GenerateSSD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Failed, b.Failed) || !reflect.DeepEqual(a.Good, b.Good) {
+		t.Fatal("SSD generation differs between default and 1 worker")
+	}
+	if !reflect.DeepEqual(a.Failed, c.Failed) || !reflect.DeepEqual(a.Good, c.Good) {
+		t.Fatal("SSD generation differs between default and 7 workers")
+	}
+	for _, p := range append(append([]*smart.Profile{}, a.Failed...), a.Good...) {
+		if p.Class != smart.SSD {
+			t.Fatalf("drive %d generated with class %v, want ssd", p.DriveID, p.Class)
+		}
+	}
+}
+
+// TestSSDTrajectories pins the two flash failure dynamics, table-driven:
+// wear-out must be a gradual monotone run-down of endurance and spare
+// blocks with no sudden collapse, while cliff failures must keep a
+// healthy profile until a final few-hour window and then crash to the
+// failure record.
+func TestSSDTrajectories(t *testing.T) {
+	cases := []struct {
+		name  string
+		gen   func(id, hours int, rng *rand.Rand) *smart.Profile
+		group int
+		// maxHourlyDrop bounds the worst single-hour fall of the
+		// wear-health attribute (WLC, the RRER slot) across the profile.
+		maxHourlyDrop float64
+		// healthyUntil is the number of trailing hours outside of which
+		// the error-count healths (PFC, UECC slots) must still be perfect.
+		healthyUntil int
+		// wantFinal constrains selected failure-record attributes.
+		wantFinal func(t *testing.T, v smart.Values)
+	}{
+		{
+			name:          "wear-out",
+			gen:           wearOutSSD,
+			group:         SSDGroupWearOut,
+			maxHourlyDrop: 1.5,
+			healthyUntil:  0, // uncorrectables may accrue through the window
+			wantFinal: func(t *testing.T, v smart.Values) {
+				if v[smart.RRER] > 6 {
+					t.Errorf("wear-out failure record keeps WLC health %.1f; endurance not exhausted", v[smart.RRER])
+				}
+				if v[smart.HFW] > 25 {
+					t.Errorf("wear-out failure record keeps %.1f%% reserved blocks; pool not depleted", v[smart.HFW])
+				}
+				if v[smart.SER] < 95 {
+					t.Errorf("wear-out failure record shows program-fail health %.1f; that is a cliff signature", v[smart.SER])
+				}
+			},
+		},
+		{
+			name:          "cliff",
+			gen:           cliffSSD,
+			group:         SSDGroupCliff,
+			maxHourlyDrop: 100, // the cliff itself may fall arbitrarily fast
+			healthyUntil:  6,
+			wantFinal: func(t *testing.T, v smart.Values) {
+				if v[smart.SER] > 10 || v[smart.CPSC] > 10 {
+					t.Errorf("cliff failure record is too healthy (PFC %.1f, UECC %.1f)", v[smart.SER], v[smart.CPSC])
+				}
+				if v[smart.HFW] > 5 {
+					t.Errorf("cliff failure record keeps %.1f%% reserved blocks", v[smart.HFW])
+				}
+				if v[smart.RRER] < 20 {
+					t.Errorf("cliff drive died worn out (WLC %.1f); cliffs must strike mid-life", v[smart.RRER])
+				}
+			},
+		},
+	}
+	const hours = 240
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				rng := rand.New(rand.NewSource(900 + seed))
+				p := tc.gen(int(seed), hours, rng)
+				if !p.Failed || p.TrueGroup != tc.group || p.Class != smart.SSD {
+					t.Fatalf("seed %d: profile labeled Failed=%v group=%d class=%v", seed, p.Failed, p.TrueGroup, p.Class)
+				}
+				if p.Len() != hours {
+					t.Fatalf("seed %d: %d records, want %d", seed, p.Len(), hours)
+				}
+				wlc := p.AttrSeries(smart.RRER)
+				for h := 1; h < len(wlc); h++ {
+					if drop := wlc[h-1] - wlc[h]; drop > tc.maxHourlyDrop {
+						t.Fatalf("seed %d: WLC drops %.2f in one hour at h=%d (limit %.2f)", seed, drop, h, tc.maxHourlyDrop)
+					}
+					if wlc[h] > wlc[h-1] {
+						t.Fatalf("seed %d: wear health recovered at h=%d; endurance is cumulative", seed, h)
+					}
+				}
+				for h := 0; h < hours-tc.healthyUntil; h++ {
+					v := p.Records[h].Values
+					if v[smart.SER] != 100 || v[smart.CPSC] != 100 {
+						if tc.healthyUntil > 0 {
+							t.Fatalf("seed %d: error healths degraded at h=%d, %d hours before failure", seed, h, hours-1-h)
+						}
+					}
+				}
+				tc.wantFinal(t, p.FailureRecord().Values)
+			}
+		})
+	}
+}
+
+func TestGenerateMixed(t *testing.T) {
+	cfg := DefaultMixedFleet(ScaleSmall).WithSeed(5)
+	ds, err := GenerateMixed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFailed := cfg.HDD.FailedDrives + cfg.SSD.FailedDrives
+	wantGood := cfg.HDD.GoodDrives + cfg.SSD.GoodDrives
+	if len(ds.Failed) != wantFailed || len(ds.Good) != wantGood {
+		t.Fatalf("mixed fleet has %d/%d drives, want %d/%d", len(ds.Failed), len(ds.Good), wantFailed, wantGood)
+	}
+	ids := map[int]bool{}
+	byClass := map[smart.DeviceClass]int{}
+	for _, p := range append(append([]*smart.Profile{}, ds.Failed...), ds.Good...) {
+		if ids[p.DriveID] {
+			t.Fatalf("duplicate drive ID %d across classes", p.DriveID)
+		}
+		ids[p.DriveID] = true
+		byClass[p.Class]++
+	}
+	if byClass[smart.HDD] != cfg.HDD.FailedDrives+cfg.HDD.GoodDrives {
+		t.Fatalf("HDD population %d, want %d", byClass[smart.HDD], cfg.HDD.FailedDrives+cfg.HDD.GoodDrives)
+	}
+	if byClass[smart.SSD] != cfg.SSD.FailedDrives+cfg.SSD.GoodDrives {
+		t.Fatalf("SSD population %d, want %d", byClass[smart.SSD], cfg.SSD.FailedDrives+cfg.SSD.GoodDrives)
+	}
+	// Per-class mode accounting: every failed SSD is either wear-out or
+	// cliff, with the configured split.
+	wear := GroupCountClass(ds, smart.SSD, SSDGroupWearOut)
+	cliff := GroupCountClass(ds, smart.SSD, SSDGroupCliff)
+	if wear+cliff != cfg.SSD.FailedDrives {
+		t.Fatalf("SSD modes %d+%d don't cover %d failed drives", wear, cliff, cfg.SSD.FailedDrives)
+	}
+	if cliff == 0 || wear == 0 {
+		t.Fatalf("degenerate mode split wear=%d cliff=%d", wear, cliff)
+	}
+	// HDD generation must be bit-identical to a pure-HDD fleet: mixing in
+	// SSDs must not perturb the legacy population.
+	pure, err := Generate(cfg.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Failed[:cfg.HDD.FailedDrives], pure.Failed) {
+		t.Fatal("HDD failed profiles differ between pure and mixed generation")
+	}
+}

@@ -20,12 +20,18 @@ func FuzzDecodeBatch(f *testing.F) {
 	f.Add(EncodeBatch(nil))
 	f.Add(EncodeBatch(testObs(1)))
 	f.Add(EncodeBatch(testObs(9)))
+	// Version-2 frames: a mixed batch, and a mixed batch with its first
+	// class byte rewritten to an unknown class (a per-record quarantine,
+	// not a frame error — the CRC is refitted so the judgment is reached).
+	f.Add(EncodeBatch(testMixedObs(9)))
+	f.Add(refit(corrupt(EncodeBatch(testMixedObs(3)), func(b []byte) { b[headerSize+6] = 0x7f })))
 	// A frame with a quarantined middle record (out-of-range attribute).
 	seedBad := EncodeBatch(testObs(3))
 	seedBad[headerSize+recHeaderSize] ^= 0xff
 	f.Add(seedBad)
-	// Structural corruption seeds: version, count, trailer.
-	f.Add(corrupt(EncodeBatch(testObs(2)), func(b []byte) { b[0] = 2 }))
+	// Structural corruption seeds: version, count, trailer. Version 2 is
+	// valid now, so the bad-version seed uses the first unassigned one.
+	f.Add(corrupt(EncodeBatch(testObs(2)), func(b []byte) { b[0] = 3 }))
 	f.Add(corrupt(EncodeBatch(testObs(2)), func(b []byte) { b[1] = 200 }))
 	f.Add(corrupt(EncodeBatch(testObs(2)), func(b []byte) { b[len(b)-2] ^= 1 }))
 

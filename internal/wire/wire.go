@@ -28,6 +28,18 @@
 //	  per triple: u8 attribute index | u8 flags (0) | u64 float64 bits
 //	trailer: u32 CRC-32C (Castagnoli) of every preceding byte
 //
+// # Frame layout (version 2)
+//
+// Version 2 carries mixed HDD+SSD fleets: the per-record header gains
+// one device-class byte between the hour and the triple count
+// (u16 slen, i32 hour, u8 class, u16 triples). Everything else —
+// framing, trailer, triple encoding — is version 1's. The encoder emits
+// version 1 whenever every observation in the batch is HDD, so pure-HDD
+// traffic stays bit-identical to pre-class builds; a batch with any SSD
+// observation is framed as version 2. The decoder accepts both, and
+// quarantines per record any class byte it does not know — the frame
+// still delimits the record, so one bad class must not poison the batch.
+//
 // A triple carries one present attribute value; attributes without a
 // triple decode as NaN ("missing at source", exactly what the JSON
 // format's null means). The encoder therefore omits non-finite values,
@@ -50,8 +62,13 @@ import (
 // ContentType is the negotiated media type of the binary batch format.
 const ContentType = "application/x-disksig-batch"
 
-// Version is the only frame version this package reads and writes.
+// Version is the frame version pure-HDD batches are written in, and the
+// oldest version the decoder reads.
 const Version = 1
+
+// Version2 is the class-carrying frame version; the encoder selects it
+// automatically when a batch contains any non-HDD observation.
+const Version2 = 2
 
 const (
 	// MaxSerialLen caps one serial number, matching the WAL's cap.
@@ -61,6 +78,9 @@ const (
 	// recHeaderSize is the fixed per-record header: serial length, hour,
 	// triple count.
 	recHeaderSize = 2 + 4 + 2
+	// recHeaderSize2 is version 2's per-record header: serial length,
+	// hour, device class, triple count.
+	recHeaderSize2 = 2 + 4 + 1 + 2
 	// tripleSize is one attribute triple: index, flags, float64 bits.
 	tripleSize = 1 + 1 + 8
 	// trailerSize is the CRC-32C trailer.
@@ -104,15 +124,26 @@ func truncated(format string, args ...any) error {
 
 // AppendBatch appends the frame encoding of a batch to dst and returns
 // the extended slice. Non-finite values are omitted (they decode back as
-// NaN, like the JSON format's null). It errors on observations the
-// format cannot carry: an empty or over-long serial, or an hour outside
-// int32 range.
+// NaN, like the JSON format's null). A batch whose every observation is
+// HDD is framed as version 1, bit-identical to pre-class builds; a batch
+// with any SSD observation is framed as version 2. It errors on
+// observations the format cannot carry: an empty or over-long serial, an
+// hour outside int32 range, or an invalid device class.
 func AppendBatch(dst []byte, obs []fleet.Observation) ([]byte, error) {
 	if len(obs) > math.MaxUint32 {
 		return dst, fmt.Errorf("wire: batch of %d observations exceeds the u32 record count", len(obs))
 	}
+	version := byte(Version)
+	for i := range obs {
+		if !obs[i].Class.Valid() {
+			return dst, fmt.Errorf("wire: observation %d has invalid device class %d", i, obs[i].Class)
+		}
+		if obs[i].Class != smart.HDD {
+			version = Version2
+		}
+	}
 	start := len(dst)
-	dst = append(dst, Version)
+	dst = append(dst, version)
 	dst = appendU32(dst, uint32(len(obs)))
 	for i := range obs {
 		o := &obs[i]
@@ -130,6 +161,9 @@ func AppendBatch(dst []byte, obs []fleet.Observation) ([]byte, error) {
 		}
 		dst = appendU16(dst, uint16(len(o.Serial)))
 		dst = appendU32(dst, uint32(int32(o.Record.Hour)))
+		if version == Version2 {
+			dst = append(dst, byte(o.Class))
+		}
 		dst = appendU16(dst, uint16(present))
 		dst = append(dst, o.Serial...)
 		for a := 0; a < int(smart.NumAttrs); a++ {
@@ -159,6 +193,13 @@ func EncodeBatch(obs []fleet.Observation) []byte {
 // encode buffers. Observations the encoder rejects are sized as if every
 // value were present.
 func EncodedSize(obs []fleet.Observation) int {
+	recHeader := recHeaderSize
+	for i := range obs {
+		if obs[i].Class != smart.HDD {
+			recHeader = recHeaderSize2
+			break
+		}
+	}
 	n := headerSize + trailerSize
 	for i := range obs {
 		present := 0
@@ -167,7 +208,7 @@ func EncodedSize(obs []fleet.Observation) int {
 				present++
 			}
 		}
-		n += recHeaderSize + len(obs[i].Serial) + present*tripleSize
+		n += recHeader + len(obs[i].Serial) + present*tripleSize
 	}
 	return n
 }
@@ -195,18 +236,23 @@ func (d *Decoder) Decode(frame []byte, rep *quality.Report) ([]fleet.Observation
 	if len(frame) < minFrameSize {
 		return nil, truncated("frame of %d bytes is shorter than the %d-byte minimum", len(frame), minFrameSize)
 	}
-	if frame[0] != Version {
-		return nil, malformed("unsupported wire version %d (want %d)", frame[0], Version)
+	version := frame[0]
+	if version != Version && version != Version2 {
+		return nil, malformed("unsupported wire version %d (want %d or %d)", version, Version, Version2)
 	}
 	body, trailer := frame[:len(frame)-trailerSize], frame[len(frame)-trailerSize:]
 	if sum := crc32.Checksum(body, castagnoli); sum != u32(trailer) {
 		return nil, malformed("frame checksum mismatch (computed %08x, trailer %08x)", sum, u32(trailer))
 	}
+	recHeader := recHeaderSize
+	if version == Version2 {
+		recHeader = recHeaderSize2
+	}
 	count := u32(body[1:])
 	p := body[headerSize:]
 	// Every record needs at least its fixed header plus one serial byte;
 	// reject counts the body cannot hold before trusting them.
-	if uint64(count)*(recHeaderSize+1) > uint64(len(p)) {
+	if uint64(count)*uint64(recHeader+1) > uint64(len(p)) {
 		return nil, malformed("record count %d exceeds the %d-byte frame body", count, len(p))
 	}
 
@@ -215,13 +261,26 @@ func (d *Decoder) Decode(frame []byte, rep *quality.Report) ([]fleet.Observation
 		d.obs = make([]fleet.Observation, 0, count)
 	}
 	for i := uint32(0); i < count; i++ {
-		if len(p) < recHeaderSize {
-			return nil, truncated("record %d torn: %d bytes left, need a %d-byte record header", i, len(p), recHeaderSize)
+		if len(p) < recHeader {
+			return nil, truncated("record %d torn: %d bytes left, need a %d-byte record header", i, len(p), recHeader)
 		}
 		slen := int(u16(p))
 		hour := int(int32(u32(p[2:])))
-		triples := int(u16(p[6:]))
-		p = p[recHeaderSize:]
+		class := smart.HDD
+		classKnown := true
+		triples := 0
+		if version == Version2 {
+			c := p[6]
+			// An unknown class byte is a record-content defect, not a
+			// framing one: the header still delimits the record, so decode
+			// past it and quarantine just this record below.
+			classKnown = smart.DeviceClass(c).Valid()
+			class = smart.DeviceClass(c)
+			triples = int(u16(p[7:]))
+		} else {
+			triples = int(u16(p[6:]))
+		}
+		p = p[recHeader:]
 		need := slen + triples*tripleSize
 		if len(p) < need {
 			return nil, truncated("record %d torn: %d bytes left, need %d", i, len(p), need)
@@ -234,6 +293,13 @@ func (d *Decoder) Decode(frame []byte, rep *quality.Report) ([]fleet.Observation
 			rep.Note(quality.Issue{
 				Kind: quality.BadField, Field: "serial",
 				Detail: fmt.Sprintf("record %d serial length %d outside [1, %d]", i, slen, MaxSerialLen),
+			}, quality.Config{})
+			rep.AddRows(1, 1, 0)
+			continue
+		case !classKnown:
+			rep.Note(quality.Issue{
+				Kind: quality.BadField, Field: "device_class", Drive: string(serial),
+				Detail: fmt.Sprintf("record %d names device class %d, want < %d", i, class, smart.NumClasses),
 			}, quality.Config{})
 			rep.AddRows(1, 1, 0)
 			continue
@@ -286,6 +352,7 @@ func (d *Decoder) Decode(frame []byte, rep *quality.Report) ([]fleet.Observation
 		}
 		d.obs = append(d.obs, fleet.Observation{
 			Serial: d.internSerial(serial),
+			Class:  class,
 			Record: smart.Record{Hour: hour, Values: v},
 		})
 	}

@@ -32,6 +32,18 @@ func testObs(records int) []fleet.Observation {
 	return obs
 }
 
+// testMixedObs is testObs with every third observation marked SSD, so
+// the batch must frame as version 2.
+func testMixedObs(records int) []fleet.Observation {
+	obs := testObs(records)
+	for i := range obs {
+		if i%3 == 0 {
+			obs[i].Class = smart.SSD
+		}
+	}
+	return obs
+}
+
 // nanEqual compares values treating NaN as equal to NaN.
 func nanEqual(a, b smart.Values) bool {
 	for i := range a {
@@ -99,6 +111,80 @@ func TestDecodeSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestRoundTripV2 pins the mixed-fleet framing: a batch with any SSD
+// observation frames as version 2 and round-trips every class, while a
+// pure-HDD batch keeps the version-1 framing bit for bit — old readers
+// must keep decoding new writers' HDD traffic.
+func TestRoundTripV2(t *testing.T) {
+	for _, n := range []int{1, 7, 200} {
+		obs := testMixedObs(n)
+		frame := EncodeBatch(obs)
+		if frame[0] != Version2 {
+			t.Fatalf("n=%d: mixed batch framed as version %d, want %d", n, frame[0], Version2)
+		}
+		if len(frame) != EncodedSize(obs) {
+			t.Fatalf("n=%d: frame is %d bytes, EncodedSize says %d", n, len(frame), EncodedSize(obs))
+		}
+		var d Decoder
+		var rep quality.Report
+		got, err := d.Decode(frame, &rep)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if len(got) != n || rep.RowsQuarantined != 0 {
+			t.Fatalf("n=%d: %d kept, ledger %+v", n, len(got), rep)
+		}
+		for i := range got {
+			if got[i].Class != obs[i].Class || got[i].Serial != obs[i].Serial {
+				t.Fatalf("n=%d record %d: got class %v serial %q, want %v %q",
+					n, i, got[i].Class, got[i].Serial, obs[i].Class, obs[i].Serial)
+			}
+			if !nanEqual(got[i].Record.Values, obs[i].Record.Values) {
+				t.Fatalf("n=%d record %d: values differ", n, i)
+			}
+		}
+	}
+
+	// An all-HDD batch built through the class-aware encoder must be
+	// bit-identical to the version-1 frame: class is a zero-cost upgrade
+	// for fleets that never send an SSD.
+	hdd := testObs(5)
+	frame := EncodeBatch(hdd)
+	if frame[0] != Version {
+		t.Fatalf("all-HDD batch framed as version %d, want %d", frame[0], Version)
+	}
+}
+
+// TestV2InvalidClassQuarantine pins that an unknown class byte
+// quarantines just its record — the frame still delimits it — while the
+// rest of the batch survives with exact accounting.
+func TestV2InvalidClassQuarantine(t *testing.T) {
+	obs := testMixedObs(3)
+	frame := EncodeBatch(obs)
+	// Record 1 starts after record 0: recHeaderSize2 + serial + triples.
+	present := 0
+	for a := range obs[0].Record.Values {
+		if !math.IsNaN(obs[0].Record.Values[a]) {
+			present++
+		}
+	}
+	off := headerSize + recHeaderSize2 + len(obs[0].Serial) + present*tripleSize
+	frame[off+6] = 0xee // record 1's class byte
+	refit(frame)
+	var d Decoder
+	var rep quality.Report
+	got, err := d.Decode(frame, &rep)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != 2 || rep.RowsQuarantined != 1 || rep.Count(quality.BadField) != 1 {
+		t.Fatalf("kept %d, ledger %+v", len(got), rep)
+	}
+	if got[0].Serial != obs[0].Serial || got[1].Serial != obs[2].Serial {
+		t.Fatalf("kept %q and %q, want %q and %q", got[0].Serial, got[1].Serial, obs[0].Serial, obs[2].Serial)
+	}
+}
+
 func TestEncodeRejections(t *testing.T) {
 	long := strings.Repeat("s", MaxSerialLen+1)
 	cases := []struct {
@@ -108,6 +194,7 @@ func TestEncodeRejections(t *testing.T) {
 		{"empty serial", fleet.Observation{Serial: ""}},
 		{"long serial", fleet.Observation{Serial: long}},
 		{"hour overflow", fleet.Observation{Serial: "s", Record: smart.Record{Hour: math.MaxInt32 + 1}}},
+		{"invalid class", fleet.Observation{Serial: "s", Class: smart.DeviceClass(9)}},
 	}
 	for _, tc := range cases {
 		if _, err := AppendBatch(nil, []fleet.Observation{tc.obs}); err == nil {
